@@ -1,0 +1,35 @@
+"""Shared helpers for the paper-figure benchmarks.
+
+Each benchmark regenerates one table/figure of the paper at the scale
+selected by ``REPRO_SCALE`` (default ``quick``), prints the series the
+paper plots, and asserts the figure's qualitative checks. pytest-benchmark
+times the regeneration.
+"""
+
+import warnings
+
+import pytest
+
+from repro.experiments import scale_from_env
+from repro.experiments.base import ExperimentResult
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return scale_from_env()
+
+
+def run_and_report(benchmark, runner, scale, **kwargs) -> ExperimentResult:
+    """Benchmark one experiment runner and print its table."""
+    def target():
+        with warnings.catch_warnings():
+            # Reduced scales deliberately run into the documented
+            # resolution warnings at the top of the band.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            return runner(scale, **kwargs)
+
+    result = benchmark.pedantic(target, iterations=1, rounds=1)
+    print()
+    print(result.format_table())
+    assert result.all_checks_pass(), result.checks
+    return result

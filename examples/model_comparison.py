@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Model validity map: where each roughness-loss model can be trusted.
+
+Sweeps the roughness level (sigma/eta at fixed eta) and frequency, and
+tabulates SWM against SPM2, the empirical eq. (1), HBM-style saturation
+and the Huray model — reproducing the paper's core argument that the
+closed forms are each valid only in a corner of the parameter space
+while SWM covers the range.
+
+Run:  python examples/model_comparison.py
+"""
+
+import numpy as np
+
+from repro import GaussianCorrelation, SWMSolver3D, SurfaceGenerator
+from repro import HurayModel, hammerstad_enhancement, spm2_enhancement
+from repro.constants import GHZ, UM
+from repro.models.empirical import hemispherical_area_limit
+
+
+def swm_mean(sigma_um: float, eta_um: float, f_hz: float,
+             n_samples: int = 4, n: int = 12) -> float:
+    cf = GaussianCorrelation(sigma=sigma_um, eta=eta_um)
+    gen = SurfaceGenerator(cf, period=5.0 * eta_um, n=n, normalize=True)
+    solver = SWMSolver3D()
+    rng = np.random.default_rng(7)
+    vals = [solver.solve_um(gen.sample(rng).heights, 5.0 * eta_um,
+                            f_hz).enhancement
+            for _ in range(n_samples)]
+    return float(np.mean(vals))
+
+
+def main() -> None:
+    eta_um = 1.0
+    freq = 5.0 * GHZ
+    print(f"Loss enhancement at {freq / GHZ:.0f} GHz, eta = {eta_um} um, "
+          f"roughness sweep (sigma varies):\n")
+    print(f"{'sigma(um)':>9} | {'SWM':>7} | {'SPM2':>7} | {'eq.(1)':>7} | "
+          f"{'area-limit':>10} | {'Huray':>7}")
+    print("-" * 62)
+    for sigma_um in (0.1, 0.3, 0.5, 1.0, 1.5):
+        cf_si = GaussianCorrelation(sigma=sigma_um * UM, eta=eta_um * UM)
+        swm = swm_mean(sigma_um, eta_um, freq)
+        spm = float(spm2_enhancement(np.array([freq]), cf_si)[0])
+        emp = float(hammerstad_enhancement(np.array([freq]), sigma_um * UM)[0])
+        slope = np.sqrt(cf_si.slope_variance_2d())
+        area = hemispherical_area_limit(slope)
+        huray = float(HurayModel.cannonball(
+            rz_m=5.0 * sigma_um * UM).enhancement(np.array([freq]))[0])
+        print(f"{sigma_um:9.2f} | {swm:7.3f} | {spm:7.3f} | {emp:7.3f} | "
+              f"{area:10.3f} | {huray:7.3f}")
+    print()
+    print("Reading the table (the paper's Section I+IV argument):")
+    print(" - small sigma: SWM ~ SPM2 (its valid corner); eq.(1) overshoots;")
+    print(" - large sigma: SPM2 overshoots badly; SWM stays below the")
+    print("   geometric area limit, as the physical loss must;")
+    print(" - the one-parameter models cannot see eta at all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Physical constants (SI) and unit helpers.
+
+The library accepts SI units at its public boundary. The BEM kernels work
+internally in micrometers so that matrix entries are O(1); the conversion
+is done explicitly via :data:`METER_TO_UM` at the solver boundary, never
+implicitly.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Vacuum permeability [H/m].
+MU_0 = 4.0e-7 * math.pi
+
+#: Vacuum permittivity [F/m].
+EPS_0 = 8.8541878128e-12
+
+#: Speed of light in vacuum [m/s].
+C_0 = 1.0 / math.sqrt(MU_0 * EPS_0)
+
+#: One micrometer in meters. Surface roughness scales are naturally in um.
+UM = 1.0e-6
+
+#: One gigahertz in Hz.
+GHZ = 1.0e9
+
+#: Meters -> micrometers conversion factor used at the solver boundary.
+METER_TO_UM = 1.0e6
+
+#: Resistivity of annealed copper used throughout the paper [ohm * m]
+#: (the paper uses 1.67 uOhm*cm).
+COPPER_RESISTIVITY = 1.67e-8
+
+#: Relative permittivity of silicon dioxide used in the paper's experiments.
+SIO2_EPS_R = 3.7

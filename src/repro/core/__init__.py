@@ -1,0 +1,19 @@
+"""High-level pipelines: the paper's methodology end-to-end.
+
+:class:`StochasticLossModel` wires together the pieces exactly as the
+paper does: stochastic surface characterization (Section II) -> KL
+reduction -> deterministic SWM solves (Section III) -> SSCM or
+Monte-Carlo statistics (Section III-D).
+"""
+
+from .pipeline import (
+    DeterministicLossModel,
+    StochasticLossConfig,
+    StochasticLossModel,
+)
+
+__all__ = [
+    "DeterministicLossModel",
+    "StochasticLossConfig",
+    "StochasticLossModel",
+]

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so downstream
+users can catch one base class. Specific subclasses mark which subsystem
+rejected the input, which matters in long stochastic sweeps where a single
+bad sample must be distinguishable from a configuration mistake.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid user-facing configuration (bad parameter values/combinations)."""
+
+
+class MeshError(ConfigurationError):
+    """Surface mesh construction failed (non-positive spacing, size mismatch...)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver or series summation failed to converge."""
+
+
+class SolverError(ReproError):
+    """The linear system could not be solved (singular/ill-conditioned)."""
+
+
+class StochasticError(ReproError):
+    """Stochastic machinery failure (KL truncation, sparse grid, surrogate)."""

@@ -1,0 +1,48 @@
+"""Reproductions of every figure and table in the paper's evaluation.
+
+Each module exposes ``run(scale) -> ExperimentResult`` with the paper's
+parameters baked in and shape checks encoding the figure's claims.
+
+========  =====================================================
+module    paper content
+========  =====================================================
+fig2      simulated 3D Gaussian rough surface (+ statistics round trip)
+fig3      SWM vs SPM2 vs empirical, Gaussian CF, eta = 1, 2, 3 um
+fig4      SWM vs SPM2, extracted CF eq. (12)
+fig5      SWM vs HBM, half-spheroid boss
+fig6      3D SWM vs 2D SWM
+fig7      CDF of Pr/Ps: MC vs 1st/2nd-order SSCM
+table1    sampling-point counts: MC vs sparse-grid SSCM
+========  =====================================================
+"""
+
+from . import fig2, fig3, fig4, fig5, fig6, fig7, table1
+from .base import ExperimentResult
+from .presets import PAPER, QUICK, STANDARD, Scale, scale_from_env
+
+ALL_EXPERIMENTS = {
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "table1": table1.run,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "PAPER",
+    "QUICK",
+    "STANDARD",
+    "Scale",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "scale_from_env",
+    "table1",
+]

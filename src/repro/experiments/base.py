@@ -1,0 +1,60 @@
+"""Common result container and table formatting for experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure: named series over a shared x-axis.
+
+    ``series`` maps a legend label to a 1D array aligned with ``x``.
+    ``checks`` collects named boolean shape assertions (the qualitative
+    claims the paper's figure makes), so benches can both print the data
+    and verify the story.
+    """
+
+    experiment: str
+    description: str
+    x_label: str
+    x: np.ndarray
+    series: dict[str, np.ndarray] = field(default_factory=dict)
+    checks: dict[str, bool] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_series(self, label: str, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != self.x.shape:
+            raise ValueError(
+                f"series {label!r} shape {values.shape} does not match "
+                f"x shape {self.x.shape}"
+            )
+        self.series[label] = values
+
+    def check(self, name: str, passed: bool) -> None:
+        self.checks[name] = bool(passed)
+
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values()) if self.checks else True
+
+    def format_table(self, float_fmt: str = "{:8.4f}") -> str:
+        """Render the series as a fixed-width text table (paper-style)."""
+        labels = list(self.series)
+        header = f"{self.x_label:>12} | " + " | ".join(
+            f"{lab:>18}" for lab in labels)
+        lines = [self.experiment, self.description, "-" * len(header), header,
+                 "-" * len(header)]
+        for i, xv in enumerate(self.x):
+            row = f"{xv:12.4g} | " + " | ".join(
+                f"{float_fmt.format(self.series[lab][i]):>18}"
+                for lab in labels)
+            lines.append(row)
+        lines.append("-" * len(header))
+        for name, ok in self.checks.items():
+            lines.append(f"check {name}: {'PASS' if ok else 'FAIL'}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)

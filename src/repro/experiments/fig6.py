@@ -1,0 +1,109 @@
+"""Fig. 6 — 3D SWM vs 2D SWM (Gaussian CF, sigma = 1 um, eta = 1, 2 um).
+
+The paper's point (after Gu et al. [8]): a genuinely 3D rough surface
+absorbs markedly more than a 2D (y-uniform, ridged) surface with the same
+sigma and eta — so 2D roughness models systematically underestimate the
+loss.
+
+We reproduce this two ways:
+
+1. *Closed form.* The scalar SPM2 derived in :mod:`repro.models.spm2`
+   evaluated with the 2D spectrum (3D surface) and the 1D spectrum
+   (y-uniform surface). The 3D > 2D ordering is exact here and is the
+   robust check at every scale.
+2. *BEM.* SSCM means from the 3D solver vs Monte-Carlo means from the 2D
+   solver. The 2D solver converges much faster in the grid step than the
+   3D one, so at reduced scales the raw 3D mean is biased low and can sit
+   *below* the converged 2D curve; the ordering check on the BEM pair is
+   therefore enforced only at the ``paper`` scale (step = eta/8, the
+   paper's own mesh). The notes record the bias.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import GHZ, UM
+from ..core import StochasticLossConfig, StochasticLossModel
+from ..materials import PAPER_SYSTEM
+from ..models.spm2 import spm2_enhancement, spm2_enhancement_profile
+from ..stochastic.montecarlo import MonteCarloEstimator
+from ..surfaces import GaussianCorrelation, ProfileGenerator
+from ..swm.solver2d import SWMSolver2D
+from .base import ExperimentResult
+from .presets import QUICK, Scale
+
+ETAS_UM = (1.0, 2.0)
+
+
+def _mean_2d(cf_um: GaussianCorrelation, period_um: float, n: int,
+             freqs: np.ndarray, n_samples: int, seed: int) -> np.ndarray:
+    """Ensemble-mean 2D SWM enhancement over the frequency sweep."""
+    gen = ProfileGenerator(cf_um, period=period_um, n=n, normalize=True)
+    solver = SWMSolver2D(PAPER_SYSTEM)
+    out = np.empty(freqs.shape)
+    for i, f in enumerate(freqs):
+        def model(xi: np.ndarray) -> float:
+            profile = gen.from_white_noise(xi)
+            return solver.solve_um(profile, period_um, float(f)).enhancement
+        est = MonteCarloEstimator(model, dimension=n)
+        out[i] = est.run(n_samples, seed=seed).mean
+    return out
+
+
+def run(scale: Scale = QUICK, sigma_um: float = 1.0) -> ExperimentResult:
+    freqs = np.linspace(1.0, scale.f_max_ghz, scale.n_frequencies) * GHZ
+    n_samples_2d = max(16, scale.mc_samples // 2)
+
+    result = ExperimentResult(
+        experiment="Fig. 6",
+        description=(f"3D SWM vs 2D SWM, Gaussian CF, sigma={sigma_um}um, "
+                     f"eta={ETAS_UM}um (scale {scale.name})"),
+        x_label="f (GHz)",
+        x=freqs / GHZ,
+    )
+
+    bem3: dict[float, np.ndarray] = {}
+    bem2: dict[float, np.ndarray] = {}
+    spm3: dict[float, np.ndarray] = {}
+    spm1: dict[float, np.ndarray] = {}
+    for eta in ETAS_UM:
+        cf_si = GaussianCorrelation(sigma=sigma_um * UM, eta=eta * UM)
+        n3 = scale.points_for(5.0 * eta, eta, scale.f_max_hz)
+        model3 = StochasticLossModel(
+            cf_si, StochasticLossConfig(points_per_side=n3,
+                                        max_modes=scale.max_modes))
+        bem3[eta] = model3.mean_enhancement(freqs, order=1)
+        cf_um = GaussianCorrelation(sigma=sigma_um, eta=eta)
+        n2d = max(96, 8 * n3)
+        bem2[eta] = _mean_2d(cf_um, 5.0 * eta, n2d, freqs,
+                             n_samples_2d, seed=2009)
+        spm3[eta] = spm2_enhancement(freqs, cf_si)
+        spm1[eta] = spm2_enhancement_profile(freqs, cf_si)
+        result.add_series(f"3D SWM(eta={eta:g}um)", bem3[eta])
+        result.add_series(f"2D SWM(eta={eta:g}um)", bem2[eta])
+        result.add_series(f"3D SPM2(eta={eta:g}um)", spm3[eta])
+        result.add_series(f"2D SPM2(eta={eta:g}um)", spm1[eta])
+        result.notes.append(f"eta={eta:g}um: 3D {n3}x{n3}, 2D n={n2d}")
+
+    # The dimensionality claim, robust at every scale (closed form).
+    for eta in ETAS_UM:
+        result.check(f"spm2_3d_above_2d_eta{eta:g}",
+                     bool(np.all(spm3[eta] > spm1[eta])))
+    result.check("bem_curves_rise", all(
+        bem3[e][-1] > bem3[e][0] - 0.02 and bem2[e][-1] > bem2[e][0]
+        for e in ETAS_UM))
+    # BEM ordering only where the 3D mesh is at the paper's resolution.
+    if scale.name == "paper":
+        for eta in ETAS_UM:
+            result.check(f"bem_3d_above_2d_eta{eta:g}", bool(
+                np.all(bem3[eta][1:] >= bem2[eta][1:] - 0.03)))
+    else:
+        result.notes.append(
+            "BEM 3D-vs-2D ordering not asserted at this scale: the 3D "
+            "solver needs the paper's eta/8 mesh to converge, while the "
+            "2D solver is already converged (see DESIGN.md)")
+    gap = {e: float(np.mean(bem3[e] - bem2[e])) for e in ETAS_UM}
+    result.notes.append("mean BEM 3D-2D gap: " + ", ".join(
+        f"eta={e:g}: {gap[e]:+.3f}" for e in ETAS_UM))
+    return result

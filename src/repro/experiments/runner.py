@@ -1,0 +1,61 @@
+"""Command-line runner for the paper-experiment reproductions.
+
+Usage::
+
+    python -m repro.experiments.runner             # run everything, quick
+    python -m repro.experiments.runner fig3 fig7   # selected experiments
+    python -m repro.experiments.runner --scale standard table1
+
+Prints each experiment's series table (the data behind the paper's
+figure) and the pass/fail status of its qualitative checks; exits
+non-zero if any check fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import warnings
+
+from . import ALL_EXPERIMENTS
+from .presets import PAPER, QUICK, STANDARD
+
+_SCALES = {"quick": QUICK, "standard": STANDARD, "paper": PAPER}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        choices=[*sorted(ALL_EXPERIMENTS), []],
+                        help="experiments to run (default: all)")
+    parser.add_argument("--scale", default="quick",
+                        choices=sorted(_SCALES),
+                        help="execution scale (default: quick)")
+    args = parser.parse_args(argv)
+
+    names = args.experiments or sorted(ALL_EXPERIMENTS)
+    scale = _SCALES[args.scale]
+
+    all_pass = True
+    for name in names:
+        runner = ALL_EXPERIMENTS[name]
+        start = time.time()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = runner(scale)
+        elapsed = time.time() - start
+        print(result.format_table())
+        print(f"[{name}: {elapsed:.1f} s at scale {scale.name!r}]")
+        print()
+        all_pass = all_pass and result.all_checks_pass()
+    if not all_pass:
+        print("SOME CHECKS FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Free-space scalar Green's functions in 3D and 2D, with gradients.
+
+3D: ``G(r) = exp(j*k*r) / (4*pi*r)`` — the paper's eq. (4).
+2D: ``G(rho) = (j/4) * H0^(1)(k*rho)`` (line source), used by the 2D SWM
+formulation of Fig. 6.
+
+Both use the ``exp(-j*omega*t)`` convention: ``Im(k) >= 0`` gives decay.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import hankel1
+
+
+def green3d(r: np.ndarray, k: complex) -> np.ndarray:
+    """3D scalar Green's function ``exp(jkr)/(4 pi r)`` for distances ``r``.
+
+    ``r`` must be positive; the caller handles the self-term singularity.
+    """
+    r = np.asarray(r, dtype=np.float64)
+    return np.exp(1j * k * r) / (4.0 * np.pi * r)
+
+
+def green3d_radial_derivative(r: np.ndarray, k: complex) -> np.ndarray:
+    """dG/dr for the 3D Green's function: ``(jk - 1/r) * G``."""
+    r = np.asarray(r, dtype=np.float64)
+    return (1j * k - 1.0 / r) * green3d(r, k)
+
+
+def green3d_gradient(dx: np.ndarray, dy: np.ndarray, dz: np.ndarray,
+                     k: complex) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cartesian gradient of G with respect to the *field* point.
+
+    ``(dx, dy, dz)`` are the components of ``r - r'``; returns
+    ``(dG/dx, dG/dy, dG/dz)``. The gradient w.r.t. the *source* point is
+    the negative of this.
+    """
+    r = np.sqrt(dx * dx + dy * dy + dz * dz)
+    dgdr = green3d_radial_derivative(r, k)
+    return dgdr * dx / r, dgdr * dy / r, dgdr * dz / r
+
+
+def green2d(rho: np.ndarray, k: complex) -> np.ndarray:
+    """2D scalar Green's function ``(j/4) H0^(1)(k rho)``."""
+    rho = np.asarray(rho, dtype=np.float64)
+    return 0.25j * hankel1(0, k * rho)
+
+
+def green2d_radial_derivative(rho: np.ndarray, k: complex) -> np.ndarray:
+    """d/d rho of the 2D Green's function: ``-(j k / 4) H1^(1)(k rho)``."""
+    rho = np.asarray(rho, dtype=np.float64)
+    return -0.25j * k * hankel1(1, k * rho)
+
+
+def green2d_gradient(dx: np.ndarray, dz: np.ndarray,
+                     k: complex) -> tuple[np.ndarray, np.ndarray]:
+    """Cartesian gradient of the 2D Green's function w.r.t. the field point."""
+    rho = np.sqrt(dx * dx + dz * dz)
+    dgdr = green2d_radial_derivative(rho, k)
+    return dgdr * dx / rho, dgdr * dz / rho

@@ -1,0 +1,33 @@
+"""Interconnect application layer: the "why" of the paper.
+
+Transmission-line (RLGC/ABCD/S-parameter) analysis with
+roughness-corrected conductor loss, plus microstrip synthesis, so the
+loss-enhancement factor Pr/Ps computed by SWM can be turned into the
+insertion-loss numbers designers actually budget.
+"""
+
+from .microstrip import Microstrip
+from .roughloss import EnhancementTable, extra_loss_db, smooth_factor
+from .tline import (
+    RLGC,
+    abcd_line,
+    abcd_to_s,
+    cascade,
+    constant,
+    insertion_loss_db,
+    return_loss_db,
+)
+
+__all__ = [
+    "EnhancementTable",
+    "Microstrip",
+    "RLGC",
+    "abcd_line",
+    "abcd_to_s",
+    "cascade",
+    "constant",
+    "extra_loss_db",
+    "insertion_loss_db",
+    "return_loss_db",
+    "smooth_factor",
+]

@@ -1,0 +1,140 @@
+"""Microstrip line models (Hammerstad-Jensen) with skin-effect resistance.
+
+Synthesizes the smooth-conductor RLGC profile of a PCB microstrip from
+geometry + materials, so the roughness layer can scale its resistance.
+Standard formulas:
+
+- effective permittivity and Z0: Hammerstad-Jensen;
+- conductor resistance: DC floor + ``Rs / w`` skin crowding (wide-strip
+  approximation with a current-crowding factor for w/h < 2);
+- dielectric conductance from the loss tangent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import C_0, EPS_0, MU_0
+from ..errors import ConfigurationError
+from ..materials import Conductor
+from .tline import RLGC
+
+
+@dataclass(frozen=True)
+class Microstrip:
+    """Microstrip geometry/material description (SI units).
+
+    Attributes
+    ----------
+    width_m / height_m / thickness_m:
+        Trace width, substrate height, trace (copper) thickness.
+    eps_r:
+        Substrate relative permittivity.
+    loss_tangent:
+        Substrate loss tangent.
+    conductor:
+        Trace conductor material.
+    """
+
+    width_m: float
+    height_m: float
+    thickness_m: float = 35e-6
+    eps_r: float = 4.1
+    loss_tangent: float = 0.02
+    conductor: Conductor = Conductor()
+
+    def __post_init__(self) -> None:
+        if min(self.width_m, self.height_m, self.thickness_m) <= 0.0:
+            raise ConfigurationError("microstrip dimensions must be positive")
+        if self.eps_r < 1.0:
+            raise ConfigurationError(f"eps_r must be >= 1, got {self.eps_r}")
+        if self.loss_tangent < 0.0:
+            raise ConfigurationError("loss tangent must be >= 0")
+
+    # -- Hammerstad-Jensen statics ---------------------------------------
+
+    def effective_permittivity(self) -> float:
+        """Quasi-static effective permittivity."""
+        u = self.width_m / self.height_m
+        a = (1.0 + (1.0 / 49.0) * math.log((u ** 4 + (u / 52.0) ** 2)
+                                           / (u ** 4 + 0.432))
+             + (1.0 / 18.7) * math.log(1.0 + (u / 18.1) ** 3))
+        b = 0.564 * ((self.eps_r - 0.9) / (self.eps_r + 3.0)) ** 0.053
+        return (0.5 * (self.eps_r + 1.0)
+                + 0.5 * (self.eps_r - 1.0) * (1.0 + 10.0 / u) ** (-a * b))
+
+    def characteristic_impedance(self) -> float:
+        """Quasi-static Z0 (ohm)."""
+        u = self.width_m / self.height_m
+        eps_eff = self.effective_permittivity()
+        fu = 6.0 + (2.0 * math.pi - 6.0) * math.exp(-((30.666 / u) ** 0.7528))
+        z01 = (376.730313668 / (2.0 * math.pi)) * math.log(
+            fu / u + math.sqrt(1.0 + (2.0 / u) ** 2))
+        return z01 / math.sqrt(eps_eff)
+
+    # -- RLGC synthesis ---------------------------------------------------
+
+    def inductance_per_m(self) -> float:
+        """L from Z0 and phase velocity: ``L = Z0 sqrt(eps_eff) / c``."""
+        return self.characteristic_impedance() * math.sqrt(
+            self.effective_permittivity()) / C_0
+
+    def capacitance_per_m(self) -> float:
+        """C from Z0 and phase velocity: ``C = sqrt(eps_eff) / (Z0 c)``."""
+        return math.sqrt(self.effective_permittivity()) / (
+            self.characteristic_impedance() * C_0)
+
+    def resistance_per_m(self, frequency_hz: np.ndarray) -> np.ndarray:
+        """Skin-effect resistance with a DC floor.
+
+        ``R_ac = Rs / w * Kc`` with a crowding factor
+        ``Kc = 1 + (2/pi) atan(1.4 (t/h)^...)`` simplified to the common
+        ``1 + 2h/(pi w)`` ground-return correction; combined with the DC
+        resistance as ``sqrt(R_dc^2 + R_ac^2)`` for a smooth transition.
+        """
+        f = np.atleast_1d(np.asarray(frequency_hz, dtype=np.float64))
+        if np.any(f <= 0.0):
+            raise ConfigurationError("frequencies must be positive")
+        rho = self.conductor.resistivity
+        r_dc = rho / (self.width_m * self.thickness_m)
+        rs = np.sqrt(math.pi * f * MU_0 * self.conductor.mu_r * rho)
+        crowding = 1.0 + 2.0 * self.height_m / (math.pi * self.width_m)
+        r_ac = rs / self.width_m * crowding
+        return np.sqrt(r_dc ** 2 + r_ac ** 2)
+
+    def conductance_per_m(self, frequency_hz: np.ndarray) -> np.ndarray:
+        """Dielectric loss: ``G = omega C tan(delta) * filling``."""
+        f = np.atleast_1d(np.asarray(frequency_hz, dtype=np.float64))
+        w = 2.0 * math.pi * f
+        eps_eff = self.effective_permittivity()
+        # Filling-factor-corrected effective loss tangent.
+        q = ((eps_eff - 1.0) * self.eps_r) / ((self.eps_r - 1.0) * eps_eff) \
+            if self.eps_r > 1.0 else 1.0
+        return w * self.capacitance_per_m() * self.loss_tangent * q
+
+    def rlgc(self, roughness_factor=None) -> RLGC:
+        """Build the RLGC profile, optionally with a roughness factor.
+
+        ``roughness_factor`` is a callable ``f -> K(f)`` multiplying the
+        *AC part* of the conductor resistance (the paper's Pr/Ps).
+        """
+        def resistance(f: np.ndarray) -> np.ndarray:
+            r = self.resistance_per_m(f)
+            if roughness_factor is None:
+                return r
+            k = np.asarray(roughness_factor(f), dtype=np.float64)
+            return r * k
+
+        lum = self.inductance_per_m()
+        cap = self.capacitance_per_m()
+        return RLGC(
+            resistance=resistance,
+            inductance=lambda f: np.full_like(
+                np.asarray(f, dtype=np.float64), lum),
+            conductance=self.conductance_per_m,
+            capacitance=lambda f: np.full_like(
+                np.asarray(f, dtype=np.float64), cap),
+        )

@@ -1,0 +1,67 @@
+"""Glue between roughness-loss models and transmission-line analysis.
+
+``EnhancementTable`` captures a computed (frequency, Pr/Ps) curve — from
+SWM, SPM2, HBM, Huray or the empirical formula — as an interpolable
+roughness factor ``K(f)`` that the RLGC layer multiplies into the AC
+resistance. This is the "interconnect-aware design methodology" loop the
+paper's introduction describes: extract the surface statistics, simulate
+Pr/Ps once, then reuse it across line lengths and stackups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EnhancementTable:
+    """Piecewise-linear roughness factor K(f) from sampled values.
+
+    Extrapolation holds the end values (K is monotone and saturating in
+    practice, so constant extension is the conservative choice).
+    """
+
+    frequencies_hz: np.ndarray
+    factors: np.ndarray
+
+    def __post_init__(self) -> None:
+        f = np.asarray(self.frequencies_hz, dtype=np.float64)
+        k = np.asarray(self.factors, dtype=np.float64)
+        if f.ndim != 1 or f.shape != k.shape or f.size < 2:
+            raise ConfigurationError(
+                "need matching 1D frequency/factor arrays with >= 2 points"
+            )
+        if np.any(np.diff(f) <= 0.0):
+            raise ConfigurationError("frequencies must be strictly increasing")
+        if np.any(f <= 0.0):
+            raise ConfigurationError("frequencies must be positive")
+        if np.any(k <= 0.0):
+            raise ConfigurationError("enhancement factors must be positive")
+        object.__setattr__(self, "frequencies_hz", f)
+        object.__setattr__(self, "factors", k)
+
+    def __call__(self, frequency_hz: np.ndarray) -> np.ndarray:
+        f = np.atleast_1d(np.asarray(frequency_hz, dtype=np.float64))
+        return np.interp(f, self.frequencies_hz, self.factors)
+
+
+def smooth_factor() -> Callable[[np.ndarray], np.ndarray]:
+    """The K(f) = 1 reference (perfectly smooth conductor)."""
+    def fn(f: np.ndarray) -> np.ndarray:
+        return np.ones_like(np.asarray(f, dtype=np.float64))
+    return fn
+
+
+def extra_loss_db(insertion_loss_rough_db: np.ndarray,
+                  insertion_loss_smooth_db: np.ndarray) -> np.ndarray:
+    """Roughness-induced extra insertion loss (dB), elementwise."""
+    a = np.asarray(insertion_loss_rough_db, dtype=np.float64)
+    b = np.asarray(insertion_loss_smooth_db, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ConfigurationError("loss arrays must have the same shape")
+    return a - b

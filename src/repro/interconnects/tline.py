@@ -1,0 +1,141 @@
+"""Transmission-line network layer (RLGC -> ABCD -> S-parameters).
+
+This is the application substrate the paper's introduction motivates:
+surface roughness matters because it degrades the *insertion loss and
+signal integrity of interconnects*. The classes here turn per-unit-length
+RLGC profiles (with or without roughness-corrected resistance) into ABCD
+chains and S-parameters, so the examples can show eye-level consequences
+of the loss-enhancement factor.
+
+Conventions: ``exp(-j*omega*t)`` (consistent with the solvers — note the
+propagation factor is then ``exp(+j*gamma_prop*z)`` with our complex
+gamma; we use the engineering ``gamma = alpha + j*beta`` and ``exp(-gamma
+l)`` forms below, which are convention-independent for loss quantities).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+FrequencyFunction = Callable[[np.ndarray], np.ndarray]
+
+
+def _as_freqs(frequency_hz: np.ndarray) -> np.ndarray:
+    f = np.atleast_1d(np.asarray(frequency_hz, dtype=np.float64))
+    if np.any(f <= 0.0):
+        raise ConfigurationError("frequencies must be positive")
+    return f
+
+
+@dataclass(frozen=True)
+class RLGC:
+    """Per-unit-length line parameters as functions of frequency.
+
+    Each attribute is a callable ``f_hz_array -> array`` (constants can
+    be wrapped with :func:`constant`). Units: ohm/m, H/m, S/m, F/m.
+    """
+
+    resistance: FrequencyFunction
+    inductance: FrequencyFunction
+    conductance: FrequencyFunction
+    capacitance: FrequencyFunction
+
+    def gamma(self, frequency_hz: np.ndarray) -> np.ndarray:
+        """Propagation constant ``sqrt((R + jwL)(G + jwC))`` (Re >= 0)."""
+        f = _as_freqs(frequency_hz)
+        w = 2.0 * math.pi * f
+        z = self.resistance(f) + 1j * w * self.inductance(f)
+        y = self.conductance(f) + 1j * w * self.capacitance(f)
+        g = np.sqrt(z * y)
+        return np.where(g.real < 0.0, -g, g)
+
+    def characteristic_impedance(self, frequency_hz: np.ndarray) -> np.ndarray:
+        """``Z0 = sqrt((R + jwL)/(G + jwC))``."""
+        f = _as_freqs(frequency_hz)
+        w = 2.0 * math.pi * f
+        z = self.resistance(f) + 1j * w * self.inductance(f)
+        y = self.conductance(f) + 1j * w * self.capacitance(f)
+        return np.sqrt(z / y)
+
+    def attenuation_np_per_m(self, frequency_hz: np.ndarray) -> np.ndarray:
+        """Attenuation constant alpha in nepers/m."""
+        return self.gamma(frequency_hz).real
+
+    def attenuation_db_per_m(self, frequency_hz: np.ndarray) -> np.ndarray:
+        """Attenuation in dB/m (``20 log10(e) * alpha``)."""
+        return self.attenuation_np_per_m(frequency_hz) * (20.0 / math.log(10.0))
+
+
+def constant(value: float) -> FrequencyFunction:
+    """Wrap a constant as a frequency function."""
+    def fn(f: np.ndarray) -> np.ndarray:
+        return np.full_like(np.asarray(f, dtype=np.float64), value)
+    return fn
+
+
+def abcd_line(rlgc: RLGC, length_m: float,
+              frequency_hz: np.ndarray) -> np.ndarray:
+    """ABCD matrices of a uniform line: shape (F, 2, 2) complex.
+
+    ``[[cosh(g l), Z0 sinh(g l)], [sinh(g l)/Z0, cosh(g l)]]``.
+    """
+    if length_m <= 0.0:
+        raise ConfigurationError(f"length must be positive, got {length_m}")
+    f = _as_freqs(frequency_hz)
+    g = rlgc.gamma(f) * length_m
+    z0 = rlgc.characteristic_impedance(f)
+    out = np.empty((f.size, 2, 2), dtype=np.complex128)
+    ch, sh = np.cosh(g), np.sinh(g)
+    out[:, 0, 0] = ch
+    out[:, 0, 1] = z0 * sh
+    out[:, 1, 0] = sh / z0
+    out[:, 1, 1] = ch
+    return out
+
+
+def cascade(*abcd_chains: np.ndarray) -> np.ndarray:
+    """Matrix-multiply ABCD chains (same frequency axis)."""
+    if not abcd_chains:
+        raise ConfigurationError("cascade needs at least one ABCD chain")
+    out = abcd_chains[0]
+    for nxt in abcd_chains[1:]:
+        if nxt.shape != out.shape:
+            raise ConfigurationError("ABCD chain shapes differ")
+        out = np.einsum("fij,fjk->fik", out, nxt)
+    return out
+
+
+def abcd_to_s(abcd: np.ndarray, z_ref: float = 50.0) -> np.ndarray:
+    """Convert ABCD to S-parameters w.r.t. a real reference impedance."""
+    if z_ref <= 0.0:
+        raise ConfigurationError(f"z_ref must be positive, got {z_ref}")
+    a = abcd[:, 0, 0]
+    b = abcd[:, 0, 1]
+    c = abcd[:, 1, 0]
+    d = abcd[:, 1, 1]
+    denom = a + b / z_ref + c * z_ref + d
+    s = np.empty_like(abcd)
+    s[:, 0, 0] = (a + b / z_ref - c * z_ref - d) / denom
+    s[:, 0, 1] = 2.0 * (a * d - b * c) / denom
+    s[:, 1, 0] = 2.0 / denom
+    s[:, 1, 1] = (-a + b / z_ref - c * z_ref + d) / denom
+    return s
+
+
+def insertion_loss_db(s: np.ndarray) -> np.ndarray:
+    """``-20 log10 |S21|`` (positive numbers = loss)."""
+    mag = np.abs(s[:, 1, 0])
+    mag = np.maximum(mag, 1e-300)
+    return -20.0 * np.log10(mag)
+
+
+def return_loss_db(s: np.ndarray) -> np.ndarray:
+    """``-20 log10 |S11|``."""
+    mag = np.maximum(np.abs(s[:, 0, 0]), 1e-300)
+    return -20.0 * np.log10(mag)

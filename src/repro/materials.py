@@ -1,0 +1,180 @@
+"""Material models and derived electromagnetic quantities.
+
+This module owns every "physics input" of the scalar wave model:
+
+- :class:`Conductor` — a good conductor characterized by its DC
+  resistivity ``rho`` (the paper's copper: 1.67 uOhm*cm).
+- :class:`Dielectric` — a lossless dielectric characterized by its
+  relative permittivity (the paper's SiO2: 3.7).
+- :class:`TwoMediumSystem` — the dielectric/conductor pair appearing in
+  the coupled integral equations; provides the wavenumbers ``k1``, ``k2``,
+  the skin depth ``delta`` and the boundary-condition ratio
+  ``beta = -j * omega * eps1 * rho`` of eq. (6) of the paper.
+
+Sign conventions
+----------------
+We use the ``exp(-j*omega*t)`` time convention of the paper, i.e. the
+outgoing scalar Green's function is ``exp(+j*k*r) / (4*pi*r)`` and decaying
+waves have wavenumbers with *positive* imaginary part. The conductor
+wavenumber is ``k2 = (1+j)/delta``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .constants import COPPER_RESISTIVITY, EPS_0, MU_0, SIO2_EPS_R
+from .errors import ConfigurationError
+
+
+def skin_depth(frequency_hz: float, resistivity: float, mu_r: float = 1.0) -> float:
+    """Skin depth ``delta = sqrt(rho / (pi * f * mu))`` in meters.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Frequency in Hz; must be positive.
+    resistivity:
+        Conductor DC resistivity in ohm*m; must be positive.
+    mu_r:
+        Relative permeability of the conductor (1 for copper).
+    """
+    if frequency_hz <= 0.0:
+        raise ConfigurationError(f"frequency must be positive, got {frequency_hz}")
+    if resistivity <= 0.0:
+        raise ConfigurationError(f"resistivity must be positive, got {resistivity}")
+    return math.sqrt(resistivity / (math.pi * frequency_hz * MU_0 * mu_r))
+
+
+@dataclass(frozen=True)
+class Conductor:
+    """A good conductor described by its DC resistivity [ohm*m]."""
+
+    resistivity: float = COPPER_RESISTIVITY
+    mu_r: float = 1.0
+    name: str = "copper"
+
+    def __post_init__(self) -> None:
+        if self.resistivity <= 0.0:
+            raise ConfigurationError(
+                f"resistivity must be positive, got {self.resistivity}"
+            )
+        if self.mu_r <= 0.0:
+            raise ConfigurationError(f"mu_r must be positive, got {self.mu_r}")
+
+    def skin_depth(self, frequency_hz: float) -> float:
+        """Skin depth in meters at ``frequency_hz``."""
+        return skin_depth(frequency_hz, self.resistivity, self.mu_r)
+
+    def wavenumber(self, frequency_hz: float) -> complex:
+        """Conductor wavenumber ``k2 = (1+j)/delta`` [1/m]."""
+        return (1.0 + 1.0j) / self.skin_depth(frequency_hz)
+
+    def surface_resistance(self, frequency_hz: float) -> float:
+        """Surface resistance ``Rs = rho / delta`` [ohm/square]."""
+        return self.resistivity / self.skin_depth(frequency_hz)
+
+
+@dataclass(frozen=True)
+class Dielectric:
+    """A lossless dielectric described by its relative permittivity."""
+
+    eps_r: float = SIO2_EPS_R
+    mu_r: float = 1.0
+    name: str = "sio2"
+
+    def __post_init__(self) -> None:
+        if self.eps_r < 1.0:
+            raise ConfigurationError(f"eps_r must be >= 1, got {self.eps_r}")
+        if self.mu_r <= 0.0:
+            raise ConfigurationError(f"mu_r must be positive, got {self.mu_r}")
+
+    @property
+    def permittivity(self) -> float:
+        """Absolute permittivity [F/m]."""
+        return self.eps_r * EPS_0
+
+    def wavenumber(self, frequency_hz: float) -> float:
+        """Dielectric wavenumber ``k1 = omega * sqrt(mu * eps)`` [1/m]."""
+        if frequency_hz <= 0.0:
+            raise ConfigurationError(
+                f"frequency must be positive, got {frequency_hz}"
+            )
+        omega = 2.0 * math.pi * frequency_hz
+        return omega * math.sqrt(MU_0 * self.mu_r * self.permittivity)
+
+
+@dataclass(frozen=True)
+class TwoMediumSystem:
+    """The dielectric (medium 1) over conductor (medium 2) pair of the paper.
+
+    All frequency-dependent quantities of the coupled integral equations
+    are derived here so the solver modules contain no physics constants.
+    """
+
+    dielectric: Dielectric = Dielectric()
+    conductor: Conductor = Conductor()
+
+    def omega(self, frequency_hz: float) -> float:
+        """Angular frequency [rad/s]."""
+        return 2.0 * math.pi * frequency_hz
+
+    def k1(self, frequency_hz: float) -> complex:
+        """Wavenumber in the dielectric [1/m] (real, returned as complex)."""
+        return complex(self.dielectric.wavenumber(frequency_hz))
+
+    def k2(self, frequency_hz: float) -> complex:
+        """Wavenumber in the conductor ``(1+j)/delta`` [1/m]."""
+        return self.conductor.wavenumber(frequency_hz)
+
+    def delta(self, frequency_hz: float) -> float:
+        """Skin depth in the conductor [m]."""
+        return self.conductor.skin_depth(frequency_hz)
+
+    def beta(self, frequency_hz: float) -> complex:
+        """Boundary-condition ratio ``beta = eps1/eps2 = -j*omega*eps1*rho``.
+
+        This is eq. (6) of the paper: ``n.grad(psi1) = beta * n.grad(psi2)``.
+        For a good conductor ``eps2 ~ j*sigma/omega`` so
+        ``beta = eps1/eps2 = -j*omega*eps1*rho``.
+        """
+        omega = self.omega(frequency_hz)
+        return -1.0j * omega * self.dielectric.permittivity * self.conductor.resistivity
+
+    def flat_transmission(self, frequency_hz: float) -> complex:
+        """Flat-interface transmission coefficient ``T0 = 2*k1/(k1 + beta*k2)``.
+
+        Normal incidence of a unit-amplitude scalar plane wave from the
+        dielectric onto a flat interface; for copper/SiO2 at GHz
+        frequencies ``T0`` is close to 2 (the field-doubling of the
+        tangential magnetic field at a good conductor).
+        """
+        k1 = self.k1(frequency_hz)
+        k2 = self.k2(frequency_hz)
+        b = self.beta(frequency_hz)
+        return 2.0 * k1 / (k1 + b * k2)
+
+    def flat_reflection(self, frequency_hz: float) -> complex:
+        """Flat-interface reflection coefficient ``R0 = (k1 - beta*k2)/(k1 + beta*k2)``."""
+        k1 = self.k1(frequency_hz)
+        k2 = self.k2(frequency_hz)
+        b = self.beta(frequency_hz)
+        return (k1 - b * k2) / (k1 + b * k2)
+
+    def smooth_power_per_area(self, frequency_hz: float) -> float:
+        """Absorbed power per unit area of a *flat* interface.
+
+        With the incident amplitude normalized to 1, the surface field is
+        ``T0`` and the absorbed power density is ``|T0|^2 / (2*delta)``
+        (the paper's eq. (11) with its unit-surface-field normalization).
+        Units: the scalar power flux is reported in the same arbitrary
+        energy-flux units as :meth:`repro.swm.solver.SWMResult.absorbed_power`;
+        only ratios are physical.
+        """
+        t0 = self.flat_transmission(frequency_hz)
+        return abs(t0) ** 2 / (2.0 * self.delta(frequency_hz))
+
+
+#: The material pair used in all of the paper's numerical experiments.
+PAPER_SYSTEM = TwoMediumSystem(Dielectric(SIO2_EPS_R), Conductor(COPPER_RESISTIVITY))

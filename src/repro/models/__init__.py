@@ -1,0 +1,37 @@
+"""Closed-form roughness-loss models the paper compares SWM against.
+
+- :mod:`empirical` — Morgan/Hammerstad eq. (1) and friends;
+- :mod:`spm2` — second-order small perturbation method (small roughness);
+- :mod:`hbm` — hemispherical boss model (large roughness / high f);
+- :mod:`huray` — Huray snowball model (extension).
+"""
+
+from .empirical import (
+    groiss_enhancement,
+    hammerstad_enhancement,
+    hemispherical_area_limit,
+    morgan_enhancement,
+)
+from .hbm import (
+    HemisphericalBossModel,
+    sphere_absorbed_power,
+    sphere_magnetic_polarizability,
+    spheroid_magnetic_polarizability,
+)
+from .huray import HurayModel, SnowballDeposit
+from .spm2 import spm2_enhancement, spm2_enhancement_profile
+
+__all__ = [
+    "HemisphericalBossModel",
+    "HurayModel",
+    "SnowballDeposit",
+    "groiss_enhancement",
+    "hammerstad_enhancement",
+    "hemispherical_area_limit",
+    "morgan_enhancement",
+    "sphere_absorbed_power",
+    "sphere_magnetic_polarizability",
+    "spheroid_magnetic_polarizability",
+    "spm2_enhancement",
+    "spm2_enhancement_profile",
+]

@@ -1,0 +1,93 @@
+"""Empirical surface-roughness loss formulas.
+
+The paper's eq. (1) is Morgan's fitted curve as popularized by the
+Hammerstad-Bekkadal microstrip handbook:
+
+    Pr/Ps = 1 + (2/pi) * atan(1.4 * (sigma/delta)^2)
+
+It depends *only* on ``sigma/delta`` — the paper's Fig. 3 uses it to show
+that a one-parameter model cannot distinguish surfaces with equal sigma
+but different correlation lengths. Also provided:
+
+- :func:`groiss_enhancement` — Groiss et al.'s exponential saturation fit;
+- :func:`hemispherical_area_limit` — the geometric (true-area) upper
+  bound at skin depths much smaller than the roughness.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..materials import Conductor
+
+
+def _as_delta(frequency_hz: np.ndarray, conductor: Conductor) -> np.ndarray:
+    f = np.atleast_1d(np.asarray(frequency_hz, dtype=np.float64))
+    if np.any(f <= 0.0):
+        raise ConfigurationError("frequencies must be positive")
+    return np.sqrt(conductor.resistivity / (math.pi * f * 4e-7 * math.pi
+                                            * conductor.mu_r))
+
+
+def hammerstad_enhancement(frequency_hz: np.ndarray, sigma_m: float,
+                           conductor: Conductor = Conductor()) -> np.ndarray:
+    """The paper's eq. (1): ``1 + (2/pi) atan(1.4 (sigma/delta)^2)``.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Frequencies in Hz (scalar or array).
+    sigma_m:
+        RMS surface roughness in meters.
+    conductor:
+        Conductor material (for the skin depth).
+    """
+    if sigma_m <= 0.0:
+        raise ConfigurationError(f"sigma must be positive, got {sigma_m}")
+    delta = _as_delta(frequency_hz, conductor)
+    return 1.0 + (2.0 / math.pi) * np.arctan(1.4 * (sigma_m / delta) ** 2)
+
+
+#: Alias: eq. (1) is Morgan's fit in Hammerstad's handbook form.
+morgan_enhancement = hammerstad_enhancement
+
+
+def groiss_enhancement(frequency_hz: np.ndarray, sigma_m: float,
+                       conductor: Conductor = Conductor()) -> np.ndarray:
+    """Groiss et al. saturation fit ``1 + exp(-(delta / (2 sigma))^1.6)``.
+
+    Another one-parameter empirical model; saturates at 2 like eq. (1)
+    but with a different knee. Provided for model-comparison studies.
+    """
+    if sigma_m <= 0.0:
+        raise ConfigurationError(f"sigma must be positive, got {sigma_m}")
+    delta = _as_delta(frequency_hz, conductor)
+    return 1.0 + np.exp(-((delta / (2.0 * sigma_m)) ** 1.6))
+
+
+def hemispherical_area_limit(rms_slope: float) -> float:
+    """Geometric loss limit: mean true-area factor of a Gaussian surface.
+
+    When the skin depth is much smaller than every roughness scale the
+    current follows the surface and ``Pr/Ps -> <sqrt(1 + |grad f|^2)>``.
+    For an isotropic Gaussian surface with total RMS slope ``s``
+    (``<|grad f|^2> = s^2``, each component variance ``s^2/2``), the
+    expectation has the closed form
+
+        E[sqrt(1 + s^2/2 * Q)] with Q ~ chi^2_2,
+
+    i.e. ``1 + (sqrt(pi)/2) u exp(u^2) erfc(u)`` ... computed numerically
+    here for robustness (Gauss-Laguerre on the exponential tail).
+    """
+    if rms_slope < 0.0:
+        raise ConfigurationError(f"rms_slope must be >= 0, got {rms_slope}")
+    if rms_slope == 0.0:
+        return 1.0
+    # |grad f|^2 = (s^2/2) * Q with Q ~ chi^2_2 = Exp(mean 2).
+    nodes, weights = np.polynomial.laguerre.laggauss(64)
+    # Q = 2t, pdf of t is exp(-t): E[g(Q)] = int exp(-t) g(2t) dt.
+    vals = np.sqrt(1.0 + (rms_slope ** 2 / 2.0) * 2.0 * nodes)
+    return float(np.sum(weights * vals))

@@ -1,0 +1,98 @@
+"""Huray "snowball" roughness model (extension beyond the paper).
+
+The Huray model — the industry-standard successor to the hemispherical
+approaches the paper discusses — represents the rough surface as stacks
+of conducting spheres ("snowballs") on a flat tile and sums their
+scattering/absorption cross-sections:
+
+    K(f) = 1 + (3/2) * sum_i  (N_i * 4 pi a_i^2 / A_tile)
+                             / (1 + delta/a_i + delta^2 / (2 a_i^2))
+
+(the standard form; see Huray, "The Foundations of Signal Integrity").
+It is included so users can compare SWM against the model most modern
+EDA tools expose, and because its high-frequency saturation value
+``1 + (3/2) * (surface ratio)`` mirrors the HBM bookkeeping in
+:mod:`repro.models.hbm`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..materials import Conductor
+
+
+@dataclass(frozen=True)
+class SnowballDeposit:
+    """One population of snowballs: N spheres of radius ``a`` per tile."""
+
+    radius_m: float
+    count: float
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0.0:
+            raise ConfigurationError(
+                f"snowball radius must be positive, got {self.radius_m}"
+            )
+        if self.count <= 0.0:
+            raise ConfigurationError(
+                f"snowball count must be positive, got {self.count}"
+            )
+
+
+@dataclass(frozen=True)
+class HurayModel:
+    """A Huray surface description: tile area + snowball populations.
+
+    The classic "cannonball" parameterization for a foil of 10-point-mean
+    roughness ``Rz`` uses 14 spheres of radius ``Rz/6`` on a tile of side
+    ``Rz * sqrt(3)`` (:meth:`cannonball`).
+    """
+
+    tile_area_m2: float
+    deposits: tuple[SnowballDeposit, ...] = field(default_factory=tuple)
+    conductor: Conductor = Conductor()
+
+    def __post_init__(self) -> None:
+        if self.tile_area_m2 <= 0.0:
+            raise ConfigurationError(
+                f"tile area must be positive, got {self.tile_area_m2}"
+            )
+        if not self.deposits:
+            raise ConfigurationError("at least one snowball deposit required")
+
+    @classmethod
+    def cannonball(cls, rz_m: float,
+                   conductor: Conductor = Conductor()) -> "HurayModel":
+        """Cannonball-Huray: 14 spheres of radius Rz/6 on an Rz-scaled tile."""
+        if rz_m <= 0.0:
+            raise ConfigurationError(f"Rz must be positive, got {rz_m}")
+        radius = rz_m / 6.0
+        tile = (math.sqrt(3.0) * rz_m) ** 2
+        return cls(tile_area_m2=tile,
+                   deposits=(SnowballDeposit(radius_m=radius, count=14.0),),
+                   conductor=conductor)
+
+    def enhancement(self, frequency_hz: np.ndarray) -> np.ndarray:
+        """Loss enhancement factor K(f) (scalar or array in, array out)."""
+        f = np.atleast_1d(np.asarray(frequency_hz, dtype=np.float64))
+        if np.any(f <= 0.0):
+            raise ConfigurationError("frequencies must be positive")
+        delta = np.array([self.conductor.skin_depth(float(x)) for x in f])
+        k = np.ones_like(f)
+        for dep in self.deposits:
+            a = dep.radius_m
+            surface_ratio = dep.count * 4.0 * math.pi * a * a / self.tile_area_m2
+            k = k + 1.5 * surface_ratio / (1.0 + delta / a
+                                           + delta ** 2 / (2.0 * a * a))
+        return k
+
+    def saturation(self) -> float:
+        """High-frequency limit ``1 + (3/2) sum N 4 pi a^2 / A``."""
+        total = sum(d.count * 4.0 * math.pi * d.radius_m ** 2
+                    for d in self.deposits)
+        return 1.0 + 1.5 * total / self.tile_area_m2

@@ -1,0 +1,35 @@
+"""Stochastic machinery: Monte-Carlo, Hermite chaos, sparse grids, SSCM.
+
+These implement Section III-D of the paper: the statistical model of the
+rough-surface loss, computed either by brute-force Monte-Carlo or by the
+spectral stochastic collocation method (SSCM) with an order-of-magnitude
+fewer solver calls (Table I).
+"""
+
+from .hermite import (
+    chaos_basis_matrix,
+    hermite_he,
+    hermite_he_normalized,
+    total_degree_indices,
+)
+from .montecarlo import MonteCarloEstimator, MonteCarloResult
+from .quadrature import gauss_hermite_rule, level_to_size, rule_for_level
+from .sparsegrid import SparseGrid, smolyak_grid, sparse_grid_size
+from .sscm import SSCMEstimator, SSCMResult
+
+__all__ = [
+    "MonteCarloEstimator",
+    "MonteCarloResult",
+    "SSCMEstimator",
+    "SSCMResult",
+    "SparseGrid",
+    "chaos_basis_matrix",
+    "gauss_hermite_rule",
+    "hermite_he",
+    "hermite_he_normalized",
+    "level_to_size",
+    "rule_for_level",
+    "smolyak_grid",
+    "sparse_grid_size",
+    "total_degree_indices",
+]

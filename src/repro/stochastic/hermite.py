@@ -1,0 +1,103 @@
+"""Probabilists' Hermite polynomials and multivariate chaos bases.
+
+The Homogeneous Chaos expansion of SSCM (Section III-D) expands the
+stochastic solution in orthonormal Hermite polynomials of independent
+standard normals:
+
+    y(xi) ~ sum_alpha c_alpha * Psi_alpha(xi),
+    Psi_alpha(xi) = prod_j He_{alpha_j}(xi_j) / sqrt(alpha_j!)
+
+with E[Psi_alpha Psi_beta] = delta_{alpha beta} under the Gaussian
+measure. Index sets are total-degree: ``|alpha| <= order``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from ..errors import StochasticError
+
+
+def hermite_he(n: int, x: np.ndarray) -> np.ndarray:
+    """Probabilists' Hermite polynomial ``He_n(x)`` (three-term recurrence).
+
+    ``He_0 = 1, He_1 = x, He_{k+1} = x He_k - k He_{k-1}``.
+    """
+    if n < 0:
+        raise StochasticError(f"Hermite order must be >= 0, got {n}")
+    x = np.asarray(x, dtype=np.float64)
+    if n == 0:
+        return np.ones_like(x)
+    if n == 1:
+        return x.copy()
+    prev = np.ones_like(x)
+    cur = x.copy()
+    for k in range(1, n):
+        prev, cur = cur, x * cur - k * prev
+    return cur
+
+
+def hermite_he_normalized(n: int, x: np.ndarray) -> np.ndarray:
+    """Orthonormal Hermite ``He_n / sqrt(n!)`` (unit variance under N(0,1))."""
+    return hermite_he(n, x) / math.sqrt(math.factorial(n))
+
+
+def total_degree_indices(dim: int, order: int) -> list[tuple[int, ...]]:
+    """All multi-indices alpha with ``|alpha| <= order``, graded order.
+
+    The count is ``C(dim + order, order)`` — e.g. 1 + M for order 1,
+    1 + M + M(M+1)/2 for order 2.
+    """
+    if dim < 1:
+        raise StochasticError(f"dimension must be >= 1, got {dim}")
+    if order < 0:
+        raise StochasticError(f"order must be >= 0, got {order}")
+    out: list[tuple[int, ...]] = []
+    for total in range(order + 1):
+        # compositions of `total` into `dim` nonnegative parts
+        for cuts in itertools.combinations(range(total + dim - 1), dim - 1):
+            parts = []
+            prev = -1
+            for c in cuts:
+                parts.append(c - prev - 1)
+                prev = c
+            parts.append(total + dim - 2 - prev)
+            out.append(tuple(parts))
+    return out
+
+
+def chaos_basis_matrix(indices: list[tuple[int, ...]],
+                       xi: np.ndarray) -> np.ndarray:
+    """Evaluate the orthonormal chaos basis at sample points.
+
+    Parameters
+    ----------
+    indices:
+        List of P multi-indices (each length M).
+    xi:
+        (S, M) array of standard-normal sample points.
+
+    Returns
+    -------
+    (S, P) matrix ``Psi[s, p] = Psi_{alpha_p}(xi_s)``.
+    """
+    xi = np.atleast_2d(np.asarray(xi, dtype=np.float64))
+    s, m = xi.shape
+    if any(len(a) != m for a in indices):
+        raise StochasticError("multi-index length does not match xi dimension")
+    max_deg = max((max(a) if a else 0) for a in indices)
+    # Precompute He_n(xi_j) for all n, j once.
+    uni = np.empty((max_deg + 1, s, m), dtype=np.float64)
+    for n in range(max_deg + 1):
+        uni[n] = hermite_he_normalized(n, xi)
+    out = np.empty((s, len(indices)), dtype=np.float64)
+    for p, alpha in enumerate(indices):
+        acc = np.ones(s, dtype=np.float64)
+        for j, n in enumerate(alpha):
+            if n:
+                acc = acc * uni[n, :, j]
+        out[:, p] = acc
+    return out

@@ -1,0 +1,143 @@
+"""Smolyak sparse-grid quadrature for Gaussian measures.
+
+This is the Sparse Grid (SG) half of the paper's SSCM (Section III-D,
+following its ref. [9]): the coefficients of the Homogeneous Chaos
+expansion are computed with a sparse tensorization of 1D Gauss-Hermite
+rules, whose node count grows polynomially (not exponentially) with the
+stochastic dimension M.
+
+Combination technique: with 1D rules ``U_l`` (level l, size m(l)),
+
+    A(q, M) = sum_{q-M+1 <= |i| <= q} (-1)^{q-|i|} C(M-1, q-|i|)
+              (U_{i_1} x ... x U_{i_M})
+
+where ``i`` ranges over M-tuples of levels >= 1. We parameterize by
+``level = q - M`` (level 0 = single node, level 1 = 2M+1 nodes with the
+default growth, matching the paper's Table I).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import StochasticError
+from .quadrature import rule_for_level
+
+
+@dataclass(frozen=True)
+class SparseGrid:
+    """A set of quadrature nodes/weights for the N(0, I_M) measure."""
+
+    nodes: np.ndarray    # (S, M)
+    weights: np.ndarray  # (S,)
+
+    @property
+    def n_points(self) -> int:
+        return int(self.weights.size)
+
+    @property
+    def dimension(self) -> int:
+        return int(self.nodes.shape[1])
+
+    def integrate(self, values: np.ndarray) -> float:
+        """Weighted sum of model evaluations at the nodes."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.n_points,):
+            raise StochasticError(
+                f"values must have shape ({self.n_points},), got {values.shape}"
+            )
+        return float(np.dot(self.weights, values))
+
+
+def _level_multi_indices(dim: int, level: int):
+    """Multi-indices i (each >= 1) with q - M + 1 <= |i| <= q, q = M + level.
+
+    Equivalently: excess ``e = |i| - M`` between ``max(0, level - M + 1)``
+    and ``level``. Yields (index_tuple, smolyak_coefficient).
+    """
+    q = dim + level
+    for excess in range(max(0, level - dim + 1), level + 1):
+        coef = (-1) ** (level - excess) * math.comb(dim - 1, level - excess)
+        if coef == 0:
+            continue
+        # distribute `excess` over up to `excess` distinct dimensions
+        for n_active in range(0, excess + 1):
+            if n_active == 0:
+                if excess == 0:
+                    yield tuple([1] * dim), coef
+                continue
+            for dims in itertools.combinations(range(dim), n_active):
+                # compositions of `excess` into n_active positive parts
+                for cuts in itertools.combinations(range(1, excess), n_active - 1):
+                    parts = []
+                    prev = 0
+                    for c in cuts:
+                        parts.append(c - prev)
+                        prev = c
+                    parts.append(excess - prev)
+                    idx = [1] * dim
+                    for d, p in zip(dims, parts):
+                        idx[d] = 1 + p
+                    yield tuple(idx), coef
+
+
+def smolyak_grid(dim: int, level: int) -> SparseGrid:
+    """Build the Smolyak sparse Gauss-Hermite grid.
+
+    Parameters
+    ----------
+    dim:
+        Stochastic dimension M (number of retained KL modes).
+    level:
+        Sparse-grid level; level p integrates total-degree polynomials of
+        order ``2p + 1`` exactly, which is what an order-p chaos
+        projection needs. Level 1 has ``2M + 1`` nodes.
+    """
+    if dim < 1:
+        raise StochasticError(f"dim must be >= 1, got {dim}")
+    if level < 0:
+        raise StochasticError(f"level must be >= 0, got {level}")
+
+    merged: dict[tuple[float, ...], float] = {}
+    for idx, coef in _level_multi_indices(dim, level):
+        rules = [rule_for_level(l) for l in idx]
+        # Tensor product over only the non-trivial dimensions.
+        active = [d for d, l in enumerate(idx) if l > 1]
+        base_nodes = np.zeros(dim)
+        base_weight = 1.0
+        for d, l in enumerate(idx):
+            if l == 1:
+                nodes_d, weights_d = rules[d]
+                base_nodes[d] = nodes_d[0]
+                base_weight *= weights_d[0]
+        if not active:
+            key = tuple(np.round(base_nodes, 12))
+            merged[key] = merged.get(key, 0.0) + coef * base_weight
+            continue
+        grids = [rules[d] for d in active]
+        for combo in itertools.product(*[range(g[0].size) for g in grids]):
+            node = base_nodes.copy()
+            weight = base_weight
+            for (d, g, c) in zip(active, grids, combo):
+                node[d] = g[0][c]
+                weight *= g[1][c]
+            key = tuple(np.round(node, 12))
+            merged[key] = merged.get(key, 0.0) + coef * weight
+
+    # Drop numerically-cancelled nodes.
+    items = [(k, w) for k, w in merged.items() if abs(w) > 1e-14]
+    items.sort()
+    nodes = np.array([k for k, _ in items], dtype=np.float64)
+    weights = np.array([w for _, w in items], dtype=np.float64)
+    if nodes.ndim == 1:
+        nodes = nodes.reshape(-1, dim)
+    return SparseGrid(nodes=nodes, weights=weights)
+
+
+def sparse_grid_size(dim: int, level: int) -> int:
+    """Node count of :func:`smolyak_grid` (the Table I quantity)."""
+    return smolyak_grid(dim, level).n_points

@@ -1,0 +1,122 @@
+"""Spectral Stochastic Collocation Method (SSCM) — Section III-D.
+
+Pipeline (exactly the paper's): KL-reduce the correlated surface heights
+to M independent standard normals -> evaluate the deterministic solver at
+the Smolyak sparse-grid nodes -> project onto the order-p Homogeneous
+(Hermite) Chaos basis -> read statistics off the cheap surrogate.
+
+The surrogate makes the CDF of Fig. 7 nearly free: 10^5 surrogate
+evaluations instead of 10^5 boundary-element solves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import StochasticError
+from .hermite import chaos_basis_matrix, total_degree_indices
+from .sparsegrid import SparseGrid, smolyak_grid
+
+
+@dataclass(frozen=True)
+class SSCMResult:
+    """Chaos surrogate of the stochastic loss factor."""
+
+    order: int
+    indices: list
+    coefficients: np.ndarray
+    grid: SparseGrid
+    node_values: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        """Number of deterministic solves used (the Table I column)."""
+        return self.grid.n_points
+
+    @property
+    def mean(self) -> float:
+        """Chaos mean = coefficient of the constant basis function."""
+        return float(self.coefficients[0])
+
+    @property
+    def variance(self) -> float:
+        """Chaos variance = sum of squared non-constant coefficients."""
+        return float(np.sum(self.coefficients[1:] ** 2))
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(max(self.variance, 0.0)))
+
+    def evaluate(self, xi: np.ndarray) -> np.ndarray:
+        """Evaluate the surrogate at (S, M) standard-normal points."""
+        psi = chaos_basis_matrix(self.indices, np.atleast_2d(xi))
+        return psi @ self.coefficients
+
+    def sample_surrogate(self, n_samples: int = 100000,
+                         seed: int | None = 0) -> np.ndarray:
+        """Cheap Monte-Carlo on the surrogate (for CDFs/quantiles)."""
+        rng = np.random.default_rng(seed)
+        xi = rng.standard_normal((n_samples, self.grid.dimension))
+        return self.evaluate(xi)
+
+    def cdf(self, n_samples: int = 100000, seed: int | None = 0
+            ) -> tuple[np.ndarray, np.ndarray]:
+        """Surrogate CDF ``(x, F(x))`` — Fig. 7's SSCM curves."""
+        vals = np.sort(self.sample_surrogate(n_samples, seed))
+        f = np.arange(1, vals.size + 1) / vals.size
+        return vals, f
+
+
+class SSCMEstimator:
+    """Order-p SSCM over a ``xi -> scalar`` model.
+
+    Parameters
+    ----------
+    model:
+        Deterministic map from the length-M standard-normal vector to the
+        quantity of interest (for the paper: KL surface -> SWM -> Pr/Ps).
+    dimension:
+        Stochastic dimension M (retained KL modes).
+    order:
+        Chaos order p; the sparse-grid level equals p (level p integrates
+        total degree ``2p + 1``, enough for the order-p projection).
+    """
+
+    def __init__(self, model: Callable[[np.ndarray], float], dimension: int,
+                 order: int = 2) -> None:
+        if dimension < 1:
+            raise StochasticError(f"dimension must be >= 1, got {dimension}")
+        if order < 1:
+            raise StochasticError(f"order must be >= 1, got {order}")
+        self.model = model
+        self.dimension = int(dimension)
+        self.order = int(order)
+
+    def run(self, progress: Callable[[int, int], None] | None = None
+            ) -> SSCMResult:
+        """Evaluate the model at the sparse-grid nodes and project."""
+        grid = smolyak_grid(self.dimension, self.order)
+        values = np.empty(grid.n_points, dtype=np.float64)
+        for s in range(grid.n_points):
+            values[s] = float(self.model(grid.nodes[s]))
+            if progress is not None:
+                progress(s + 1, grid.n_points)
+        return self.project(grid, values)
+
+    def project(self, grid: SparseGrid, values: np.ndarray) -> SSCMResult:
+        """Project precomputed node values onto the chaos basis."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (grid.n_points,):
+            raise StochasticError(
+                f"values shape {values.shape} does not match grid size "
+                f"{grid.n_points}"
+            )
+        indices = total_degree_indices(self.dimension, self.order)
+        psi = chaos_basis_matrix(indices, grid.nodes)
+        coeffs = psi.T @ (grid.weights * values)
+        return SSCMResult(order=self.order, indices=indices,
+                          coefficients=coeffs, grid=grid,
+                          node_values=values)

@@ -1,0 +1,50 @@
+"""3D/1D random rough surface modeling (Section II of the paper).
+
+Characterization (correlation functions and spectra), periodic spectral
+synthesis, statistics extraction, Karhunen-Loeve reduction, and the
+deterministic test geometries of the paper's experiments.
+"""
+
+from . import deterministic
+from .correlation import (
+    CorrelationFunction,
+    ExponentialCorrelation,
+    ExtractedCorrelation,
+    GaussianCorrelation,
+    MaternCorrelation,
+)
+from .generation import ProfileGenerator, SurfaceGenerator, SurfaceRealization
+from .kl import KLExpansion, build_kl, kl_from_correlation
+from .statistics import (
+    RoughnessStatistics,
+    autocorrelation_1d,
+    autocorrelation_2d,
+    estimate_correlation_length,
+    estimate_sigma,
+    extract_statistics,
+    radial_psd,
+    rms_slope_2d,
+)
+
+__all__ = [
+    "CorrelationFunction",
+    "ExponentialCorrelation",
+    "ExtractedCorrelation",
+    "GaussianCorrelation",
+    "KLExpansion",
+    "MaternCorrelation",
+    "ProfileGenerator",
+    "RoughnessStatistics",
+    "SurfaceGenerator",
+    "SurfaceRealization",
+    "autocorrelation_1d",
+    "autocorrelation_2d",
+    "build_kl",
+    "deterministic",
+    "estimate_correlation_length",
+    "estimate_sigma",
+    "extract_statistics",
+    "kl_from_correlation",
+    "radial_psd",
+    "rms_slope_2d",
+]

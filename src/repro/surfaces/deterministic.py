@@ -1,0 +1,141 @@
+"""Deterministic test surfaces.
+
+The paper's Fig. 5 replaces the random surface by a single deterministic
+conducting half-spheroid (the HBM comparison case); Morgan's original 1949
+study used periodic 2D ridges. Both are provided here, together with a few
+other canonical shapes used in the tests and examples.
+
+All generators return height maps sampled on the same n x n (or n) grid
+convention as :class:`repro.surfaces.generation.SurfaceRealization`:
+point ``(i, j)`` sits at ``(i * L / n, j * L / n)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def _grid(n: int, period: float) -> tuple[np.ndarray, np.ndarray]:
+    if n < 4:
+        raise ConfigurationError(f"n must be >= 4, got {n}")
+    if period <= 0.0:
+        raise ConfigurationError(f"period must be positive, got {period}")
+    x = np.arange(n) * (period / n)
+    return np.meshgrid(x, x, indexing="ij")
+
+
+def flat(n: int, period: float) -> np.ndarray:
+    """A perfectly smooth surface (the Pr/Ps = 1 reference)."""
+    _grid(n, period)
+    return np.zeros((n, n), dtype=np.float64)
+
+
+def half_spheroid(n: int, period: float, height: float,
+                  base_diameter: float,
+                  center: tuple[float, float] | None = None) -> np.ndarray:
+    """A half-spheroid boss: ``f = h sqrt(1 - (rho/a)^2)`` inside ``rho < a``.
+
+    ``a = base_diameter / 2``. This is the Fig. 5 geometry
+    (h = 5.8 um, d = 9.4 um in the paper, taken from Hall et al.).
+    """
+    if height <= 0.0 or base_diameter <= 0.0:
+        raise ConfigurationError("height and base_diameter must be positive")
+    a = base_diameter / 2.0
+    if 2.0 * a > period:
+        raise ConfigurationError(
+            f"spheroid base (diameter {base_diameter}) exceeds the patch "
+            f"period {period}"
+        )
+    xx, yy = _grid(n, period)
+    cx, cy = center if center is not None else (period / 2.0, period / 2.0)
+    rho2 = (xx - cx) ** 2 + (yy - cy) ** 2
+    inside = np.maximum(0.0, 1.0 - rho2 / (a * a))
+    return height * np.sqrt(inside)
+
+
+def gaussian_bump(n: int, period: float, height: float, width: float,
+                  center: tuple[float, float] | None = None) -> np.ndarray:
+    """Smooth bump ``f = h exp(-rho^2/w^2)`` (C-infinity test geometry)."""
+    if height == 0.0 or width <= 0.0:
+        raise ConfigurationError("height must be nonzero and width positive")
+    xx, yy = _grid(n, period)
+    cx, cy = center if center is not None else (period / 2.0, period / 2.0)
+    rho2 = (xx - cx) ** 2 + (yy - cy) ** 2
+    return height * np.exp(-rho2 / (width * width))
+
+
+def cosine_ridges(n: int, period: float, amplitude: float,
+                  n_ridges: int = 1, along: str = "x") -> np.ndarray:
+    """Morgan's periodic ridges: ``f = A cos(2 pi m u / L)``, uniform in v.
+
+    ``along='x'`` makes the height vary along x (ridges run along y).
+    This is the canonical 2D (translationally invariant) roughness used
+    to cross-check the 2D SWM against the 3D solver.
+    """
+    if amplitude <= 0.0:
+        raise ConfigurationError(f"amplitude must be positive, got {amplitude}")
+    if n_ridges < 1:
+        raise ConfigurationError(f"n_ridges must be >= 1, got {n_ridges}")
+    if along not in ("x", "y"):
+        raise ConfigurationError(f"along must be 'x' or 'y', got {along!r}")
+    xx, yy = _grid(n, period)
+    u = xx if along == "x" else yy
+    return amplitude * np.cos(2.0 * math.pi * n_ridges * u / period)
+
+
+def cosine_profile(n: int, period: float, amplitude: float,
+                   n_ridges: int = 1) -> np.ndarray:
+    """1D cosine profile for the 2D SWM solver."""
+    if amplitude <= 0.0:
+        raise ConfigurationError(f"amplitude must be positive, got {amplitude}")
+    x = np.arange(n) * (period / n)
+    return amplitude * np.cos(2.0 * math.pi * n_ridges * x / period)
+
+
+def egg_carton(n: int, period: float, amplitude: float,
+               n_cells: int = 1) -> np.ndarray:
+    """Doubly-periodic cos*cos surface: the simplest truly-3D roughness."""
+    if amplitude <= 0.0:
+        raise ConfigurationError(f"amplitude must be positive, got {amplitude}")
+    xx, yy = _grid(n, period)
+    w = 2.0 * math.pi * n_cells / period
+    return amplitude * np.cos(w * xx) * np.cos(w * yy)
+
+
+def boss_array(n: int, period: float, height: float, base_diameter: float,
+               per_side: int = 2) -> np.ndarray:
+    """A regular array of half-spheroid bosses (the HBM's mental picture)."""
+    if per_side < 1:
+        raise ConfigurationError(f"per_side must be >= 1, got {per_side}")
+    pitch = period / per_side
+    if base_diameter > pitch:
+        raise ConfigurationError(
+            f"bosses of diameter {base_diameter} overlap at pitch {pitch}"
+        )
+    total = np.zeros((n, n), dtype=np.float64)
+    for i in range(per_side):
+        for j in range(per_side):
+            cx = (i + 0.5) * pitch
+            cy = (j + 0.5) * pitch
+            total = np.maximum(
+                total,
+                half_spheroid(n, period, height, base_diameter, (cx, cy)),
+            )
+    return total
+
+
+def extruded_profile(profile: np.ndarray) -> np.ndarray:
+    """Extrude a 1D profile along y to an (n, n) y-uniform surface.
+
+    3D SWM on the result should approach the 2D SWM on the profile —
+    the consistency check behind Fig. 6.
+    """
+    profile = np.asarray(profile, dtype=np.float64)
+    if profile.ndim != 1:
+        raise ConfigurationError("profile must be 1D")
+    n = profile.size
+    return np.repeat(profile[:, None], n, axis=1)

@@ -1,0 +1,178 @@
+"""Periodic Gaussian random rough surface synthesis (the paper's Fig. 2).
+
+Spectral (FFT) synthesis: a real white-noise field is filtered in the
+Fourier domain by ``sqrt(W(k))`` so the output is a stationary Gaussian
+field with exactly the target power spectrum *and* exact L-periodicity —
+matching the doubly-periodic patch assumption of the SWM formulation
+(Section III-B of the paper).
+
+The DC (k = 0) mode is zeroed so every realization has zero mean plane,
+as in the paper's surface model (eq. (2): mean plane at f = 0). The
+variance delivered on a finite grid is
+
+    sigma_grid^2 = sum_{k != 0, k <= Nyquist} W(k) (2 pi / L)^2
+
+which is slightly below ``sigma^2``; :func:`discrete_variance` reports it
+and ``normalize=True`` rescales realizations to exact ``sigma``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .correlation import CorrelationFunction
+
+
+def _wavenumber_grid(n: int, period: float) -> tuple[np.ndarray, np.ndarray]:
+    k1 = 2.0 * math.pi * np.fft.fftfreq(n, d=period / n)
+    kx, ky = np.meshgrid(k1, k1, indexing="ij")
+    return kx, ky
+
+
+@dataclass(frozen=True)
+class SurfaceRealization:
+    """A sampled rough surface on an n x n periodic grid of period L.
+
+    ``heights[i, j]`` is ``f(x_i, y_j)`` with ``x_i = i * L / n``. The
+    spacing is ``L / n``; the grid is cell-centered from the solver's
+    point of view (the SWM mesh samples the same lattice).
+    """
+
+    heights: np.ndarray
+    period: float
+
+    @property
+    def n(self) -> int:
+        return self.heights.shape[0]
+
+    @property
+    def spacing(self) -> float:
+        return self.period / self.n
+
+    def rms(self) -> float:
+        """RMS height about the mean plane."""
+        h = self.heights - self.heights.mean()
+        return float(np.sqrt(np.mean(h * h)))
+
+
+class SurfaceGenerator:
+    """Seeded generator of periodic Gaussian rough surfaces.
+
+    Parameters
+    ----------
+    correlation:
+        Target correlation function (provides the 2D spectrum).
+    period:
+        Patch period L (the paper uses ``L = 5 * eta``).
+    n:
+        Grid points per side (the paper uses ``L / (eta/8) = 40``).
+    normalize:
+        If True, rescale each realization to exactly the target sigma
+        (compensating spectral truncation on the finite grid).
+    """
+
+    def __init__(self, correlation: CorrelationFunction, period: float,
+                 n: int, normalize: bool = False) -> None:
+        if period <= 0.0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        if n < 4:
+            raise ConfigurationError(f"n must be >= 4, got {n}")
+        self.correlation = correlation
+        self.period = float(period)
+        self.n = int(n)
+        self.normalize = bool(normalize)
+        kx, ky = _wavenumber_grid(self.n, self.period)
+        kmag = np.sqrt(kx * kx + ky * ky)
+        spec = correlation.spectrum_2d(kmag.ravel()).reshape(kmag.shape)
+        spec = np.maximum(spec, 0.0)
+        spec[0, 0] = 0.0  # zero-mean plane
+        dk = 2.0 * math.pi / self.period
+        self._amplitude = np.sqrt(spec) * dk
+        self._grid_variance = float(np.sum(spec) * dk * dk)
+
+    def discrete_variance(self) -> float:
+        """Variance the finite grid can represent (<= sigma^2)."""
+        return self._grid_variance
+
+    def sample(self, rng: np.random.Generator | int | None = None
+               ) -> SurfaceRealization:
+        """Draw one surface realization."""
+        rng = np.random.default_rng(rng)
+        white = rng.standard_normal((self.n, self.n))
+        heights = self.from_white_noise(white)
+        return heights
+
+    def from_white_noise(self, white: np.ndarray) -> SurfaceRealization:
+        """Deterministic synthesis from a given white-noise field.
+
+        This is the map used by the stochastic collocation machinery:
+        the surface is an explicit linear function of i.i.d. standard
+        normals, so collocation nodes in xi-space map directly to
+        deterministic surfaces.
+        """
+        white = np.asarray(white, dtype=np.float64)
+        if white.shape != (self.n, self.n):
+            raise ConfigurationError(
+                f"white noise must have shape {(self.n, self.n)}, "
+                f"got {white.shape}"
+            )
+        spec = np.fft.fft2(white) * self._amplitude
+        heights = np.real(np.fft.ifft2(spec)) * self.n
+        # Explanation of the scaling: fft2(white) has std n per mode for
+        # unit white noise; amplitude sqrt(W dk^2) gives each Fourier mode
+        # the target std; ifft2 divides by n^2, hence the factor n.
+        if self.normalize and self._grid_variance > 0.0:
+            heights = heights * (self.correlation.sigma
+                                 / math.sqrt(self._grid_variance))
+        return SurfaceRealization(heights=heights, period=self.period)
+
+
+class ProfileGenerator:
+    """1D analogue of :class:`SurfaceGenerator` for the 2D SWM (Fig. 6).
+
+    Generates periodic profiles ``f(x)`` with the CF's *1D* spectrum; the
+    2D SWM treats the surface as uniform along y.
+    """
+
+    def __init__(self, correlation: CorrelationFunction, period: float,
+                 n: int, normalize: bool = False) -> None:
+        if period <= 0.0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        if n < 4:
+            raise ConfigurationError(f"n must be >= 4, got {n}")
+        self.correlation = correlation
+        self.period = float(period)
+        self.n = int(n)
+        self.normalize = bool(normalize)
+        k = 2.0 * math.pi * np.fft.fftfreq(self.n, d=self.period / self.n)
+        spec = correlation.spectrum_1d(np.abs(k))
+        spec = np.maximum(spec, 0.0)
+        spec[0] = 0.0
+        dk = 2.0 * math.pi / self.period
+        self._amplitude = np.sqrt(spec * dk)
+        self._grid_variance = float(np.sum(spec) * dk)
+
+    def discrete_variance(self) -> float:
+        """Variance the finite grid can represent (<= sigma^2)."""
+        return self._grid_variance
+
+    def sample(self, rng: np.random.Generator | int | None = None) -> np.ndarray:
+        rng = np.random.default_rng(rng)
+        return self.from_white_noise(rng.standard_normal(self.n))
+
+    def from_white_noise(self, white: np.ndarray) -> np.ndarray:
+        white = np.asarray(white, dtype=np.float64)
+        if white.shape != (self.n,):
+            raise ConfigurationError(
+                f"white noise must have shape ({self.n},), got {white.shape}"
+            )
+        spec = np.fft.fft(white) * self._amplitude
+        heights = np.real(np.fft.ifft(spec)) * math.sqrt(self.n)
+        if self.normalize and self._grid_variance > 0.0:
+            heights = heights * (self.correlation.sigma
+                                 / math.sqrt(self._grid_variance))
+        return heights

@@ -1,0 +1,133 @@
+"""Tests of the complex-erfc machinery behind the Ewald method."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.special import erfc as erfc_real
+
+from repro.greens.special import (
+    erfc_complex,
+    erfc_scaled_pair,
+    erfc_scaled_pair_derivative,
+    ewald_spectral_bracket,
+    ewald_spectral_bracket_minus,
+)
+
+
+class TestErfcComplex:
+    def test_matches_scipy_on_real_axis(self):
+        x = np.linspace(-5, 5, 41)
+        got = erfc_complex(x.astype(complex))
+        np.testing.assert_allclose(got.real, erfc_real(x), rtol=1e-12,
+                                   atol=1e-300)
+        np.testing.assert_allclose(got.imag, 0.0, atol=1e-12)
+
+    def test_known_value(self):
+        # erfc(1 + 1j) from standard tables.
+        got = complex(erfc_complex(np.array(1.0 + 1.0j)))
+        assert got == pytest.approx(-0.31615128169795 - 0.190453469237835j,
+                                    rel=1e-10)
+
+    @given(st.floats(-8, 8), st.floats(-8, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_reflection_identity(self, re, im):
+        z = complex(re, im)
+        a = complex(erfc_complex(np.array(z)))
+        b = complex(erfc_complex(np.array(-z)))
+        # erfc(z) + erfc(-z) = 2 whenever both are finite.
+        if np.isfinite(a) and np.isfinite(b):
+            scale = max(1.0, abs(a), abs(b))
+            assert abs(a + b - 2.0) / scale < 1e-9
+
+    def test_scalar_shape_preserved(self):
+        out = erfc_complex(np.array(0.5 + 0.5j))
+        assert out.shape == ()
+
+
+class TestSpatialBracket:
+    """bracket(r) = e^{jkr} erfc(rE + jk/2E) + e^{-jkr} erfc(rE - jk/2E)."""
+
+    def _direct(self, r, k, e):
+        cp = lambda z: complex(erfc_complex(np.array(z)))
+        return (np.exp(1j * k * r) * cp(r * e + 1j * k / (2 * e))
+                + np.exp(-1j * k * r) * cp(r * e - 1j * k / (2 * e)))
+
+    @pytest.mark.parametrize("k", [0.8 + 0.0j, (1 + 1j) / 0.9, 2.0 + 0.3j])
+    def test_matches_direct_formula(self, k):
+        e = 0.4
+        r = np.linspace(0.05, 4.0, 17)
+        got = erfc_scaled_pair(r, k, e)
+        want = np.array([self._direct(ri, k, e) for ri in r])
+        np.testing.assert_allclose(got, want, rtol=1e-10)
+
+    def test_value_at_zero_is_two(self):
+        # bracket(0) = erfc(c) + erfc(-c) = 2.
+        got = complex(erfc_scaled_pair(np.array(0.0), (1 + 1j) / 1.3, 0.35))
+        assert got == pytest.approx(2.0, abs=1e-10)
+
+    def test_derivative_matches_finite_difference(self):
+        k = (1 + 1j) / 0.7
+        e = 0.5
+        r = np.linspace(0.1, 3.0, 9)
+        h = 1e-6
+        fd = (erfc_scaled_pair(r + h, k, e)
+              - erfc_scaled_pair(r - h, k, e)) / (2 * h)
+        got = erfc_scaled_pair_derivative(r, k, e)
+        np.testing.assert_allclose(got, fd, rtol=1e-6)
+
+    def test_large_lossy_r_no_overflow(self):
+        # Individually enormous terms must combine to a finite value.
+        k = (1 + 1j) / 0.1
+        got = erfc_scaled_pair(np.array([50.0]), k, 0.35)
+        assert np.all(np.isfinite(got))
+
+
+class TestSpectralBracket:
+    def test_limit_large_split_gives_exact_kernel(self):
+        """E -> infinity: bracket -> 2 exp(j q |x|) (O(1/E) approach)."""
+        q = 1.5 + 0.8j
+        x = np.linspace(-2, 2, 11)
+        got = ewald_spectral_bracket(x, q, split=2.0e4)
+        want = 2.0 * np.exp(1j * q * np.abs(x))
+        np.testing.assert_allclose(got, want, rtol=2e-4, atol=1e-6)
+
+    def test_limit_small_split_vanishes(self):
+        """E -> 0: the spectral part vanishes for Im(q^2) decaying modes.
+
+        (q with Re(q^2) < 0, i.e. evanescent-dominated — the only regime
+        small splits are used in; see the Ewald module notes.)
+        """
+        q = 0.5 + 1.2j
+        x = np.linspace(-2, 2, 11)
+        got = ewald_spectral_bracket(x, q, split=0.05)
+        np.testing.assert_allclose(got, 0.0, atol=1e-12)
+
+    def test_even_in_x(self):
+        q = 0.9 + 1.1j
+        x = np.linspace(0.1, 2.0, 7)
+        a = ewald_spectral_bracket(x, q, 0.5)
+        b = ewald_spectral_bracket(-x, q, 0.5)
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+    def test_minus_is_derivative_over_jq(self):
+        """d/dx bracket = j q * bracket_minus (closed-form gradient)."""
+        q = 1.2 + 0.6j
+        x = np.linspace(-1.5, 1.5, 13)
+        h = 1e-6
+        fd = (ewald_spectral_bracket(x + h, q, 0.45)
+              - ewald_spectral_bracket(x - h, q, 0.45)) / (2 * h)
+        got = 1j * q * ewald_spectral_bracket_minus(x, q, 0.45)
+        np.testing.assert_allclose(got, fd, rtol=1e-5, atol=1e-8)
+
+    def test_evanescent_mode_decays(self):
+        """Strongly evanescent gamma: the exact kernel limit decays in |x|.
+
+        At a large split the bracket approaches ``2 e^{j q |x|}``, which
+        for q = 8j is ``2 e^{-8 |x|}``.
+        """
+        q = 8.0j
+        vals = np.abs(ewald_spectral_bracket(np.array([0.0, 1.0, 2.0]),
+                                             q, 50.0))
+        assert vals[1] < vals[0] * 1e-2
+        assert vals[2] < vals[1]

@@ -1,0 +1,94 @@
+"""Cross-module integration tests — the paper's own validation logic.
+
+These couple independent implementations against each other:
+
+- 3D SWM on an extruded (y-uniform) surface vs the 2D SWM solver;
+- SWM ensemble mean vs scalar SPM2 in the small-roughness regime;
+- the public-API quickstart path end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GaussianCorrelation,
+    StochasticLossConfig,
+    StochasticLossModel,
+    SWMSolver2D,
+    SWMSolver3D,
+    SurfaceGenerator,
+    spm2_enhancement,
+)
+from repro.constants import GHZ, UM
+from repro.surfaces.deterministic import cosine_profile, extruded_profile
+
+
+class TestDimensionalConsistency:
+    """A y-uniform ridge must give (nearly) the same loss in the 3D and
+    the 2D formulations — two independent kernels, assemblies, solvers."""
+
+    @pytest.mark.slow
+    def test_extruded_ridge_3d_matches_2d(self):
+        period, amp, m = 5.0, 0.4, 1
+        f = 5 * GHZ
+        n3 = 20
+        prof3 = cosine_profile(n3, period, amp, m)
+        h3 = extruded_profile(prof3)
+        e3 = SWMSolver3D().solve_um(h3, period, f).enhancement
+        prof2 = cosine_profile(256, period, amp, m)
+        e2 = SWMSolver2D().solve_um(prof2, period, f).enhancement
+        assert e3 - 1 == pytest.approx(e2 - 1, rel=0.15)
+
+
+class TestSWMvsSPM2:
+    @pytest.mark.slow
+    def test_small_roughness_convergence_toward_spm2(self):
+        """The paper's Fig. 3/4 logic: SWM ensemble mean -> SPM2 when the
+        roughness is genuinely small.
+
+        The 3D collocation converges slowly in the grid step (DESIGN.md
+        section 7), so at affordable grids the excess loss is biased low
+        by a known factor; the meaningful invariant is *refinement moves
+        the SWM excess toward the SPM2 value from below*.
+        """
+        sigma_um, eta_um, f = 0.25, 1.0, 5 * GHZ
+        cf_um = GaussianCorrelation(sigma_um, eta_um)
+        cf_si = GaussianCorrelation(sigma_um * UM, eta_um * UM)
+        spm_excess = float(spm2_enhancement(np.array([f]), cf_si)[0]) - 1
+
+        def swm_excess(n: int) -> float:
+            # Same white noise across resolutions: generate fine, slice.
+            gen = SurfaceGenerator(cf_um, period=5.0, n=24, normalize=True)
+            solver = SWMSolver3D()
+            rng = np.random.default_rng(0)
+            vals = []
+            for _ in range(8):
+                h = gen.sample(rng).heights[::24 // n, ::24 // n]
+                vals.append(solver.solve_um(h, 5.0, f).enhancement)
+            return float(np.mean(vals)) - 1.0
+
+        coarse = swm_excess(12)
+        fine = swm_excess(24)
+        # At eta/2.4 spacing the bias can swamp the small signal entirely
+        # (even slightly negative); refinement must move firmly toward
+        # the SPM2 value without overshooting it.
+        assert coarse < fine < spm_excess * 1.3
+        # The fine grid captures a substantial fraction of the SPM2 excess.
+        assert fine > 0.35 * spm_excess
+
+
+class TestPublicAPI:
+    def test_quickstart_path(self):
+        model = StochasticLossModel(
+            GaussianCorrelation(1 * UM, 1 * UM),
+            StochasticLossConfig(points_per_side=8, max_modes=5))
+        res = model.sscm(5 * GHZ, order=1)
+        assert 1.0 < res.mean < 2.5
+
+    def test_docstring_examples_importable(self):
+        import repro
+        names = set(repro.__all__)
+        for required in ("SWMSolver3D", "GaussianCorrelation",
+                         "StochasticLossModel", "spm2_enhancement"):
+            assert required in names
+            assert hasattr(repro, required)

@@ -1,0 +1,161 @@
+"""Tests of the transmission-line application layer."""
+
+import numpy as np
+import pytest
+
+from repro.constants import GHZ, UM
+from repro.errors import ConfigurationError
+from repro.interconnects import (
+    EnhancementTable,
+    Microstrip,
+    RLGC,
+    abcd_line,
+    abcd_to_s,
+    cascade,
+    constant,
+    extra_loss_db,
+    insertion_loss_db,
+    return_loss_db,
+    smooth_factor,
+)
+
+FREQS = np.linspace(0.5, 20, 16) * GHZ
+
+
+@pytest.fixture(scope="module")
+def line50():
+    """A nominally 50-ohm microstrip."""
+    return Microstrip(width_m=200e-6, height_m=100e-6, eps_r=4.1,
+                      loss_tangent=0.015)
+
+
+class TestMicrostrip:
+    def test_z0_near_50(self, line50):
+        assert line50.characteristic_impedance() == pytest.approx(50.0,
+                                                                  rel=0.05)
+
+    def test_eps_eff_between_one_and_eps_r(self, line50):
+        e = line50.effective_permittivity()
+        assert 1.0 < e < line50.eps_r
+
+    def test_wider_trace_lower_impedance(self):
+        narrow = Microstrip(width_m=100e-6, height_m=100e-6)
+        wide = Microstrip(width_m=400e-6, height_m=100e-6)
+        assert (wide.characteristic_impedance()
+                < narrow.characteristic_impedance())
+
+    def test_lc_consistent_with_z0(self, line50):
+        z0 = np.sqrt(line50.inductance_per_m() / line50.capacitance_per_m())
+        assert z0 == pytest.approx(line50.characteristic_impedance(),
+                                   rel=1e-9)
+
+    def test_resistance_has_dc_floor_and_sqrt_f_growth(self, line50):
+        r = line50.resistance_per_m(FREQS)
+        assert np.all(np.diff(r) > 0)
+        r_dc = line50.conductor.resistivity / (200e-6 * 35e-6)
+        assert r[0] > r_dc
+        # At high f, R ~ sqrt(f).
+        ratio = r[-1] / line50.resistance_per_m(FREQS / 4)[-1]
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Microstrip(width_m=-1e-6, height_m=1e-4)
+        with pytest.raises(ConfigurationError):
+            Microstrip(width_m=1e-4, height_m=1e-4, eps_r=0.5)
+
+
+class TestRLGCNetwork:
+    def _rlgc(self, line, factor=None):
+        return line.rlgc(roughness_factor=factor)
+
+    def test_gamma_positive_attenuation(self, line50):
+        g = self._rlgc(line50).gamma(FREQS)
+        assert np.all(g.real > 0)
+        assert np.all(g.imag > 0)
+
+    def test_reciprocity(self, line50):
+        s = abcd_to_s(abcd_line(self._rlgc(line50), 0.05, FREQS))
+        np.testing.assert_allclose(s[:, 0, 1], s[:, 1, 0], rtol=1e-10)
+
+    def test_passivity(self, line50):
+        s = abcd_to_s(abcd_line(self._rlgc(line50), 0.05, FREQS))
+        for i in range(FREQS.size):
+            sv = np.linalg.svd(s[i], compute_uv=False)
+            assert sv.max() <= 1.0 + 1e-9
+
+    def test_longer_line_lossier(self, line50):
+        rlgc = self._rlgc(line50)
+        il_short = insertion_loss_db(abcd_to_s(abcd_line(rlgc, 0.02, FREQS)))
+        il_long = insertion_loss_db(abcd_to_s(abcd_line(rlgc, 0.10, FREQS)))
+        assert np.all(il_long > il_short)
+
+    def test_cascade_equals_single_segment(self, line50):
+        rlgc = self._rlgc(line50)
+        whole = abcd_line(rlgc, 0.1, FREQS)
+        halves = cascade(abcd_line(rlgc, 0.05, FREQS),
+                         abcd_line(rlgc, 0.05, FREQS))
+        np.testing.assert_allclose(halves, whole, rtol=1e-9)
+
+    def test_roughness_increases_loss(self, line50):
+        table = EnhancementTable(np.array([1, 10, 20]) * GHZ,
+                                 np.array([1.2, 1.6, 1.8]))
+        smooth = insertion_loss_db(abcd_to_s(
+            abcd_line(self._rlgc(line50), 0.1, FREQS)))
+        rough = insertion_loss_db(abcd_to_s(
+            abcd_line(self._rlgc(line50, table), 0.1, FREQS)))
+        assert np.all(extra_loss_db(rough, smooth) > 0)
+
+    def test_smooth_factor_is_identity(self, line50):
+        a = insertion_loss_db(abcd_to_s(
+            abcd_line(self._rlgc(line50), 0.1, FREQS)))
+        b = insertion_loss_db(abcd_to_s(
+            abcd_line(self._rlgc(line50, smooth_factor()), 0.1, FREQS)))
+        np.testing.assert_allclose(a, b, rtol=1e-12)
+
+    def test_attenuation_db_conversion(self, line50):
+        rlgc = self._rlgc(line50)
+        np.testing.assert_allclose(
+            rlgc.attenuation_db_per_m(FREQS),
+            rlgc.attenuation_np_per_m(FREQS) * 20 / np.log(10), rtol=1e-12)
+
+    def test_return_loss_positive(self, line50):
+        s = abcd_to_s(abcd_line(self._rlgc(line50), 0.05, FREQS))
+        assert np.all(return_loss_db(s) > 0)
+
+    def test_matched_line_low_reflection(self):
+        """A line whose Z0 equals the reference shows tiny |S11|."""
+        rlgc = RLGC(resistance=constant(0.0), inductance=constant(2.5e-7),
+                    conductance=constant(0.0), capacitance=constant(1e-10))
+        z0 = np.sqrt(2.5e-7 / 1e-10)
+        s = abcd_to_s(abcd_line(rlgc, 0.1, FREQS), z_ref=z0)
+        assert np.max(np.abs(s[:, 0, 0])) < 1e-10
+
+    def test_validation(self):
+        rlgc = RLGC(constant(1.0), constant(1e-7), constant(0.0),
+                    constant(1e-10))
+        with pytest.raises(ConfigurationError):
+            abcd_line(rlgc, -0.1, FREQS)
+        with pytest.raises(ConfigurationError):
+            abcd_to_s(abcd_line(rlgc, 0.1, FREQS), z_ref=-50.0)
+        with pytest.raises(ConfigurationError):
+            cascade()
+
+
+class TestEnhancementTable:
+    def test_interpolation_and_extension(self):
+        t = EnhancementTable(np.array([1, 2, 4]) * GHZ,
+                             np.array([1.1, 1.3, 1.5]))
+        f = np.array([0.5, 1.5, 8.0]) * GHZ
+        k = t(f)
+        assert k[0] == pytest.approx(1.1)   # held below
+        assert k[1] == pytest.approx(1.2)   # linear midpoint
+        assert k[2] == pytest.approx(1.5)   # held above
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnhancementTable(np.array([2, 1]) * GHZ, np.array([1.0, 1.1]))
+        with pytest.raises(ConfigurationError):
+            EnhancementTable(np.array([1, 2]) * GHZ, np.array([1.0, -1.1]))
+        with pytest.raises(ConfigurationError):
+            EnhancementTable(np.array([1]) * GHZ, np.array([1.0]))

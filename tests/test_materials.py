@@ -1,0 +1,123 @@
+"""Tests of the material models and derived EM quantities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import COPPER_RESISTIVITY, EPS_0, GHZ, MU_0, SIO2_EPS_R
+from repro.errors import ConfigurationError
+from repro.materials import (
+    PAPER_SYSTEM,
+    Conductor,
+    Dielectric,
+    TwoMediumSystem,
+    skin_depth,
+)
+
+
+class TestSkinDepth:
+    def test_copper_at_1ghz(self):
+        # delta = sqrt(rho/(pi f mu)) ~ 2.06 um for rho = 1.67 uOhm cm.
+        delta = skin_depth(1 * GHZ, COPPER_RESISTIVITY)
+        assert delta == pytest.approx(2.057e-6, rel=1e-3)
+
+    def test_scales_as_inverse_sqrt_f(self):
+        d1 = skin_depth(1 * GHZ, COPPER_RESISTIVITY)
+        d4 = skin_depth(4 * GHZ, COPPER_RESISTIVITY)
+        assert d1 / d4 == pytest.approx(2.0, rel=1e-12)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ConfigurationError):
+            skin_depth(0.0, COPPER_RESISTIVITY)
+        with pytest.raises(ConfigurationError):
+            skin_depth(-1.0, COPPER_RESISTIVITY)
+
+    def test_rejects_nonpositive_resistivity(self):
+        with pytest.raises(ConfigurationError):
+            skin_depth(1 * GHZ, 0.0)
+
+
+class TestConductor:
+    def test_wavenumber_is_one_plus_j_over_delta(self):
+        cu = Conductor()
+        f = 5 * GHZ
+        k2 = cu.wavenumber(f)
+        delta = cu.skin_depth(f)
+        assert k2 == pytest.approx((1 + 1j) / delta, rel=1e-12)
+
+    def test_surface_resistance(self):
+        cu = Conductor()
+        f = 5 * GHZ
+        assert cu.surface_resistance(f) == pytest.approx(
+            cu.resistivity / cu.skin_depth(f), rel=1e-12)
+
+    def test_rejects_bad_resistivity(self):
+        with pytest.raises(ConfigurationError):
+            Conductor(resistivity=-1.0)
+
+
+class TestDielectric:
+    def test_wavenumber(self):
+        d = Dielectric(eps_r=SIO2_EPS_R)
+        f = 5 * GHZ
+        expected = 2 * math.pi * f * math.sqrt(MU_0 * SIO2_EPS_R * EPS_0)
+        assert d.wavenumber(f) == pytest.approx(expected, rel=1e-12)
+
+    def test_rejects_sub_vacuum_permittivity(self):
+        with pytest.raises(ConfigurationError):
+            Dielectric(eps_r=0.5)
+
+
+class TestTwoMediumSystem:
+    def test_beta_formula(self):
+        f = 5 * GHZ
+        sys = PAPER_SYSTEM
+        omega = 2 * math.pi * f
+        expected = -1j * omega * SIO2_EPS_R * EPS_0 * COPPER_RESISTIVITY
+        assert sys.beta(f) == pytest.approx(expected, rel=1e-12)
+
+    def test_beta_k2_squared_equals_k1_squared(self):
+        """The identity beta * k2^2 = k1^2 that simplifies SPM2."""
+        sys = PAPER_SYSTEM
+        for f in (0.5 * GHZ, 5 * GHZ, 20 * GHZ):
+            lhs = sys.beta(f) * sys.k2(f) ** 2
+            rhs = sys.k1(f) ** 2
+            assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_flat_transmission_near_two(self):
+        """Magnetic-field doubling at a good conductor: T0 ~ 2."""
+        t0 = PAPER_SYSTEM.flat_transmission(5 * GHZ)
+        assert abs(t0 - 2.0) < 1e-3
+
+    def test_flat_reflection_energy(self):
+        """|R0| slightly below 1; 1 - |R0|^2 equals the absorbed fraction."""
+        f = 5 * GHZ
+        sys = PAPER_SYSTEM
+        r0 = sys.flat_reflection(f)
+        assert 0.0 < 1.0 - abs(r0) ** 2 < 1e-2
+
+    def test_flat_bc_consistency(self):
+        """1 + R0 = T0 and k1 (1 - R0) = beta k2 T0."""
+        f = 3 * GHZ
+        sys = PAPER_SYSTEM
+        r0, t0 = sys.flat_reflection(f), sys.flat_transmission(f)
+        assert 1 + r0 == pytest.approx(t0, rel=1e-12)
+        assert sys.k1(f) * (1 - r0) == pytest.approx(
+            sys.beta(f) * sys.k2(f) * t0, rel=1e-10)
+
+    def test_smooth_power_density(self):
+        f = 5 * GHZ
+        sys = PAPER_SYSTEM
+        expected = abs(sys.flat_transmission(f)) ** 2 / (2 * sys.delta(f))
+        assert sys.smooth_power_per_area(f) == pytest.approx(expected)
+
+    def test_flat_energy_conservation_scalar_flux(self):
+        """Scalar flux balance: k1(1-|R0|^2)/2 = omega eps1 rho |T0|^2/(2 delta)."""
+        f = 5 * GHZ
+        sys = PAPER_SYSTEM
+        lhs = 0.5 * sys.k1(f).real * (1 - abs(sys.flat_reflection(f)) ** 2)
+        omega = 2 * math.pi * f
+        scale = omega * sys.dielectric.permittivity * sys.conductor.resistivity
+        rhs = scale * abs(sys.flat_transmission(f)) ** 2 / (2 * sys.delta(f))
+        assert lhs == pytest.approx(rhs, rel=1e-9)

@@ -1,0 +1,98 @@
+"""Tests of the empirical roughness formulas (the paper's eq. (1) etc.)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import GHZ, UM
+from repro.errors import ConfigurationError
+from repro.materials import Conductor
+from repro.models.empirical import (
+    groiss_enhancement,
+    hammerstad_enhancement,
+    hemispherical_area_limit,
+    morgan_enhancement,
+)
+
+
+class TestHammerstad:
+    def test_low_frequency_limit_is_one(self):
+        k = hammerstad_enhancement(np.array([1e3]), 1 * UM)
+        assert float(k[0]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_saturates_at_two(self):
+        k = hammerstad_enhancement(np.array([1e14]), 1 * UM)
+        assert float(k[0]) == pytest.approx(2.0, abs=1e-3)
+
+    def test_monotone_in_frequency(self):
+        f = np.linspace(0.1, 50, 200) * GHZ
+        k = hammerstad_enhancement(f, 1 * UM)
+        assert np.all(np.diff(k) > 0)
+
+    def test_paper_formula_value(self):
+        """Direct check of eq. (1): K = 1 + (2/pi) atan(1.4 (sigma/delta)^2)."""
+        f, sigma = 5 * GHZ, 1 * UM
+        delta = Conductor().skin_depth(f)
+        expected = 1 + (2 / np.pi) * np.arctan(1.4 * (sigma / delta) ** 2)
+        got = float(hammerstad_enhancement(np.array([f]), sigma)[0])
+        assert got == pytest.approx(expected, rel=1e-12)
+
+    def test_depends_only_on_sigma_over_delta(self):
+        """The paper's criticism: eq. (1) cannot see the correlation
+        length — identical output for any surface with equal sigma."""
+        f = np.array([3.0]) * GHZ
+        assert hammerstad_enhancement(f, 1 * UM) == pytest.approx(
+            hammerstad_enhancement(f, 1 * UM))
+
+    def test_morgan_alias(self):
+        assert morgan_enhancement is hammerstad_enhancement
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            hammerstad_enhancement(np.array([1 * GHZ]), -1 * UM)
+        with pytest.raises(ConfigurationError):
+            hammerstad_enhancement(np.array([-1.0]), 1 * UM)
+
+    @given(st.floats(0.05, 5.0), st.floats(0.1, 40.0))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_between_one_and_two(self, sigma_um, f_ghz):
+        k = float(hammerstad_enhancement(np.array([f_ghz * GHZ]),
+                                         sigma_um * UM)[0])
+        assert 1.0 <= k <= 2.0
+
+
+class TestGroiss:
+    def test_limits(self):
+        assert float(groiss_enhancement(np.array([1e3]), 1 * UM)[0]) == \
+            pytest.approx(1.0, abs=1e-3)
+        assert float(groiss_enhancement(np.array([1e14]), 1 * UM)[0]) == \
+            pytest.approx(2.0, abs=1e-2)
+
+    def test_monotone(self):
+        f = np.linspace(0.1, 50, 100) * GHZ
+        k = groiss_enhancement(f, 0.5 * UM)
+        assert np.all(np.diff(k) > 0)
+
+
+class TestAreaLimit:
+    def test_zero_slope_is_one(self):
+        assert hemispherical_area_limit(0.0) == 1.0
+
+    def test_matches_monte_carlo(self):
+        """E[sqrt(1 + |grad f|^2)] for Gaussian slopes, checked by MC."""
+        s = 2.0  # total RMS slope
+        rng = np.random.default_rng(0)
+        gx = rng.normal(0, s / np.sqrt(2), 200000)
+        gy = rng.normal(0, s / np.sqrt(2), 200000)
+        mc = np.mean(np.sqrt(1 + gx ** 2 + gy ** 2))
+        got = hemispherical_area_limit(s)
+        assert got == pytest.approx(mc, rel=5e-3)
+
+    def test_monotone_in_slope(self):
+        vals = [hemispherical_area_limit(s) for s in (0.5, 1.0, 2.0, 4.0)]
+        assert all(b > a for a, b in zip(vals, vals[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            hemispherical_area_limit(-0.1)

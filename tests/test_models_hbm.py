@@ -1,0 +1,154 @@
+"""Tests of the hemispherical boss model (Landau sphere + Hall bookkeeping)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import GHZ, UM
+from repro.errors import ConfigurationError
+from repro.materials import Conductor
+from repro.models.hbm import (
+    HemisphericalBossModel,
+    _transverse_demagnetizing_factor,
+    sphere_absorbed_power,
+    sphere_magnetic_polarizability,
+    sphere_shape_function,
+    spheroid_magnetic_polarizability,
+)
+
+
+class TestShapeFunction:
+    def test_pec_limit(self):
+        """F -> 1 for |x| -> infinity (skin depth << radius)."""
+        x = (1 + 1j) * 300.0
+        assert sphere_shape_function(x) == pytest.approx(1.0, abs=1e-2)
+
+    def test_transparent_limit(self):
+        """F -> -x^2/15 for small x (Laurent series of cot)."""
+        x = (1 + 1j) * 1e-3
+        assert sphere_shape_function(x) == pytest.approx(-x * x / 15.0,
+                                                         rel=1e-5)
+
+    def test_series_agrees_with_direct_formula_at_switch(self):
+        """Just above the |x| = 0.3 switch (where the direct formula is
+        still accurate), the truncated series must agree closely."""
+        x = (1 + 1j) * 0.25  # |x| ~ 0.354: direct branch
+        direct = sphere_shape_function(x)
+        x2 = x * x
+        series = -x2 / 15 - 2 * x2 * x2 / 315 - x2 ** 3 / 1575
+        assert direct == pytest.approx(series, rel=1e-4)
+
+    def test_no_overflow_at_large_argument(self):
+        val = sphere_shape_function((1 + 1j) * 1e4)
+        assert np.isfinite(val.real) and np.isfinite(val.imag)
+
+
+class TestSpherePolarizability:
+    def test_pec_value(self):
+        """alpha -> -2 pi a^3 at vanishing skin depth."""
+        a = 10 * UM
+        alpha = sphere_magnetic_polarizability(a, 1e14)
+        assert alpha.real == pytest.approx(-2 * math.pi * a ** 3, rel=1e-2)
+
+    def test_absorption_positive(self):
+        for f in (0.5 * GHZ, 5 * GHZ, 50 * GHZ):
+            assert sphere_absorbed_power(5 * UM, f) > 0.0
+
+    def test_surface_impedance_asymptote(self):
+        """P -> 3 pi Rs a^2 |H0|^2 when delta << a."""
+        a, f = 5 * UM, 200 * GHZ
+        cu = Conductor()
+        assert cu.skin_depth(f) < a / 20
+        p = sphere_absorbed_power(a, f)
+        asym = 3 * math.pi * cu.surface_resistance(f) * a * a
+        assert p == pytest.approx(asym, rel=0.05)
+
+    def test_absorption_vanishes_at_low_frequency(self):
+        p_low = sphere_absorbed_power(5 * UM, 1e5)
+        p_high = sphere_absorbed_power(5 * UM, 5 * GHZ)
+        assert p_low < 1e-4 * p_high
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sphere_magnetic_polarizability(-1 * UM, 1 * GHZ)
+
+
+class TestDemagnetizingFactor:
+    def test_sphere_is_one_third(self):
+        assert _transverse_demagnetizing_factor(1.0) == pytest.approx(1 / 3)
+
+    def test_continuity_at_sphere(self):
+        lo = _transverse_demagnetizing_factor(0.999)
+        hi = _transverse_demagnetizing_factor(1.001)
+        assert lo == pytest.approx(hi, abs=1e-3)
+
+    def test_prolate_limit(self):
+        """Needle (c >> a): n_z -> 0, so n_t -> 1/2."""
+        assert _transverse_demagnetizing_factor(100.0) == pytest.approx(
+            0.5, abs=1e-2)
+
+    def test_oblate_limit(self):
+        """Pancake (c << a): n_z -> 1, so n_t -> 0."""
+        assert _transverse_demagnetizing_factor(0.01) == pytest.approx(
+            0.0, abs=2e-2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _transverse_demagnetizing_factor(0.0)
+
+
+class TestSpheroid:
+    def test_reduces_to_sphere(self):
+        a, f = 4 * UM, 10 * GHZ
+        sphere = sphere_magnetic_polarizability(a, f)
+        spheroid = spheroid_magnetic_polarizability(a, a, f)
+        assert spheroid == pytest.approx(sphere, rel=1e-6)
+
+    def test_taller_boss_larger_response(self):
+        a, f = 4 * UM, 50 * GHZ
+        low = abs(spheroid_magnetic_polarizability(a, 0.5 * a, f))
+        tall = abs(spheroid_magnetic_polarizability(a, 2.0 * a, f))
+        assert tall > low
+
+
+class TestBossModel:
+    def _model(self, tile_um=16.0):
+        return HemisphericalBossModel(
+            height_m=5.8 * UM, base_diameter_m=9.4 * UM,
+            tile_area_m2=(tile_um * UM) ** 2)
+
+    def test_enhancement_rises_and_exceeds_one(self):
+        model = self._model()
+        f = np.linspace(1, 20, 6) * GHZ
+        k = model.enhancement(f)
+        assert np.all(k > 1.0)
+        assert np.all(np.diff(k) > 0)
+
+    def test_paper_range(self):
+        """Fig. 5 band: roughly 1.8-2.8 over 1-20 GHz (tile-dependent)."""
+        model = self._model(tile_um=14.0)
+        k = model.enhancement(np.array([1.0, 20.0]) * GHZ)
+        assert 1.2 < k[0] < 2.4
+        assert 1.8 < k[1] < 3.2
+
+    def test_low_frequency_approaches_one(self):
+        model = self._model()
+        k = float(model.enhancement(np.array([1e6]))[0])
+        # At huge skin depth the boss is transparent; only the covered
+        # disc deficit remains, bounded by pi a^2 / A.
+        assert abs(k - 1.0) < math.pi * 4.7 ** 2 / 16.0 ** 2 + 1e-3
+
+    def test_high_frequency_limit_formula(self):
+        model = self._model()
+        assert model.high_frequency_limit() == pytest.approx(
+            1 + 2 * math.pi * 4.7 ** 2 / 16.0 ** 2, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HemisphericalBossModel(height_m=-1.0, base_diameter_m=9.4 * UM,
+                                   tile_area_m2=1e-9)
+        with pytest.raises(ConfigurationError):
+            # Boss covering the whole tile.
+            HemisphericalBossModel(height_m=5 * UM, base_diameter_m=10 * UM,
+                                   tile_area_m2=(5 * UM) ** 2)

@@ -1,0 +1,64 @@
+"""Tests of the Huray snowball model (extension)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import GHZ, UM
+from repro.errors import ConfigurationError
+from repro.models.huray import HurayModel, SnowballDeposit
+
+
+class TestHuray:
+    def _model(self):
+        return HurayModel(
+            tile_area_m2=(10 * UM) ** 2,
+            deposits=(SnowballDeposit(radius_m=0.5 * UM, count=12.0),))
+
+    def test_monotone_rising(self):
+        f = np.linspace(0.5, 50, 60) * GHZ
+        k = self._model().enhancement(f)
+        assert np.all(np.diff(k) > 0)
+        assert np.all(k >= 1.0)
+
+    def test_saturation_value(self):
+        model = self._model()
+        k_inf = float(model.enhancement(np.array([1e18]))[0])
+        assert k_inf == pytest.approx(model.saturation(), rel=1e-3)
+
+    def test_saturation_formula(self):
+        model = self._model()
+        expected = 1 + 1.5 * 12 * 4 * math.pi * (0.5 * UM) ** 2 / (10 * UM) ** 2
+        assert model.saturation() == pytest.approx(expected, rel=1e-12)
+
+    def test_low_frequency_is_one(self):
+        k = float(self._model().enhancement(np.array([1e4]))[0])
+        assert k == pytest.approx(1.0, abs=1e-3)
+
+    def test_cannonball_construction(self):
+        model = HurayModel.cannonball(rz_m=6 * UM)
+        dep = model.deposits[0]
+        assert dep.radius_m == pytest.approx(1 * UM)
+        assert dep.count == 14.0
+        assert model.tile_area_m2 == pytest.approx(3 * (6 * UM) ** 2)
+
+    def test_multiple_deposits_additive(self):
+        one = HurayModel(tile_area_m2=1e-10,
+                         deposits=(SnowballDeposit(0.5 * UM, 5.0),))
+        two = HurayModel(tile_area_m2=1e-10,
+                         deposits=(SnowballDeposit(0.5 * UM, 5.0),
+                                   SnowballDeposit(0.5 * UM, 5.0)))
+        f = np.array([10 * GHZ])
+        assert float((two.enhancement(f) - 1)[0]) == pytest.approx(
+            2 * float((one.enhancement(f) - 1)[0]), rel=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SnowballDeposit(radius_m=0.0, count=5.0)
+        with pytest.raises(ConfigurationError):
+            HurayModel(tile_area_m2=1e-10, deposits=())
+        with pytest.raises(ConfigurationError):
+            HurayModel.cannonball(rz_m=-1.0)
+        with pytest.raises(ConfigurationError):
+            self._model().enhancement(np.array([-1.0]))

@@ -1,0 +1,102 @@
+"""Tests of the scalar SPM2 model."""
+
+import numpy as np
+import pytest
+
+from repro.constants import GHZ, UM
+from repro.errors import ConfigurationError
+from repro.models.spm2 import (
+    _branch_sqrt,
+    _first_order_amplitudes,
+    spm2_enhancement,
+    spm2_enhancement_profile,
+)
+from repro.materials import PAPER_SYSTEM
+from repro.surfaces import ExtractedCorrelation, GaussianCorrelation
+
+
+class TestBranchSqrt:
+    def test_imaginary_part_nonnegative(self):
+        z = np.array([1.0, -1.0, 2j, -3 - 4j, 5 + 0.1j])
+        g = _branch_sqrt(z)
+        assert np.all(g.imag >= -1e-15)
+
+    def test_squares_back(self):
+        z = np.array([2 + 3j, -1 + 0.5j, -4.0 + 0j])
+        np.testing.assert_allclose(_branch_sqrt(z) ** 2, z, rtol=1e-12)
+
+
+class TestFirstOrder:
+    def test_shift_mode_consistency(self):
+        """At k = 0 the first-order amplitudes describe a rigid shift:
+        t1(0) = -j k2 T0 + O(beta) relations hold via r1(0) ~ 0."""
+        f = 5 * GHZ
+        k1 = complex(PAPER_SYSTEM.k1(f))
+        k2 = PAPER_SYSTEM.k2(f)
+        beta = PAPER_SYSTEM.beta(f)
+        r1, t1 = _first_order_amplitudes(np.array([1e-3]), k1, k2, beta)
+        # The reflected first-order amplitude is tiny compared to the
+        # transmitted one in the quasi-static regime.
+        assert abs(r1[0]) < 1e-2 * abs(t1[0])
+
+
+class TestEnhancement:
+    def test_low_frequency_limit_is_one(self):
+        cf = GaussianCorrelation(1 * UM, 1 * UM)
+        k = spm2_enhancement(np.array([1e6]), cf)
+        assert float(k[0]) == pytest.approx(1.0, abs=1e-3)
+
+    def test_rises_with_frequency(self):
+        cf = GaussianCorrelation(1 * UM, 2 * UM)
+        f = np.array([1.0, 3.0, 5.0, 9.0]) * GHZ
+        k = spm2_enhancement(f, cf)
+        assert np.all(np.diff(k) > 0)
+
+    def test_rougher_surface_is_lossier(self):
+        """Fixed sigma, shrinking eta => larger enhancement (Fig. 3)."""
+        f = np.array([5.0]) * GHZ
+        vals = [float(spm2_enhancement(f, GaussianCorrelation(1 * UM,
+                                                              e * UM))[0])
+                for e in (1.0, 2.0, 3.0)]
+        assert vals[0] > vals[1] > vals[2] > 1.0
+
+    def test_small_sigma_quadratic_scaling(self):
+        """Excess loss is O(sigma^2) by construction."""
+        f = np.array([5.0]) * GHZ
+        e1 = float(spm2_enhancement(f, GaussianCorrelation(0.05 * UM,
+                                                           1 * UM))[0]) - 1
+        e2 = float(spm2_enhancement(f, GaussianCorrelation(0.10 * UM,
+                                                           1 * UM))[0]) - 1
+        assert e2 / e1 == pytest.approx(4.0, rel=1e-3)
+
+    def test_extracted_cf_fig4_range(self):
+        """With the Fig. 4 CF the factor stays in the paper's 1-1.8 band."""
+        cf = ExtractedCorrelation(1 * UM, 1.4 * UM, 0.53 * UM)
+        f = np.linspace(0.1, 10, 8) * GHZ
+        k = spm2_enhancement(f, cf)
+        assert np.all(k >= 1.0 - 1e-6)
+        assert np.all(k < 2.2)
+
+    def test_validation(self):
+        cf = GaussianCorrelation(1 * UM, 1 * UM)
+        with pytest.raises(ConfigurationError):
+            spm2_enhancement(np.array([-1.0]), cf)
+        with pytest.raises(ConfigurationError):
+            spm2_enhancement(np.array([1 * GHZ]), cf, n_quad=10)
+
+
+class TestProfileVariant:
+    def test_3d_exceeds_2d(self):
+        """The Fig. 6 claim at the perturbation level: 3D roughness gives
+        more loss than a y-uniform profile of the same sigma/eta."""
+        cf = GaussianCorrelation(0.3 * UM, 1 * UM)
+        f = np.array([2.0, 5.0, 9.0]) * GHZ
+        k3 = spm2_enhancement(f, cf)
+        k2 = spm2_enhancement_profile(f, cf)
+        assert np.all(k3 > k2)
+
+    def test_profile_rises_with_frequency(self):
+        cf = GaussianCorrelation(0.5 * UM, 1 * UM)
+        f = np.array([1.0, 5.0, 9.0]) * GHZ
+        k = spm2_enhancement_profile(f, cf)
+        assert np.all(np.diff(k) > 0)

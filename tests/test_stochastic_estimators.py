@@ -1,0 +1,111 @@
+"""Tests of the Monte-Carlo and SSCM estimators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StochasticError
+from repro.stochastic.montecarlo import MonteCarloEstimator
+from repro.stochastic.sscm import SSCMEstimator
+
+
+def quadratic_model(xi: np.ndarray) -> float:
+    """A model that is exactly order-2 chaos: SSCM(2) must be exact."""
+    return (2.0 + 0.5 * xi[0] - 0.3 * xi[1] + 0.2 * (xi[0] ** 2 - 1)
+            + 0.1 * xi[0] * xi[1])
+
+
+QUAD_MEAN = 2.0
+QUAD_VAR = 0.5 ** 2 + 0.3 ** 2 + 0.2 ** 2 * 2 + 0.1 ** 2
+
+
+class TestMonteCarlo:
+    def test_mean_and_ci_on_known_model(self):
+        est = MonteCarloEstimator(quadratic_model, 2)
+        res = est.run(4000, seed=0)
+        lo, hi = res.confidence_interval()
+        assert lo < QUAD_MEAN < hi
+        assert res.std == pytest.approx(np.sqrt(QUAD_VAR), rel=0.1)
+
+    def test_seed_reproducibility(self):
+        est = MonteCarloEstimator(quadratic_model, 2)
+        a = est.run(50, seed=7).samples
+        b = est.run(50, seed=7).samples
+        np.testing.assert_array_equal(a, b)
+
+    def test_cdf_monotone_and_normalized(self):
+        res = MonteCarloEstimator(quadratic_model, 2).run(200, seed=1)
+        x, f = res.cdf()
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(f) > 0)
+        assert f[-1] == pytest.approx(1.0)
+
+    def test_quantiles_ordered(self):
+        res = MonteCarloEstimator(quadratic_model, 2).run(500, seed=2)
+        assert res.quantile(0.1) <= res.quantile(0.5) <= res.quantile(0.9)
+
+    def test_run_until_hits_target(self):
+        est = MonteCarloEstimator(quadratic_model, 2)
+        res = est.run_until(rel_stderr=0.02, batch=64, seed=3)
+        assert res.stderr / abs(res.mean) < 0.02
+
+    def test_validation(self):
+        with pytest.raises(StochasticError):
+            MonteCarloEstimator(quadratic_model, 0)
+        est = MonteCarloEstimator(quadratic_model, 2)
+        with pytest.raises(StochasticError):
+            est.run(1)
+        with pytest.raises(StochasticError):
+            est.run(100, seed=0).quantile(1.5)
+        with pytest.raises(StochasticError):
+            est.run_until(rel_stderr=-0.1)
+
+
+class TestSSCM:
+    def test_exact_recovery_of_quadratic(self):
+        """An order-2 model is reproduced exactly by order-2 SSCM."""
+        est = SSCMEstimator(quadratic_model, 2, order=2)
+        res = est.run()
+        assert res.mean == pytest.approx(QUAD_MEAN, abs=1e-10)
+        assert res.variance == pytest.approx(QUAD_VAR, abs=1e-10)
+        # Surrogate reproduces the model pointwise.
+        rng = np.random.default_rng(0)
+        xi = rng.standard_normal((50, 2))
+        direct = np.array([quadratic_model(x) for x in xi])
+        np.testing.assert_allclose(res.evaluate(xi), direct, atol=1e-10)
+
+    def test_order1_misses_quadratic_variance(self):
+        res1 = SSCMEstimator(quadratic_model, 2, order=1).run()
+        # Mean of the quadratic part is still captured (level-1 grids
+        # integrate degree-3 exactly), but the quadratic variance is not.
+        assert res1.mean == pytest.approx(QUAD_MEAN, abs=1e-10)
+        assert res1.variance < QUAD_VAR
+
+    def test_node_count_matches_sparse_grid(self):
+        res = SSCMEstimator(quadratic_model, 5, order=1).run()
+        assert res.n_samples == 11  # 2M + 1
+
+    def test_smooth_nonpolynomial_model_converges_to_mc(self):
+        def model(xi):
+            return float(np.exp(0.3 * xi[0] - 0.2 * xi[1]))
+        mc = MonteCarloEstimator(model, 2).run(20000, seed=4)
+        ss = SSCMEstimator(model, 2, order=2).run()
+        assert ss.mean == pytest.approx(mc.mean, abs=4 * mc.stderr + 1e-3)
+
+    def test_cdf_shape(self):
+        res = SSCMEstimator(quadratic_model, 2, order=2).run()
+        x, f = res.cdf(n_samples=5000, seed=0)
+        assert np.all(np.diff(f) > 0)
+        assert x.shape == f.shape
+
+    def test_project_validates_shape(self):
+        est = SSCMEstimator(quadratic_model, 2, order=1)
+        from repro.stochastic.sparsegrid import smolyak_grid
+        grid = smolyak_grid(2, 1)
+        with pytest.raises(StochasticError):
+            est.project(grid, np.zeros(grid.n_points + 2))
+
+    def test_validation(self):
+        with pytest.raises(StochasticError):
+            SSCMEstimator(quadratic_model, 2, order=0)
+        with pytest.raises(StochasticError):
+            SSCMEstimator(quadratic_model, 0, order=1)

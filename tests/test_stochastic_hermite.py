@@ -1,0 +1,96 @@
+"""Tests of the Hermite chaos basis."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StochasticError
+from repro.stochastic.hermite import (
+    chaos_basis_matrix,
+    hermite_he,
+    hermite_he_normalized,
+    total_degree_indices,
+)
+from repro.stochastic.quadrature import gauss_hermite_rule
+
+
+class TestHermitePolynomials:
+    def test_explicit_low_orders(self):
+        x = np.linspace(-3, 3, 7)
+        np.testing.assert_allclose(hermite_he(0, x), 1.0)
+        np.testing.assert_allclose(hermite_he(1, x), x)
+        np.testing.assert_allclose(hermite_he(2, x), x ** 2 - 1)
+        np.testing.assert_allclose(hermite_he(3, x), x ** 3 - 3 * x)
+        np.testing.assert_allclose(hermite_he(4, x),
+                                   x ** 4 - 6 * x ** 2 + 3)
+
+    def test_orthonormality_under_gaussian_measure(self):
+        nodes, weights = gauss_hermite_rule(20)
+        for m in range(6):
+            for n in range(6):
+                val = np.sum(weights * hermite_he_normalized(m, nodes)
+                             * hermite_he_normalized(n, nodes))
+                assert val == pytest.approx(1.0 if m == n else 0.0,
+                                            abs=1e-10)
+
+    @given(st.integers(0, 10), st.floats(-4, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_recurrence_consistency(self, n, x):
+        """He_{n+1} = x He_n - n He_{n-1}."""
+        xa = np.array([x])
+        lhs = hermite_he(n + 1, xa)
+        rhs = x * hermite_he(n, xa) - (n * hermite_he(n - 1, xa)
+                                       if n >= 1 else 0.0)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-9, atol=1e-9)
+
+    def test_rejects_negative_order(self):
+        with pytest.raises(StochasticError):
+            hermite_he(-1, np.zeros(3))
+
+
+class TestIndexSets:
+    def test_counts(self):
+        """|{alpha: |alpha| <= p}| = C(M + p, p)."""
+        assert len(total_degree_indices(3, 2)) == math.comb(5, 2)
+        assert len(total_degree_indices(16, 1)) == 17
+        assert len(total_degree_indices(5, 3)) == math.comb(8, 3)
+
+    def test_first_index_is_constant(self):
+        idx = total_degree_indices(4, 2)
+        assert idx[0] == (0, 0, 0, 0)
+
+    def test_unique_and_within_order(self):
+        idx = total_degree_indices(4, 3)
+        assert len(set(idx)) == len(idx)
+        assert all(sum(a) <= 3 for a in idx)
+
+    def test_validation(self):
+        with pytest.raises(StochasticError):
+            total_degree_indices(0, 2)
+        with pytest.raises(StochasticError):
+            total_degree_indices(2, -1)
+
+
+class TestBasisMatrix:
+    def test_orthonormal_gram_matrix(self):
+        """Psi^T W Psi = I on a quadrature grid that is exact for the
+        products involved."""
+        from repro.stochastic.sparsegrid import smolyak_grid
+        grid = smolyak_grid(3, 3)
+        idx = total_degree_indices(3, 2)
+        psi = chaos_basis_matrix(idx, grid.nodes)
+        gram = psi.T @ (grid.weights[:, None] * psi)
+        np.testing.assert_allclose(gram, np.eye(len(idx)), atol=1e-10)
+
+    def test_shape(self):
+        idx = total_degree_indices(2, 2)
+        psi = chaos_basis_matrix(idx, np.zeros((5, 2)))
+        assert psi.shape == (5, len(idx))
+
+    def test_dimension_mismatch(self):
+        idx = total_degree_indices(3, 1)
+        with pytest.raises(StochasticError):
+            chaos_basis_matrix(idx, np.zeros((4, 2)))

@@ -1,0 +1,61 @@
+"""Tests of the 1D Gauss-Hermite rules and the level -> size map."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import StochasticError
+from repro.stochastic.quadrature import (
+    gauss_hermite_rule,
+    level_to_size,
+    rule_for_level,
+)
+
+
+def gaussian_moment(n: int) -> float:
+    """E[Z^n] for Z ~ N(0, 1): 0 for odd, (n-1)!! for even."""
+    if n % 2:
+        return 0.0
+    return float(math.prod(range(1, n, 2))) if n > 0 else 1.0
+
+
+class TestGaussHermite:
+    def test_weights_sum_to_one(self):
+        for n in (1, 3, 5, 9, 17):
+            _, w = gauss_hermite_rule(n)
+            assert w.sum() == pytest.approx(1.0, rel=1e-12)
+
+    @pytest.mark.parametrize("n_points", [1, 2, 3, 5, 8])
+    def test_polynomial_exactness(self, n_points):
+        """Exact for monomials up to degree 2n - 1."""
+        nodes, weights = gauss_hermite_rule(n_points)
+        for deg in range(2 * n_points):
+            got = np.sum(weights * nodes ** deg)
+            assert got == pytest.approx(gaussian_moment(deg), abs=1e-9)
+
+    def test_single_point_rule_is_mean(self):
+        nodes, weights = gauss_hermite_rule(1)
+        assert nodes[0] == 0.0
+        assert weights[0] == 1.0
+
+    def test_nodes_symmetric(self):
+        nodes, _ = gauss_hermite_rule(7)
+        np.testing.assert_allclose(np.sort(nodes), -np.sort(-nodes)[::-1])
+
+    def test_validation(self):
+        with pytest.raises(StochasticError):
+            gauss_hermite_rule(0)
+
+
+class TestLevels:
+    def test_growth_rule(self):
+        assert [level_to_size(l) for l in (1, 2, 3, 4)] == [1, 3, 5, 9]
+
+    def test_rule_for_level(self):
+        nodes, _ = rule_for_level(2)
+        assert nodes.size == 3
+
+    def test_validation(self):
+        with pytest.raises(StochasticError):
+            level_to_size(0)

@@ -1,0 +1,105 @@
+"""Tests of the Smolyak sparse-grid construction (Table I machinery)."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StochasticError
+from repro.stochastic.sparsegrid import smolyak_grid, sparse_grid_size
+
+
+def gaussian_moment(n: int) -> float:
+    if n % 2:
+        return 0.0
+    return float(math.prod(range(1, n, 2))) if n > 0 else 1.0
+
+
+class TestSizes:
+    def test_level_zero_single_node(self):
+        g = smolyak_grid(7, 0)
+        assert g.n_points == 1
+        np.testing.assert_array_equal(g.nodes, np.zeros((1, 7)))
+
+    @pytest.mark.parametrize("dim", [1, 4, 8, 16, 19])
+    def test_level_one_is_2m_plus_1(self, dim):
+        """The paper's Table I law: 33 points for M = 16, 39 for M = 19."""
+        assert sparse_grid_size(dim, 1) == 2 * dim + 1
+
+    def test_paper_table1_level1_counts(self):
+        assert sparse_grid_size(16, 1) == 33
+        assert sparse_grid_size(19, 1) == 39
+
+    def test_level_two_polynomial_growth(self):
+        """Level-2 size 2M^2 + 4M + 1 for the (1, 3, 5) growth rule."""
+        for m in (2, 5, 16):
+            assert sparse_grid_size(m, 2) == 2 * m * m + 4 * m + 1
+
+    def test_far_fewer_than_tensor_grid(self):
+        m = 8
+        tensor = 3 ** m
+        assert sparse_grid_size(m, 1) < tensor / 100
+
+
+class TestWeights:
+    @given(st.integers(1, 6), st.integers(0, 2))
+    @settings(max_examples=30, deadline=None)
+    def test_weights_sum_to_one(self, dim, level):
+        g = smolyak_grid(dim, level)
+        assert g.weights.sum() == pytest.approx(1.0, abs=1e-10)
+
+    def test_nodes_unique(self):
+        g = smolyak_grid(4, 2)
+        keys = {tuple(np.round(n, 10)) for n in g.nodes}
+        assert len(keys) == g.n_points
+
+
+class TestExactness:
+    @pytest.mark.parametrize("dim,level", [(2, 1), (3, 1), (2, 2), (3, 2)])
+    def test_total_degree_2l_plus_1(self, dim, level):
+        """Level-l Smolyak-GH integrates total degree 2l+1 exactly."""
+        g = smolyak_grid(dim, level)
+        max_deg = 2 * level + 1
+        for degs in itertools.product(range(max_deg + 1), repeat=dim):
+            if sum(degs) > max_deg:
+                continue
+            vals = np.ones(g.n_points)
+            for d, p in enumerate(degs):
+                vals = vals * g.nodes[:, d] ** p
+            got = float(np.dot(g.weights, vals))
+            want = math.prod(gaussian_moment(p) for p in degs)
+            assert got == pytest.approx(want, abs=1e-8), degs
+
+    def test_gaussian_expectation_of_smooth_function(self):
+        """E[exp(a.xi)] = exp(|a|^2/2) — converges with level."""
+        a = np.array([0.3, -0.2, 0.1])
+        exact = math.exp(0.5 * float(a @ a))
+        errs = []
+        for level in (1, 2, 3):
+            g = smolyak_grid(3, level)
+            got = float(np.dot(g.weights, np.exp(g.nodes @ a)))
+            errs.append(abs(got - exact))
+        assert errs[2] < errs[0]
+        assert errs[2] < 1e-6
+
+
+class TestIntegrateHelper:
+    def test_integrate_matches_dot(self):
+        g = smolyak_grid(2, 1)
+        vals = np.arange(g.n_points, dtype=float)
+        assert g.integrate(vals) == pytest.approx(
+            float(np.dot(g.weights, vals)))
+
+    def test_integrate_validates_shape(self):
+        g = smolyak_grid(2, 1)
+        with pytest.raises(StochasticError):
+            g.integrate(np.zeros(g.n_points + 1))
+
+    def test_validation(self):
+        with pytest.raises(StochasticError):
+            smolyak_grid(0, 1)
+        with pytest.raises(StochasticError):
+            smolyak_grid(2, -1)

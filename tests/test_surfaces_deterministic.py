@@ -1,0 +1,95 @@
+"""Tests of the deterministic test-surface generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.surfaces.deterministic import (
+    boss_array,
+    cosine_profile,
+    cosine_ridges,
+    egg_carton,
+    extruded_profile,
+    flat,
+    gaussian_bump,
+    half_spheroid,
+)
+
+
+class TestHalfSpheroid:
+    def test_peak_height_and_footprint(self):
+        h = half_spheroid(64, 16.0, height=5.8, base_diameter=9.4)
+        assert h.max() == pytest.approx(5.8, rel=2e-2)
+        assert h.min() == 0.0
+        # Footprint area ~ pi a^2.
+        cell = (16.0 / 64) ** 2
+        footprint = np.sum(h > 0) * cell
+        assert footprint == pytest.approx(np.pi * 4.7 ** 2, rel=0.1)
+
+    def test_profile_is_ellipse(self):
+        n, period = 128, 16.0
+        h = half_spheroid(n, period, 5.8, 9.4)
+        # Along the center row: f(x) = h sqrt(1 - ((x-c)/a)^2).
+        row = h[:, n // 2]
+        x = np.arange(n) * period / n
+        inside = np.abs(x - period / 2) < 4.7
+        expected = 5.8 * np.sqrt(np.maximum(
+            0.0, 1.0 - ((x - period / 2) / 4.7) ** 2))
+        np.testing.assert_allclose(row[inside], expected[inside], atol=1e-9)
+
+    def test_rejects_oversized_boss(self):
+        with pytest.raises(ConfigurationError):
+            half_spheroid(32, 8.0, 5.0, 9.0)
+
+
+class TestRidgesAndProfiles:
+    def test_ridges_uniform_along_other_axis(self):
+        h = cosine_ridges(32, 5.0, amplitude=0.5, n_ridges=2, along="x")
+        assert np.all(np.ptp(h, axis=1) < 1e-12)  # constant along y
+
+    def test_ridge_amplitude(self):
+        h = cosine_ridges(64, 5.0, amplitude=0.5, n_ridges=1)
+        assert h.max() == pytest.approx(0.5, rel=1e-9)
+        assert h.min() == pytest.approx(-0.5, rel=1e-9)
+
+    def test_extruded_profile_matches_ridges(self):
+        p = cosine_profile(32, 5.0, amplitude=0.5, n_ridges=2)
+        h = extruded_profile(p)
+        expected = cosine_ridges(32, 5.0, amplitude=0.5, n_ridges=2)
+        np.testing.assert_allclose(h, expected, atol=1e-12)
+
+    def test_extrusion_validation(self):
+        with pytest.raises(ConfigurationError):
+            extruded_profile(np.zeros((4, 4)))
+
+
+class TestOtherShapes:
+    def test_flat_is_zero(self):
+        assert np.all(flat(8, 5.0) == 0.0)
+
+    def test_gaussian_bump_peak(self):
+        h = gaussian_bump(64, 10.0, height=1.5, width=2.0)
+        assert h.max() == pytest.approx(1.5, rel=1e-2)
+
+    def test_egg_carton_zero_mean(self):
+        h = egg_carton(32, 5.0, amplitude=1.0, n_cells=2)
+        assert abs(h.mean()) < 1e-12
+
+    def test_boss_array_count(self):
+        h = boss_array(64, 16.0, height=1.0, base_diameter=3.0, per_side=2)
+        # Four bosses, each footprint pi a^2.
+        cell = (16.0 / 64) ** 2
+        footprint = np.sum(h > 0) * cell
+        assert footprint == pytest.approx(4 * np.pi * 1.5 ** 2, rel=0.15)
+
+    def test_boss_array_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            boss_array(32, 8.0, height=1.0, base_diameter=5.0, per_side=2)
+
+    def test_common_validation(self):
+        with pytest.raises(ConfigurationError):
+            flat(2, 5.0)
+        with pytest.raises(ConfigurationError):
+            cosine_ridges(16, 5.0, amplitude=-1.0)
+        with pytest.raises(ConfigurationError):
+            cosine_ridges(16, 5.0, amplitude=1.0, along="z")

@@ -1,0 +1,123 @@
+"""Tests of the periodic spectral surface synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.surfaces import (
+    GaussianCorrelation,
+    ProfileGenerator,
+    SurfaceGenerator,
+)
+from repro.surfaces.statistics import autocorrelation_2d
+
+
+class TestSurfaceGenerator:
+    def test_shapes_and_metadata(self):
+        gen = SurfaceGenerator(GaussianCorrelation(1.0, 1.0), 5.0, 24)
+        s = gen.sample(0)
+        assert s.heights.shape == (24, 24)
+        assert s.period == 5.0
+        assert s.n == 24
+        assert s.spacing == pytest.approx(5.0 / 24)
+
+    def test_zero_mean(self):
+        gen = SurfaceGenerator(GaussianCorrelation(1.0, 1.0), 5.0, 32)
+        s = gen.sample(1)
+        assert abs(s.heights.mean()) < 1e-12
+
+    def test_seeded_determinism(self):
+        gen = SurfaceGenerator(GaussianCorrelation(1.0, 1.0), 5.0, 16)
+        a = gen.sample(42).heights
+        b = gen.sample(42).heights
+        np.testing.assert_array_equal(a, b)
+        c = gen.sample(43).heights
+        assert not np.array_equal(a, c)
+
+    def test_ensemble_variance_matches_grid_variance(self):
+        cf = GaussianCorrelation(1.0, 1.0)
+        gen = SurfaceGenerator(cf, 5.0, 24)
+        rng = np.random.default_rng(7)
+        var = np.mean([gen.sample(rng).heights.var() for _ in range(60)])
+        assert var == pytest.approx(gen.discrete_variance(), rel=0.12)
+
+    def test_normalize_pins_sigma(self):
+        cf = GaussianCorrelation(1.0, 1.0)
+        gen = SurfaceGenerator(cf, 5.0, 24, normalize=True)
+        rng = np.random.default_rng(8)
+        var = np.mean([gen.sample(rng).heights.var() for _ in range(60)])
+        assert var == pytest.approx(1.0, rel=0.12)
+
+    def test_ensemble_autocorrelation_matches_target(self):
+        cf = GaussianCorrelation(1.0, 1.0)
+        gen = SurfaceGenerator(cf, 8.0, 32)
+        rng = np.random.default_rng(9)
+        acc = None
+        n_real = 40
+        for _ in range(n_real):
+            lags, corr = autocorrelation_2d(gen.sample(rng).heights, 8.0)
+            acc = corr if acc is None else acc + corr
+        acc = acc / n_real
+        target = cf(lags)
+        # Compare over the first correlation length where signal is strong.
+        mask = lags < 1.5
+        np.testing.assert_allclose(acc[mask], target[mask], atol=0.12)
+
+    def test_from_white_noise_is_linear(self):
+        """The xi -> surface map must be linear (SSCM relies on it)."""
+        gen = SurfaceGenerator(GaussianCorrelation(1.0, 1.0), 5.0, 16)
+        rng = np.random.default_rng(10)
+        w1 = rng.standard_normal((16, 16))
+        w2 = rng.standard_normal((16, 16))
+        h1 = gen.from_white_noise(w1).heights
+        h2 = gen.from_white_noise(w2).heights
+        h12 = gen.from_white_noise(2.0 * w1 - 0.5 * w2).heights
+        np.testing.assert_allclose(h12, 2.0 * h1 - 0.5 * h2,
+                                   rtol=1e-10, atol=1e-12)
+
+    def test_validation(self):
+        cf = GaussianCorrelation(1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            SurfaceGenerator(cf, -5.0, 16)
+        with pytest.raises(ConfigurationError):
+            SurfaceGenerator(cf, 5.0, 2)
+        gen = SurfaceGenerator(cf, 5.0, 16)
+        with pytest.raises(ConfigurationError):
+            gen.from_white_noise(np.zeros((8, 8)))
+
+    @given(st.integers(8, 40), st.floats(0.3, 2.0))
+    @settings(max_examples=20, deadline=None)
+    def test_discrete_variance_bounded_by_sigma2(self, n, sigma):
+        cf = GaussianCorrelation(sigma, 1.0)
+        gen = SurfaceGenerator(cf, 5.0, n)
+        assert 0.0 < gen.discrete_variance() <= sigma ** 2 * (1 + 1e-9)
+
+
+class TestProfileGenerator:
+    def test_shape_and_mean(self):
+        gen = ProfileGenerator(GaussianCorrelation(1.0, 1.0), 5.0, 64)
+        p = gen.sample(0)
+        assert p.shape == (64,)
+        assert abs(p.mean()) < 1e-12
+
+    def test_variance(self):
+        cf = GaussianCorrelation(1.0, 1.0)
+        gen = ProfileGenerator(cf, 10.0, 128)
+        rng = np.random.default_rng(11)
+        var = np.mean([gen.sample(rng).var() for _ in range(200)])
+        assert var == pytest.approx(gen.discrete_variance(), rel=0.1)
+
+    def test_1d_grid_variance_larger_window_closer_to_sigma(self):
+        cf = GaussianCorrelation(1.0, 1.0)
+        small = ProfileGenerator(cf, 5.0, 64).discrete_variance()
+        large = ProfileGenerator(cf, 20.0, 256).discrete_variance()
+        assert large > small
+        # The zeroed DC bin costs ~W1(0) * dk; with L = 20 um that is
+        # ~9% of the variance, shrinking with the window.
+        assert large == pytest.approx(1.0, rel=0.12)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProfileGenerator(GaussianCorrelation(1.0, 1.0), 5.0, 1)

@@ -1,0 +1,134 @@
+"""Tests of the roughness-statistics extraction (the paper's Section II
+'extract parameters from measured surface heights' workflow)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.surfaces import (
+    GaussianCorrelation,
+    SurfaceGenerator,
+    autocorrelation_1d,
+    autocorrelation_2d,
+    estimate_correlation_length,
+    estimate_sigma,
+    extract_statistics,
+    radial_psd,
+    rms_slope_2d,
+)
+
+
+class TestSigma:
+    def test_exact_on_known_field(self):
+        rng = np.random.default_rng(0)
+        h = rng.normal(3.0, 2.0, size=(64, 64))
+        est = estimate_sigma(h)
+        assert est == pytest.approx(h.std(), rel=1e-12)
+
+    def test_mean_removed(self):
+        h = np.full((16, 16), 7.5)
+        assert estimate_sigma(h) == 0.0
+
+
+class TestAutocorrelation:
+    def test_zero_lag_equals_variance(self):
+        rng = np.random.default_rng(1)
+        h = rng.standard_normal((32, 32))
+        lags, corr = autocorrelation_2d(h, 5.0)
+        assert corr[0] == pytest.approx(h.var(), rel=1e-9)
+        assert lags[0] == 0.0
+
+    def test_pure_cosine_profile(self):
+        """ACF of cos(2 pi x / L) is (A^2/2) cos(2 pi d / L)."""
+        n, period, amp = 128, 4.0, 0.7
+        x = np.arange(n) * period / n
+        prof = amp * np.cos(2 * np.pi * x / period)
+        lags, corr = autocorrelation_1d(prof, period)
+        expected = (amp ** 2 / 2) * np.cos(2 * np.pi * lags / period)
+        np.testing.assert_allclose(corr, expected, atol=1e-10)
+
+    def test_input_validation(self):
+        with pytest.raises(ConfigurationError):
+            autocorrelation_2d(np.zeros((4, 5)), 1.0)
+        with pytest.raises(ConfigurationError):
+            autocorrelation_1d(np.zeros((4, 4)), 1.0)
+
+
+class TestCorrelationLength:
+    def test_exact_gaussian_curve(self):
+        """On the exact C(d) = exp(-d^2/eta^2), the 1/e crossing is eta."""
+        eta = 1.3
+        lags = np.linspace(0.0, 5.0, 400)
+        corr = np.exp(-(lags / eta) ** 2)
+        assert estimate_correlation_length(lags, corr) == pytest.approx(
+            eta, rel=1e-3)
+
+    def test_uncorrelated_window_edge(self):
+        lags = np.linspace(0.0, 2.0, 50)
+        corr = np.ones_like(lags)  # never decays
+        assert estimate_correlation_length(lags, corr) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            estimate_correlation_length(np.array([0.0]), np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            estimate_correlation_length(np.array([0.0, 1.0]),
+                                        np.array([-1.0, 0.5]))
+
+
+class TestSlope:
+    def test_cosine_surface_slope(self):
+        """f = A cos(w x): <f_x^2> = A^2 w^2 / 2, f_y = 0."""
+        n, period, amp, m = 64, 5.0, 0.3, 2
+        x = np.arange(n) * period / n
+        h = amp * np.cos(2 * np.pi * m * x / period)
+        hh = np.repeat(h[:, None], n, axis=1)
+        w = 2 * np.pi * m / period
+        expected = amp * w / np.sqrt(2)
+        assert rms_slope_2d(hh, period) == pytest.approx(expected, rel=1e-9)
+
+
+class TestRadialPSD:
+    def test_total_power_matches_variance(self):
+        cf = GaussianCorrelation(1.0, 1.0)
+        gen = SurfaceGenerator(cf, 8.0, 32)
+        h = gen.sample(4).heights
+        k, w = radial_psd(h, 8.0)
+        # sum W(k) dk^2 over all modes ~ ring-count-weighted radial sum;
+        # instead check the peak location is near the spectrum's peak and
+        # values are nonnegative.
+        assert np.all(w >= 0.0)
+        assert k[int(np.argmax(w * k))] < 6.0  # energy at low k
+
+    def test_matches_target_spectrum_in_ensemble(self):
+        cf = GaussianCorrelation(1.0, 1.0)
+        gen = SurfaceGenerator(cf, 8.0, 32)
+        rng = np.random.default_rng(5)
+        acc = None
+        for _ in range(50):
+            k, w = radial_psd(gen.sample(rng).heights, 8.0)
+            acc = w if acc is None else acc + w
+        acc = acc / 50
+        target = cf.spectrum_2d(k)
+        mask = (k > 0.5) & (k < 4.0)
+        np.testing.assert_allclose(acc[mask], target[mask], rtol=0.35)
+
+
+class TestExtractStatistics:
+    def test_round_trip_on_synthesized_surface(self):
+        cf = GaussianCorrelation(1.0, 1.0)
+        gen = SurfaceGenerator(cf, 8.0, 40, normalize=True)
+        rng = np.random.default_rng(6)
+        stats = [extract_statistics(gen.sample(rng).heights, 8.0)
+                 for _ in range(12)]
+        sigma = np.mean([s.sigma for s in stats])
+        eta = np.mean([s.correlation_length for s in stats])
+        slope = np.mean([s.rms_slope for s in stats])
+        assert sigma == pytest.approx(1.0, rel=0.1)
+        assert eta == pytest.approx(1.0, rel=0.2)
+        assert slope == pytest.approx(2.0, rel=0.15)
+
+    def test_skin_depth_ratio(self):
+        st = extract_statistics(np.random.default_rng(0).standard_normal(
+            (16, 16)), 5.0)
+        assert st.skin_depth_ratio(2.0) == pytest.approx(st.sigma / 2.0)

@@ -1,0 +1,133 @@
+"""Tests of the 3D MOM assembly (exact vs tabulated kernels, self terms)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import GHZ, METER_TO_UM
+from repro.materials import PAPER_SYSTEM
+from repro.swm.assembly import (
+    AssemblyOptions,
+    assemble_medium,
+    rectangle_inverse_distance_integral,
+)
+from repro.swm.fastkernel import KernelTables, tables_for_mesh
+from repro.swm.geometry import build_mesh_3d
+from repro.errors import MeshError
+
+
+def _rough_mesh(n=8, period=5.0, amp=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    # Smooth random surface (bandlimited) to keep slopes moderate.
+    x = np.arange(n) * period / n
+    xx, yy = np.meshgrid(x, x, indexing="ij")
+    w = 2 * np.pi / period
+    h = amp * (np.cos(w * xx + 1.0) * np.cos(w * yy)
+               + 0.5 * np.sin(2 * w * xx) * np.cos(w * yy + 0.3))
+    return build_mesh_3d(h, period)
+
+
+K2 = PAPER_SYSTEM.k2(5 * GHZ) / METER_TO_UM
+K1 = PAPER_SYSTEM.k1(5 * GHZ) / METER_TO_UM
+
+
+class TestRectangleIntegral:
+    def test_square_closed_form(self):
+        # integral of 1/r over a d x d square = 4 d asinh(1).
+        d = 0.7
+        got = rectangle_inverse_distance_integral(d, d)
+        assert got == pytest.approx(4 * d * np.arcsinh(1.0), rel=1e-12)
+
+    def test_matches_numeric_quadrature(self):
+        a, b = 0.5, 0.3
+        xs = (np.arange(4000) + 0.5) / 4000 * a - a / 2
+        ys = (np.arange(4000) + 0.5) / 4000 * b - b / 2
+        xx, yy = np.meshgrid(xs, ys, indexing="ij")
+        numeric = np.mean(1.0 / np.hypot(xx, yy)) * a * b
+        got = rectangle_inverse_distance_integral(a, b)
+        assert got == pytest.approx(numeric, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(MeshError):
+            rectangle_inverse_distance_integral(-1.0, 1.0)
+
+
+class TestFastKernelAgainstExact:
+    @pytest.mark.parametrize("k", [K1, K2])
+    def test_matrices_match(self, k):
+        mesh = _rough_mesh()
+        exact_opts = AssemblyOptions(use_tables=False)
+        fast_opts = AssemblyOptions(use_tables=True)
+        d_e, s_e = assemble_medium(mesh, k, exact_opts)
+        d_f, s_f = assemble_medium(mesh, k, fast_opts)
+        scale_s = np.max(np.abs(s_e))
+        scale_d = np.max(np.abs(d_e))
+        np.testing.assert_allclose(s_f, s_e, atol=2e-6 * scale_s)
+        np.testing.assert_allclose(d_f, d_e, atol=2e-6 * scale_d)
+
+    def test_prebuilt_tables_reused(self):
+        mesh = _rough_mesh()
+        opts = AssemblyOptions()
+        cfg = opts.ewald_config(mesh.period)
+        tables = tables_for_mesh(K2, mesh, cfg)
+        d_a, s_a = assemble_medium(mesh, K2, opts, tables=tables)
+        d_b, s_b = assemble_medium(mesh, K2, opts)
+        np.testing.assert_allclose(s_a, s_b, rtol=1e-10)
+        np.testing.assert_allclose(d_a, d_b, rtol=1e-10)
+
+    def test_tables_reject_out_of_range_dz(self):
+        mesh = _rough_mesh(amp=0.2)
+        cfg = AssemblyOptions().ewald_config(mesh.period)
+        tables = KernelTables(K2, cfg, z_extent=0.1)
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            tables.green_and_gradient(np.array([0.5]), np.array([0.0]),
+                                      np.array([5.0]))
+
+
+class TestFlatRowSums:
+    """On a flat surface, sum_j S_ij ~ integral of G over the patch =
+    j/(2k) (only the specular spectral mode survives)."""
+
+    @pytest.mark.parametrize("k", [K2])
+    def test_single_layer_row_sum(self, k):
+        mesh = build_mesh_3d(np.zeros((12, 12)), 5.0)
+        _, s = assemble_medium(mesh, k, AssemblyOptions())
+        row_sums = s.sum(axis=1)
+        expected = 1j / (2 * k)
+        np.testing.assert_allclose(row_sums, expected, rtol=2e-2)
+
+    def test_double_layer_vanishes_on_flat(self):
+        mesh = build_mesh_3d(np.zeros((10, 10)), 5.0)
+        d, _ = assemble_medium(mesh, K2, AssemblyOptions())
+        assert np.max(np.abs(d)) < 1e-8
+
+
+class TestStructure:
+    def test_kernel_symmetry_far_pairs(self):
+        """G(r_i, r_j) = G(r_j, r_i) wherever the midpoint rule is used.
+
+        Near pairs use source-cell tangent-plane quadrature, which is
+        deliberately asymmetric (collocation); the reciprocity of the
+        underlying kernel shows up on the far pairs.
+        """
+        mesh = _rough_mesh()
+        opts = AssemblyOptions()
+        _, s = assemble_medium(mesh, K2, opts)
+        w = mesh.jac * mesh.cell_area
+        g = s / w[None, :]
+
+        def wrap(d):
+            return d - mesh.period * np.round(d / mesh.period)
+
+        dx = wrap(mesh.x[:, None] - mesh.x[None, :])
+        dy = wrap(mesh.y[:, None] - mesh.y[None, :])
+        far = np.hypot(dx, dy) > (opts.near_radius_cells + 0.1) * mesh.spacing
+        asym = np.abs(g - g.T)[far]
+        assert asym.max() < 1e-8 * np.abs(g).max()
+
+    def test_no_nans(self):
+        mesh = _rough_mesh(amp=1.2)
+        for k in (K1, K2):
+            d, s = assemble_medium(mesh, k, AssemblyOptions())
+            assert np.all(np.isfinite(d))
+            assert np.all(np.isfinite(s))

@@ -1,0 +1,53 @@
+"""Tests of the power bookkeeping helpers."""
+
+import numpy as np
+import pytest
+
+from repro.constants import GHZ
+from repro.errors import ConfigurationError
+from repro.surfaces.deterministic import cosine_profile, egg_carton
+from repro.swm.geometry import build_mesh_2d, build_mesh_3d
+from repro.swm.power import (
+    absorbed_power_2d,
+    absorbed_power_3d,
+    absorbed_power_density_3d,
+    area_ratio_2d,
+    area_ratio_3d,
+)
+from repro.swm.solver import SWMSolver3D
+from repro.swm.solver2d import SWMSolver2D
+
+
+class TestPowerHelpers:
+    def test_matches_solver_3d(self):
+        h = egg_carton(10, 5.0, amplitude=0.6)
+        res = SWMSolver3D().solve_um(h, 5.0, 5 * GHZ)
+        assert absorbed_power_3d(res.psi, res.v, res.mesh) == pytest.approx(
+            res.absorbed_power, rel=1e-12)
+
+    def test_density_sums_to_total(self):
+        h = egg_carton(10, 5.0, amplitude=0.6)
+        res = SWMSolver3D().solve_um(h, 5.0, 5 * GHZ)
+        dens = absorbed_power_density_3d(res.psi, res.v, res.mesh)
+        assert dens.shape == (10, 10)
+        total = np.sum(dens) * res.mesh.cell_area
+        assert total == pytest.approx(res.absorbed_power, rel=1e-12)
+
+    def test_matches_solver_2d(self):
+        p = cosine_profile(64, 5.0, 0.6, 1)
+        res = SWMSolver2D().solve_um(p, 5.0, 5 * GHZ)
+        assert absorbed_power_2d(res.psi, res.v, res.mesh) == pytest.approx(
+            res.absorbed_power, rel=1e-12)
+
+    def test_area_ratios(self):
+        mesh3 = build_mesh_3d(egg_carton(16, 5.0, 0.8), 5.0)
+        assert area_ratio_3d(mesh3) > 1.0
+        mesh2 = build_mesh_2d(cosine_profile(64, 5.0, 0.8, 1), 5.0)
+        assert area_ratio_2d(mesh2) > 1.0
+        flat3 = build_mesh_3d(np.zeros((8, 8)), 5.0)
+        assert area_ratio_3d(flat3) == pytest.approx(1.0)
+
+    def test_validation(self):
+        mesh = build_mesh_3d(np.zeros((8, 8)), 5.0)
+        with pytest.raises(ConfigurationError):
+            absorbed_power_3d(np.zeros(10), np.zeros(10), mesh)

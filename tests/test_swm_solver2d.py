@@ -1,0 +1,114 @@
+"""Tests of the 2D SWM solver, including the SPM2 cross-validation that
+ties the whole formulation together."""
+
+import numpy as np
+import pytest
+
+from repro.constants import GHZ
+from repro.materials import PAPER_SYSTEM
+from repro.models.spm2 import _branch_sqrt, _first_order_amplitudes
+from repro.surfaces import GaussianCorrelation, ProfileGenerator
+from repro.surfaces.deterministic import cosine_profile
+from repro.swm.solver2d import SWMSolver2D
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return SWMSolver2D()
+
+
+class TestFlatProfile:
+    def test_enhancement_is_unity(self, solver):
+        res = solver.solve_um(np.zeros(64), 5.0, 5 * GHZ)
+        assert res.enhancement == pytest.approx(1.0, abs=5e-3)
+
+    def test_converges_with_refinement(self, solver):
+        errs = [abs(solver.solve_um(np.zeros(n), 5.0, 5 * GHZ).enhancement - 1)
+                for n in (32, 128)]
+        assert errs[1] < errs[0]
+
+    def test_surface_field_is_t0(self, solver):
+        f = 5 * GHZ
+        res = solver.solve_um(np.zeros(48), 5.0, f)
+        np.testing.assert_allclose(res.psi,
+                                   PAPER_SYSTEM.flat_transmission(f),
+                                   rtol=1e-2)
+
+
+def _single_mode_spm2(f_hz: float, period_um: float, m: int,
+                      amplitude_um: float) -> float:
+    """Discrete (deterministic single-cosine) SPM2 prediction.
+
+    For f(x) = A cos(Kx) the ensemble integrals collapse to
+    (A^2/2) * kernel(K) — an *exact* second-order result the BEM solver
+    must reproduce as A -> 0. This is the strongest consistency test in
+    the suite: it couples the solver, the boundary conditions and the
+    perturbation theory.
+    """
+    sys = PAPER_SYSTEM
+    k1 = complex(sys.k1(f_hz))
+    k2 = sys.k2(f_hz)
+    beta = sys.beta(f_hz)
+    kk = np.array([2 * np.pi * m / (period_um * 1e-6)])
+    amp = amplitude_um * 1e-6
+    r1, t1 = _first_order_amplitudes(kk, k1, k2, beta)
+    g1 = _branch_sqrt(k1 * k1 - kk * kk)
+    g2 = _branch_sqrt(k2 * k2 - kk * kk)
+    sigma2 = amp * amp / 2
+    t0 = 2 * k1 / (k1 + beta * k2)
+    r0 = (k1 - beta * k2) / (k1 + beta * k2)
+    i_r = sigma2 * r1[0]
+    i_t = sigma2 * t1[0]
+    i_a = (sigma2 * (1j * g1[0] * r1[0] + 1j * g2[0] * t1[0])
+           - 0.5 * sigma2 * t0 * (k1 * k1 - k2 * k2))
+    numer = (-1j * beta * k2 * i_a - beta * k2 ** 2 * i_t
+             + 0.5j * sigma2 * beta * k2 ** 3 * t0
+             + k1 ** 2 * i_r - 0.5j * sigma2 * k1 ** 3 * (1 - r0))
+    r2 = numer / (1j * (k1 + beta * k2))
+    return float(1 - 2 * (np.conj(r0) * r2).real / (1 - abs(r0) ** 2))
+
+
+class TestSingleModeAgainstSPM2:
+    @pytest.mark.parametrize("f_ghz,m,n", [(5.0, 2, 192), (3.0, 1, 192),
+                                           (8.0, 3, 384)])
+    def test_bem_matches_perturbation_theory(self, solver, f_ghz, m, n):
+        # Higher frequency / higher mode needs a finer grid (skin depth
+        # and surface wavelength both shrink), hence the per-case n.
+        period, amp = 5.0, 0.08
+        prof = cosine_profile(n, period, amplitude=amp, n_ridges=m)
+        bem = solver.solve_um(prof, period, f_ghz * GHZ).enhancement
+        spm = _single_mode_spm2(f_ghz * GHZ, period, m, amp)
+        # Both are 1 + O(A^2); compare the excess loss.
+        assert bem - 1 == pytest.approx(spm - 1, rel=0.08)
+
+    def test_quadratic_amplitude_scaling(self, solver):
+        """The excess loss must scale like A^2 for small A."""
+        period, m, f = 5.0, 2, 5 * GHZ
+        e1 = solver.solve_um(cosine_profile(192, period, 0.05, m),
+                             period, f).enhancement - 1
+        e2 = solver.solve_um(cosine_profile(192, period, 0.10, m),
+                             period, f).enhancement - 1
+        assert e2 / e1 == pytest.approx(4.0, rel=0.1)
+
+
+class TestRoughProfile:
+    def test_enhancement_rises_with_frequency(self, solver):
+        gen = ProfileGenerator(GaussianCorrelation(1.0, 1.0), 5.0, 96,
+                               normalize=True)
+        prof = gen.sample(2)
+        vals = [solver.solve_um(prof, 5.0, f).enhancement
+                for f in (1 * GHZ, 5 * GHZ, 9 * GHZ)]
+        assert vals[2] > vals[1] > vals[0]
+
+    def test_translation_invariance(self, solver):
+        prof = cosine_profile(96, 5.0, 0.6, 2)
+        a = solver.solve_um(prof, 5.0, 5 * GHZ).enhancement
+        b = solver.solve_um(prof + 1.5, 5.0, 5 * GHZ).enhancement
+        assert a == pytest.approx(b, rel=1e-6)
+
+    def test_x_shift_invariance(self, solver):
+        """Periodic translation along x must not change the loss."""
+        prof = cosine_profile(96, 5.0, 0.6, 2)
+        a = solver.solve_um(prof, 5.0, 5 * GHZ).enhancement
+        b = solver.solve_um(np.roll(prof, 17), 5.0, 5 * GHZ).enhancement
+        assert a == pytest.approx(b, rel=1e-9)
