@@ -22,6 +22,9 @@ Subpackages
     Monte-Carlo, Hermite chaos, Smolyak sparse grids, SSCM.
 ``core``
     End-to-end pipelines tying it all together.
+``engine``
+    Parallel sweep-execution engine with content-addressed result
+    caching (``run_sweep`` over scenarios x frequencies x estimators).
 ``interconnects``
     Transmission-line application layer (RLGC/ABCD/S-parameters with
     roughness-corrected conductor loss).

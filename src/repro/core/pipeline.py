@@ -25,7 +25,7 @@ import numpy as np
 from ..constants import METER_TO_UM
 from ..errors import ConfigurationError
 from ..materials import PAPER_SYSTEM, TwoMediumSystem
-from ..stochastic.montecarlo import MonteCarloEstimator, MonteCarloResult
+from ..stochastic.montecarlo import MonteCarloResult
 from ..stochastic.sscm import SSCMEstimator, SSCMResult
 from ..surfaces.correlation import CorrelationFunction
 from ..surfaces.kl import KLExpansion, build_kl
@@ -74,20 +74,31 @@ class DeterministicLossModel:
 
     Thin convenience wrapper around :class:`SWMSolver3D` for the
     deterministic experiments (e.g. the Fig. 5 half-spheroid).
+    Frequency sweeps route through :mod:`repro.engine`, so they can run
+    on any executor and replay from the result cache.
     """
 
     def __init__(self, system: TwoMediumSystem = PAPER_SYSTEM,
                  options: SWMOptions | None = None) -> None:
+        self.system = system
+        self.options = options
         self.solver = SWMSolver3D(system, options)
 
     def enhancement(self, heights_m: np.ndarray, period_m: float,
-                    frequencies_hz: np.ndarray) -> np.ndarray:
+                    frequencies_hz: np.ndarray, executor=None, cache=None,
+                    progress: Callable[[int, int], None] | None = None
+                    ) -> np.ndarray:
         """Pr/Ps over a frequency sweep for one surface."""
-        freqs = np.atleast_1d(np.asarray(frequencies_hz, dtype=np.float64))
-        out = np.empty(freqs.shape, dtype=np.float64)
-        for i, f in enumerate(freqs):
-            out[i] = self.solver.solve(heights_m, period_m, float(f)).enhancement
-        return out
+        from ..engine import DeterministicScenario, SweepSpec, run_sweep
+
+        spec = SweepSpec(
+            scenarios=DeterministicScenario(
+                "surface", np.asarray(heights_m, dtype=np.float64),
+                float(period_m), self.system, self.options),
+            frequencies_hz=frequencies_hz)
+        result = run_sweep(spec, executor=executor, cache=cache,
+                           progress=progress)
+        return result.mean_curve("surface")
 
     def solve(self, heights_m: np.ndarray, period_m: float,
               frequency_hz: float) -> SWMResult:
@@ -129,6 +140,7 @@ class StochasticLossModel:
         self.correlation = correlation
         self.config = config or StochasticLossConfig()
         self.system = system
+        self.options = options
         self.solver = SWMSolver3D(system, options)
 
         period_m, n = self.config.resolve(correlation)
@@ -186,21 +198,59 @@ class StochasticLossModel:
                             self.dimension, order=order)
         return est.run(progress=progress)
 
+    def scenario(self, name: str = "model"):
+        """This model as a declarative engine scenario (hash-stable).
+
+        The engine runtime is pre-seeded with ``self``, so same-process
+        execution reuses this model instead of rebuilding the KL
+        expansion from the spec.
+        """
+        from ..engine import StochasticScenario
+        from ..engine.runtime import seed_model
+
+        scenario = StochasticScenario(name, self.correlation, self.config,
+                                      self.system, self.options)
+        seed_model(scenario, self)
+        return scenario
+
     def montecarlo(self, frequency_hz: float, n_samples: int,
                    seed: int | None = 0,
-                   progress: Callable[[int, int], None] | None = None
-                   ) -> MonteCarloResult:
-        """Monte-Carlo statistics of Pr/Ps at one frequency."""
-        est = MonteCarloEstimator(self.enhancement_model(frequency_hz),
-                                  self.dimension)
-        return est.run(n_samples, seed=seed, progress=progress)
+                   progress: Callable[[int, int], None] | None = None,
+                   executor=None, cache=None) -> MonteCarloResult:
+        """Monte-Carlo statistics of Pr/Ps at one frequency.
 
-    def mean_enhancement(self, frequencies_hz: np.ndarray, order: int = 1
+        Routed through :mod:`repro.engine`: seeded runs are content
+        addressed (a repeated call replays from cache), unseeded runs
+        always recompute. ``progress`` counts sweep points, not samples.
+        """
+        from ..engine import EstimatorSpec, SweepSpec, run_sweep
+
+        spec = SweepSpec(
+            scenarios=self.scenario(),
+            frequencies_hz=frequency_hz,
+            estimators=EstimatorSpec(kind="montecarlo",
+                                     n_samples=n_samples, seed=seed))
+        result = run_sweep(spec, executor=executor, cache=cache,
+                           progress=progress)
+        return MonteCarloResult(samples=result.points[0].values, seed=seed)
+
+    def mean_enhancement(self, frequencies_hz: np.ndarray, order: int = 1,
+                         executor=None, cache=None,
+                         progress: Callable[[int, int], None] | None = None
                          ) -> np.ndarray:
         """Mean Pr/Ps over a frequency sweep via SSCM (the Fig. 3/4/6
-        quantity: 'the mean values computed by SSCM')."""
-        freqs = np.atleast_1d(np.asarray(frequencies_hz, dtype=np.float64))
-        out = np.empty(freqs.shape, dtype=np.float64)
-        for i, f in enumerate(freqs):
-            out[i] = self.sscm(float(f), order=order).mean
-        return out
+        quantity: 'the mean values computed by SSCM').
+
+        Each frequency is one engine job, so the sweep parallelizes over
+        ``executor`` (or the active :func:`repro.engine.engine_session`)
+        and replays from the result cache when warm.
+        """
+        from ..engine import EstimatorSpec, SweepSpec, run_sweep
+
+        spec = SweepSpec(
+            scenarios=self.scenario(),
+            frequencies_hz=frequencies_hz,
+            estimators=EstimatorSpec(kind="sscm", order=order))
+        result = run_sweep(spec, executor=executor, cache=cache,
+                           progress=progress)
+        return result.mean_curve("model")

@@ -1,0 +1,167 @@
+"""`run_sweep` — the single entry point of the execution engine.
+
+Execution policy (executor + cache) is resolved per call:
+
+1. explicit ``executor=`` / ``cache=`` arguments win;
+2. otherwise the active :func:`engine_session` defaults apply (this is
+   how ``runner.py --jobs N --cache-dir P`` reaches every sweep inside
+   the experiments without threading arguments through them);
+3. otherwise: serial execution against a process-global in-memory LRU,
+   so repeated sweeps in one process are near-free even with no setup.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from .cache import ResultCache
+from .executors import Executor, ParallelExecutor, ProgressFn, SerialExecutor
+from .results import PointResult, SweepResult
+from .runtime import execute_job
+from .spec import SweepSpec
+
+#: Fallback cache when neither an argument nor a session provides one.
+_GLOBAL_CACHE = ResultCache(max_memory_entries=256)
+
+
+@dataclass
+class _SessionDefaults:
+    executor: Executor | None = None
+    cache: ResultCache | None = None
+
+
+_session = _SessionDefaults()
+
+
+def default_cache() -> ResultCache:
+    """The process-global in-memory cache (tier 1 only)."""
+    return _GLOBAL_CACHE
+
+
+@contextmanager
+def engine_session(n_jobs: int | None = None,
+                   cache_dir: str | None = None,
+                   executor: Executor | None = None,
+                   cache: ResultCache | None = None) -> Iterator[None]:
+    """Scope default execution policy for every ``run_sweep`` inside.
+
+    ``n_jobs > 1`` selects a :class:`ParallelExecutor`; ``cache_dir``
+    adds a persistent tier. Explicit ``executor``/``cache`` objects
+    override the convenience knobs. Nested sessions inherit whatever
+    the inner session leaves unspecified (setting only ``n_jobs``
+    inside a ``cache_dir`` session keeps the outer cache).
+    """
+    global _session
+    if executor is None and n_jobs is not None:
+        executor = (ParallelExecutor(n_jobs) if n_jobs > 1
+                    else SerialExecutor())
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(disk_dir=cache_dir)
+    previous = _session
+    if executor is None:
+        executor = previous.executor
+    if cache is None:
+        cache = previous.cache
+    _session = _SessionDefaults(executor=executor, cache=cache)
+    try:
+        yield
+    finally:
+        _session = previous
+
+
+def _resolve(executor: Executor | None,
+             cache: ResultCache | None) -> tuple[Executor, ResultCache]:
+    if executor is None:
+        executor = (_session.executor if _session.executor is not None
+                    else SerialExecutor())
+    if cache is None:
+        # NB: an *empty* ResultCache is falsy (it has __len__), so the
+        # fallbacks must test identity, not truthiness.
+        cache = _session.cache if _session.cache is not None \
+            else _GLOBAL_CACHE
+    return executor, cache
+
+
+def run_sweep(spec: SweepSpec, executor: Executor | None = None,
+              cache: ResultCache | None = None,
+              progress: ProgressFn | None = None) -> SweepResult:
+    """Execute (or replay from cache) every job of a sweep.
+
+    Cached points are served without any SWM solve; the remaining jobs
+    go to the executor as one batch. ``progress(done, total)`` counts
+    sweep points, cache hits included.
+    """
+    executor, cache = _resolve(executor, cache)
+    start = time.perf_counter()
+    jobs = spec.jobs()
+    total = len(jobs)
+
+    payloads: list[dict | None] = [None] * total
+    hit = [False] * total
+    pending = []
+    for i, job in enumerate(jobs):
+        if job.cacheable:
+            cached = cache.get(job.key)
+            if cached is not None:
+                payloads[i] = cached
+                hit[i] = True
+                continue
+        pending.append((i, job))
+
+    done_cached = total - len(pending)
+    if progress is not None and done_cached:
+        progress(done_cached, total)
+
+    if pending:
+        def _progress(done: int, _n_pending: int) -> None:
+            if progress is not None:
+                progress(done_cached + done, total)
+
+        def _commit(pending_idx: int, payload: dict) -> None:
+            # Committed per result as it arrives, so a sweep that dies
+            # midway (worker error, Ctrl-C) keeps everything finished.
+            i, job = pending[pending_idx]
+            if payloads[i] is not None:
+                return
+            payloads[i] = payload
+            if job.cacheable:
+                cache.put(job.key, payload, metadata={
+                    "scenario": job.scenario.name,
+                    "frequency_hz": float(job.frequency_hz),
+                    "estimator": job.estimator_label,
+                    "tags": dict(spec.tags),
+                })
+
+        computed = executor.run(execute_job, [job for _, job in pending],
+                                progress=_progress, on_result=_commit)
+        # Fallback for custom executors that ignore on_result.
+        for pending_idx, payload in enumerate(computed):
+            _commit(pending_idx, payload)
+
+    points = []
+    for i, job in enumerate(jobs):
+        payload = payloads[i]
+        points.append(PointResult(
+            scenario=job.scenario.name,
+            frequency_hz=float(job.frequency_hz),
+            estimator=job.estimator_label,
+            key=job.key,
+            mean=payload["mean"],
+            std=payload["std"],
+            values=payload["values"],
+            n_evals=payload["n_evals"],
+            seed=payload["seed"],
+            wall_time_s=payload["wall_time_s"],
+            cache_hit=hit[i],
+            pid=payload.get("pid"),
+        ))
+    return SweepResult(
+        frequencies_hz=spec.frequencies_hz,
+        points=tuple(points),
+        tags=dict(spec.tags),
+        executor=executor.name,
+        wall_time_s=time.perf_counter() - start,
+    )

@@ -1,0 +1,204 @@
+"""Two-tier content-addressed result cache.
+
+Tier 1 is a bounded in-memory LRU (dict of payloads); tier 2 is an
+optional on-disk store with one ``<hash>.npz`` (array payload) plus one
+``<hash>.json`` (scalar payload + human-readable provenance metadata)
+per job. Keys are the :class:`~repro.engine.spec.Job` content hashes, so
+
+- a repeated sweep against a warm store performs **zero** SWM solves;
+- interrupted sweeps resume from whatever finished (each job commits
+  independently);
+- stores are shareable between machines — the hash pins every physics
+  input, and tags/annotations are deliberately excluded from it.
+
+Disk writes go through a temp file + :func:`os.replace` so concurrent
+writers (parallel sweeps sharing a store) can never expose a torn file;
+two writers racing on one key write byte-identical content anyway.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .spec import ENGINE_VERSION
+
+#: Payload keys persisted as JSON scalars (everything but the array).
+_SCALAR_KEYS = ("mean", "std", "n_evals", "seed", "wall_time_s", "pid")
+
+
+def _jsonable(obj):
+    """json.dumps fallback: metadata/tags are free-form provenance, so a
+    numpy scalar or array in them must degrade gracefully instead of
+    killing the sweep at commit time (after the solve already ran)."""
+    if isinstance(obj, (np.integer, np.floating, np.bool_)):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return repr(obj)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache` instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+
+@dataclass
+class ResultCache:
+    """In-memory LRU over an optional on-disk NPZ/JSON store.
+
+    Parameters
+    ----------
+    max_memory_entries:
+        LRU capacity; 0 disables the memory tier (useful to force the
+        disk path or to disable caching entirely when ``disk_dir`` is
+        also ``None``).
+    disk_dir:
+        Directory of the persistent tier; created on first use. ``None``
+        keeps the cache memory-only.
+    """
+
+    max_memory_entries: int = 256
+    disk_dir: str | os.PathLike | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.max_memory_entries < 0:
+            raise ConfigurationError(
+                f"max_memory_entries must be >= 0, "
+                f"got {self.max_memory_entries}"
+            )
+        self._memory: OrderedDict[str, dict] = OrderedDict()
+        if self.disk_dir is not None:
+            self.disk_dir = Path(self.disk_dir)
+            try:
+                self.disk_dir.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise ConfigurationError(
+                    f"cannot use {self.disk_dir} as a cache directory: "
+                    f"{exc}"
+                ) from exc
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return (self.disk_dir is not None
+                and self._disk_paths(key)[0].exists())
+
+    def _disk_paths(self, key: str) -> tuple[Path, Path]:
+        assert self.disk_dir is not None
+        return (Path(self.disk_dir) / f"{key}.json",
+                Path(self.disk_dir) / f"{key}.npz")
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> dict | None:
+        """Look up a payload, promoting disk hits into memory.
+
+        The returned dict is a per-call copy and its ``values`` array is
+        read-only: callers mutating a result must not be able to corrupt
+        what later cache hits replay.
+        """
+        payload = self._memory.get(key)
+        if payload is not None:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return dict(payload)
+        if self.disk_dir is not None:
+            payload = self._disk_get(key)
+            if payload is not None:
+                self.stats.disk_hits += 1
+                self._memory_put(key, payload)
+                return dict(payload)
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, payload: dict,
+            metadata: Mapping[str, Any] | None = None) -> None:
+        """Store a payload under its content hash in both tiers."""
+        payload = dict(payload)
+        values = np.array(payload["values"], dtype=np.float64, copy=True)
+        values.flags.writeable = False
+        payload["values"] = values
+        self._memory_put(key, payload)
+        if self.disk_dir is not None:
+            self._disk_put(key, payload, metadata or {})
+        self.stats.stores += 1
+
+    def clear(self) -> None:
+        """Drop the memory tier (the disk store is left intact)."""
+        self._memory.clear()
+
+    # ------------------------------------------------------------------
+
+    def _memory_put(self, key: str, payload: dict) -> None:
+        if self.max_memory_entries == 0:
+            return
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+
+    def _disk_get(self, key: str) -> dict | None:
+        json_path, npz_path = self._disk_paths(key)
+        try:
+            with open(json_path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+            with np.load(npz_path) as npz:
+                values = np.asarray(npz["values"])
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            return None
+        if record.get("engine_version") != ENGINE_VERSION:
+            return None
+        values.flags.writeable = False
+        payload = dict(record["payload"])
+        payload["values"] = values
+        return payload
+
+    def _disk_put(self, key: str, payload: dict,
+                  metadata: Mapping[str, Any]) -> None:
+        json_path, npz_path = self._disk_paths(key)
+        record = {
+            "engine_version": ENGINE_VERSION,
+            "key": key,
+            "created_unix": time.time(),
+            "payload": {k: payload.get(k) for k in _SCALAR_KEYS},
+            "metadata": dict(metadata),
+        }
+        buf = io.BytesIO()
+        np.savez_compressed(buf, values=np.asarray(payload["values"]))
+        self._atomic_write(npz_path, buf.getvalue())
+        self._atomic_write(
+            json_path,
+            json.dumps(record, sort_keys=True, indent=1,
+                       default=_jsonable).encode("utf-8"))
+
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)

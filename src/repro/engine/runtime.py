@@ -1,0 +1,137 @@
+"""Worker-side job execution.
+
+:func:`execute_job` is the single function every executor runs — in the
+parent process (serial) or in pool workers (parallel). It is a plain
+module-level function so :mod:`concurrent.futures` can pickle a
+reference to it, and it returns a plain payload dict (scalars + one
+float array) so results cross process boundaries and serialize to the
+cache without custom reducers.
+
+Models are memoized per process keyed by the scenario's content hash:
+a sweep with F frequencies per scenario pays the KL eigendecomposition
+once per worker, not once per job. The memo is bounded (LRU) so long
+multi-scenario sweeps cannot grow worker memory without limit.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from .spec import DeterministicScenario, Job, StochasticScenario
+
+#: Models/solvers kept alive per process (LRU on scenario hash).
+_MEMO_MAX = 8
+_memo: OrderedDict[str, object] = OrderedDict()
+
+
+def _memoized(key: str, build):
+    cached = _memo.get(key)
+    if cached is not None:
+        _memo.move_to_end(key)
+        return cached
+    obj = build()
+    _memo[key] = obj
+    while len(_memo) > _MEMO_MAX:
+        _memo.popitem(last=False)
+    return obj
+
+
+def seed_model(scenario: StochasticScenario, model: object) -> None:
+    """Pre-register an already-built model for a scenario.
+
+    Lets the pipeline hand its own :class:`StochasticLossModel` to
+    same-process execution (serial, or forked workers inheriting the
+    memo) instead of paying the KL eigendecomposition a second time.
+    Job purity is unaffected: :func:`execute_job` resets the solver's
+    kernel tables regardless of where the model came from.
+    """
+    _memoized(scenario.key, lambda: model)
+
+
+def _model_for(scenario: StochasticScenario):
+    from ..core.pipeline import StochasticLossModel
+
+    return _memoized(scenario.key, lambda: StochasticLossModel(
+        scenario.correlation, scenario.config, scenario.system,
+        scenario.options))
+
+
+def _solver_for(scenario: DeterministicScenario):
+    from ..swm.solver import SWMSolver3D
+
+    # Key on the system/options only: one solver (and its kernel-table
+    # cache) serves every deterministic surface of that system.
+    from .spec import content_hash, _system_spec
+    from ..swm.solver import SWMOptions
+    options = scenario.options or SWMOptions()
+    key = "solver:" + content_hash({"system": _system_spec(scenario.system),
+                                    "options": options.to_spec()})
+    return _memoized(key, lambda: SWMSolver3D(scenario.system,
+                                              scenario.options))
+
+
+def execute_job(job: Job) -> dict:
+    """Run one job and return its payload.
+
+    Payload schema (kept flat and serializable)::
+
+        mean, std      : float summary statistics
+        values         : float64 array (SSCM node values / MC samples /
+                         the single deterministic enhancement)
+        n_evals        : number of SWM solves performed
+        seed           : RNG seed (None for deterministic/SSCM jobs)
+        wall_time_s    : compute time in the executing process
+        pid            : executing process id (provenance)
+    """
+    start = time.perf_counter()
+    scenario = job.scenario
+    if isinstance(scenario, DeterministicScenario):
+        solver = _solver_for(scenario)
+        # Kernel tables adapt to the surfaces a solver has seen, so a
+        # job's value must not depend on what ran before it in this
+        # process: start every job from a history-free solver. Tables
+        # still amortize *within* the job (the estimator's samples).
+        solver.reset_tables()
+        res = solver.solve(scenario.heights_m, scenario.period_m,
+                           job.frequency_hz)
+        values = np.array([res.enhancement], dtype=np.float64)
+        mean, std = float(res.enhancement), 0.0
+        n_evals, seed = 1, None
+    else:
+        model = _model_for(scenario)
+        model.solver.reset_tables()  # same purity argument as above
+        est = job.estimator
+        if est.kind == "sscm":
+            res = model.sscm(job.frequency_hz, order=est.order)
+            values = np.asarray(res.node_values, dtype=np.float64)
+            mean, std = res.mean, res.std
+            n_evals, seed = res.n_samples, None
+        else:
+            # Drive the estimator directly: the model's montecarlo()
+            # wrapper routes back through the engine.
+            from ..stochastic.montecarlo import MonteCarloEstimator
+
+            estimator = MonteCarloEstimator(
+                model.enhancement_model(job.frequency_hz), model.dimension)
+            res = estimator.run(est.n_samples, seed=est.seed)
+            values = np.asarray(res.samples, dtype=np.float64)
+            mean, std = res.mean, res.std
+            n_evals, seed = res.n_samples, est.seed
+    return {
+        "mean": float(mean),
+        "std": float(std),
+        "values": values,
+        "n_evals": int(n_evals),
+        "seed": seed,
+        "wall_time_s": time.perf_counter() - start,
+        "pid": os.getpid(),
+    }
+
+
+def clear_memo() -> None:
+    """Drop memoized models (tests; long-lived servers between sweeps)."""
+    _memo.clear()

@@ -5,10 +5,14 @@ Usage::
     python -m repro.experiments.runner             # run everything, quick
     python -m repro.experiments.runner fig3 fig7   # selected experiments
     python -m repro.experiments.runner --scale standard table1
+    python -m repro.experiments.runner --list      # available experiments
+    python -m repro.experiments.runner --jobs 4 --cache-dir ./sweep-cache
 
 Prints each experiment's series table (the data behind the paper's
 figure) and the pass/fail status of its qualitative checks; exits
-non-zero if any check fails.
+non-zero if any check fails. ``--jobs``/``--cache-dir`` scope an
+engine session, so every sweep inside the experiments runs on a process
+pool and/or replays from a persistent result cache.
 """
 
 from __future__ import annotations
@@ -28,29 +32,61 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
         description="Regenerate the paper's tables and figures.")
-    parser.add_argument("experiments", nargs="*",
-                        choices=[*sorted(ALL_EXPERIMENTS), []],
-                        help="experiments to run (default: all)")
+    parser.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                        help="experiments to run (default: all; "
+                             "see --list)")
     parser.add_argument("--scale", default="quick",
                         choices=sorted(_SCALES),
                         help="execution scale (default: quick)")
+    parser.add_argument("--list", action="store_true", dest="list_",
+                        help="list available experiments and exit")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the sweep engine "
+                             "(default: 1 = serial)")
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="persistent result-cache directory "
+                             "(re-runs replay cached sweep points)")
     args = parser.parse_args(argv)
+
+    if args.list_:
+        for name in sorted(ALL_EXPERIMENTS):
+            print(name)
+        return 0
+
+    unknown = sorted(set(args.experiments) - set(ALL_EXPERIMENTS))
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(ALL_EXPERIMENTS))})")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     names = args.experiments or sorted(ALL_EXPERIMENTS)
     scale = _SCALES[args.scale]
 
+    from ..engine import ResultCache, engine_session
+    from ..errors import ConfigurationError
+
+    cache = None
+    if args.cache_dir is not None:
+        try:
+            cache = ResultCache(disk_dir=args.cache_dir)
+        except ConfigurationError as exc:
+            parser.error(f"--cache-dir: {exc}")
+
     all_pass = True
-    for name in names:
-        runner = ALL_EXPERIMENTS[name]
-        start = time.time()
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", RuntimeWarning)
-            result = runner(scale)
-        elapsed = time.time() - start
-        print(result.format_table())
-        print(f"[{name}: {elapsed:.1f} s at scale {scale.name!r}]")
-        print()
-        all_pass = all_pass and result.all_checks_pass()
+    with engine_session(n_jobs=args.jobs, cache=cache):
+        for name in names:
+            runner = ALL_EXPERIMENTS[name]
+            start = time.time()
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                result = runner(scale)
+            elapsed = time.time() - start
+            print(result.format_table())
+            print(f"[{name}: {elapsed:.1f} s at scale {scale.name!r}]")
+            print()
+            all_pass = all_pass and result.all_checks_pass()
     if not all_pass:
         print("SOME CHECKS FAILED", file=sys.stderr)
         return 1

@@ -61,6 +61,14 @@ class AssemblyOptions:
         return EwaldConfig(period=period, split=self.ewald_split,
                            n_images=self.n_images, n_modes=self.n_modes)
 
+    def to_spec(self) -> dict:
+        """Content-hashable dict of every knob that affects numerics
+        (keys the engine's result cache). ``asdict`` so a field added
+        later can never be silently left out of the hash."""
+        import dataclasses
+
+        return dataclasses.asdict(self)
+
 
 def _wrap(d: np.ndarray, period: float) -> np.ndarray:
     """Wrap separations to the minimum image in (-L/2, L/2]."""

@@ -68,6 +68,14 @@ class SWMOptions:
     assembly: AssemblyOptions = field(default_factory=AssemblyOptions)
     check_finite: bool = True
 
+    def to_spec(self) -> dict:
+        """Content-hashable dict (keys the engine's result cache).
+        ``asdict`` recurses into :class:`AssemblyOptions` and picks up
+        any future field automatically."""
+        import dataclasses
+
+        return dataclasses.asdict(self)
+
 
 class SWMSolver3D:
     """Deterministic 3D SWM solver for one dielectric/conductor system.
@@ -93,6 +101,17 @@ class SWMSolver3D:
         # they are what amortizes MC/SSCM sweeps (hundreds of samples per
         # frequency reuse one table build).
         self._tables: dict[tuple[int, float, float], object] = {}
+
+    def reset_tables(self) -> None:
+        """Drop cached kernel tables.
+
+        Tables are interpolation grids whose node placement depends on
+        the z-extents solved so far, so a solver's results can vary at
+        interpolation accuracy with its history. The engine resets
+        before each job to keep job results a pure function of the job
+        spec (the content-addressed cache requires this).
+        """
+        self._tables.clear()
 
     def _get_tables(self, which: int, k: complex, frequency_hz: float,
                     mesh: SurfaceMesh3D):

@@ -1,0 +1,489 @@
+"""Tests of the sweep-execution engine (spec/executors/cache/results).
+
+The two acceptance properties of the subsystem are pinned here:
+
+- ``ParallelExecutor`` results are numerically identical (<= 1e-12) to
+  ``SerialExecutor`` for the same ``SweepSpec``;
+- a repeated sweep against a warm on-disk cache performs **zero** SWM
+  solves (asserted by making the solver raise).
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.constants import GHZ, UM
+from repro.core import (
+    DeterministicLossModel,
+    StochasticLossConfig,
+    StochasticLossModel,
+)
+from repro.engine import (
+    DeterministicScenario,
+    EstimatorSpec,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    StochasticScenario,
+    SweepSpec,
+    content_hash,
+    correlation_spec,
+    engine_session,
+    run_sweep,
+)
+from repro.errors import ConfigurationError
+from repro.stochastic.montecarlo import MonteCarloEstimator
+from repro.surfaces import GaussianCorrelation, MaternCorrelation
+from repro.swm.solver import SWMSolver3D
+
+SMALL_CONFIG = StochasticLossConfig(points_per_side=8, max_modes=3)
+
+
+def small_scenario(name="eta1", eta_um=1.0, **config_kwargs):
+    cfg = SMALL_CONFIG if not config_kwargs else StochasticLossConfig(
+        points_per_side=8, max_modes=3, **config_kwargs)
+    return StochasticScenario(
+        name, GaussianCorrelation(1 * UM, eta_um * UM), cfg)
+
+
+def small_spec(frequencies=(2.0, 5.0), estimators=EstimatorSpec(order=1)):
+    return SweepSpec(
+        scenarios=[small_scenario("eta1", 1.0), small_scenario("eta2", 2.0)],
+        frequencies_hz=np.asarray(frequencies) * GHZ,
+        estimators=estimators)
+
+
+class TestContentHash:
+    def test_stable_across_equivalent_specs(self):
+        a = small_scenario("x").key
+        b = small_scenario("x").key
+        assert a == b
+        assert len(a) == 64
+
+    def test_name_and_tags_do_not_affect_hash(self):
+        assert small_scenario("a").key == small_scenario("b").key
+        s1 = SweepSpec(small_scenario(), [5 * GHZ], tags={"scale": "quick"})
+        s2 = SweepSpec(small_scenario(), [5 * GHZ], tags={"scale": "paper"})
+        assert s1.key == s2.key
+
+    def test_physics_inputs_change_hash(self):
+        base = small_scenario()
+        assert base.key != small_scenario(eta_um=2.0).key
+        assert base.key != small_scenario(max_points_per_side=12).key
+        base_job = SweepSpec(base, [5 * GHZ]).jobs()[0]
+        other_freq = SweepSpec(base, [6 * GHZ]).jobs()[0]
+        other_order = SweepSpec(base, [5 * GHZ],
+                                EstimatorSpec(order=2)).jobs()[0]
+        assert base_job.key != other_freq.key
+        assert base_job.key != other_order.key
+
+    def test_numpy_and_python_floats_hash_equal(self):
+        assert content_hash({"f": 5.0}) == content_hash(
+            {"f": np.float64(5.0)})
+
+    def test_correlation_spec_extracts_parameters(self):
+        spec = correlation_spec(MaternCorrelation(1 * UM, 2 * UM, nu=1.5))
+        assert spec["type"] == "MaternCorrelation"
+        assert spec["params"] == {"sigma": 1 * UM, "eta": 2 * UM, "nu": 1.5}
+
+    def test_unhashable_object_raises(self):
+        with pytest.raises(ConfigurationError):
+            content_hash({"bad": object()})
+
+    def test_correlation_array_parameter_hashes_by_content(self):
+        class TabulatedCF(GaussianCorrelation):
+            def __init__(self, weights):
+                super().__init__(1 * UM, 1 * UM)
+                self.weights = np.asarray(weights, dtype=np.float64)
+
+        a = correlation_spec(TabulatedCF([1.0, 2.0]))
+        b = correlation_spec(TabulatedCF([1.0, 3.0]))
+        assert content_hash(a) != content_hash(b)
+
+    def test_correlation_unhashable_attribute_raises(self):
+        class BadCF(GaussianCorrelation):
+            def __init__(self):
+                super().__init__(1 * UM, 1 * UM)
+                self.table = {"not": "hashed"}
+
+        with pytest.raises(ConfigurationError, match="table"):
+            correlation_spec(BadCF())
+
+    def test_deterministic_scenario_hashes_heights(self):
+        flat = np.zeros((8, 8))
+        bump = flat.copy()
+        bump[4, 4] = 1e-7
+        a = DeterministicScenario("s", flat, 5 * UM)
+        b = DeterministicScenario("s", bump, 5 * UM)
+        assert a.key != b.key
+
+
+class TestSweepSpec:
+    def test_cartesian_product_order(self):
+        spec = small_spec(frequencies=(2.0, 3.0, 4.0))
+        jobs = spec.jobs()
+        assert len(jobs) == 6
+        assert [j.scenario.name for j in jobs] == ["eta1"] * 3 + ["eta2"] * 3
+        assert [j.index for j in jobs] == list(range(6))
+
+    def test_multiple_estimators_multiply(self):
+        spec = SweepSpec(small_scenario(), [2 * GHZ, 5 * GHZ],
+                         estimators=[EstimatorSpec(order=1),
+                                     EstimatorSpec(order=2)])
+        assert spec.n_jobs == 4
+
+    def test_deterministic_scenario_ignores_estimators(self):
+        spec = SweepSpec(
+            DeterministicScenario("flat", np.zeros((8, 8)), 5 * UM),
+            [2 * GHZ, 5 * GHZ],
+            estimators=[EstimatorSpec(order=1), EstimatorSpec(order=2)])
+        jobs = spec.jobs()
+        assert len(jobs) == 2
+        assert all(j.estimator is None for j in jobs)
+        assert all(j.estimator_label == "solve" for j in jobs)
+
+    def test_scalar_frequency_coerced(self):
+        spec = SweepSpec(small_scenario(), 5 * GHZ)
+        assert spec.frequencies_hz == (5 * GHZ,)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec([], [5 * GHZ])
+        with pytest.raises(ConfigurationError):
+            SweepSpec([small_scenario("a"), small_scenario("a")], [5 * GHZ])
+        with pytest.raises(ConfigurationError):
+            SweepSpec(small_scenario(), [-1.0])
+        with pytest.raises(ConfigurationError):
+            EstimatorSpec(kind="bogus")
+        with pytest.raises(ConfigurationError):
+            EstimatorSpec(kind="montecarlo", n_samples=1)
+
+    def test_unseeded_montecarlo_not_cacheable(self):
+        assert not EstimatorSpec(kind="montecarlo", n_samples=4,
+                                 seed=None).cacheable
+        assert EstimatorSpec(kind="montecarlo", n_samples=4,
+                             seed=0).cacheable
+        assert EstimatorSpec(kind="sscm").cacheable
+
+
+class TestExecutorEquivalence:
+    """Acceptance: parallel results identical to serial within 1e-12."""
+
+    def test_parallel_matches_serial(self):
+        spec = small_spec()
+        serial = run_sweep(spec, executor=SerialExecutor(),
+                           cache=ResultCache())
+        parallel = run_sweep(spec, executor=ParallelExecutor(n_jobs=2),
+                             cache=ResultCache())
+        assert serial.cache_hits == 0 and parallel.cache_hits == 0
+        for name in ("eta1", "eta2"):
+            diff = np.abs(serial.mean_curve(name) -
+                          parallel.mean_curve(name))
+            assert np.max(diff) <= 1e-12
+        for ps, pp in zip(serial.points, parallel.points):
+            np.testing.assert_allclose(ps.values, pp.values, rtol=0,
+                                       atol=1e-12)
+
+    def test_progress_reaches_total_in_order(self):
+        spec = small_spec()
+        seen = []
+        run_sweep(spec, executor=SerialExecutor(), cache=ResultCache(),
+                  progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(i + 1, 4) for i in range(4)]
+
+    def test_parallel_progress_counts_all_points(self):
+        spec = small_spec()
+        seen = []
+        run_sweep(spec, executor=ParallelExecutor(n_jobs=2, chunksize=1),
+                  cache=ResultCache(),
+                  progress=lambda done, total: seen.append((done, total)))
+        assert seen[-1] == (4, 4)
+        assert [d for d, _ in seen] == sorted(d for d, _ in seen)
+
+    def test_single_job_falls_back_to_serial(self):
+        spec = SweepSpec(small_scenario(), 5 * GHZ)
+        res = run_sweep(spec, executor=ParallelExecutor(n_jobs=4),
+                        cache=ResultCache())
+        assert res.points[0].mean > 1.0
+
+    def test_chunking(self):
+        ex = ParallelExecutor(n_jobs=2, chunksize=3)
+        assert [len(c) for c in ex._chunks(list(range(8)))] == [3, 3, 2]
+        auto = ParallelExecutor(n_jobs=2)
+        assert sum(len(c) for c in auto._chunks(list(range(20)))) == 20
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(n_jobs=0)
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(chunksize=0)
+
+    def test_worker_error_propagates(self):
+        ex = ParallelExecutor(n_jobs=2, chunksize=1)
+        with pytest.raises(ZeroDivisionError):
+            ex.run(_reciprocal, [1.0, 0.0, 2.0])
+
+    def test_on_result_fires_with_item_indices(self):
+        seen = {}
+        ParallelExecutor(n_jobs=2, chunksize=2).run(
+            _reciprocal, [1.0, 2.0, 4.0, 5.0],
+            on_result=lambda i, r: seen.setdefault(i, r))
+        assert seen == {0: 1.0, 1: 0.5, 2: 0.25, 3: 0.2}
+
+    def test_on_result_fires_before_a_later_failure(self):
+        seen = []
+        with pytest.raises(ZeroDivisionError):
+            SerialExecutor().run(_reciprocal, [2.0, 0.0],
+                                 on_result=lambda i, r: seen.append(i))
+        assert seen == [0]
+
+    def test_parallel_failure_still_commits_finished_chunks(self):
+        """A failing chunk must not discard results that completed on
+        other workers before/while it failed."""
+        seen = {}
+        with pytest.raises(ZeroDivisionError):
+            ParallelExecutor(n_jobs=2, chunksize=1).run(
+                _slow_reciprocal, [0.0, 1.0, 2.0, 4.0],
+                on_result=lambda i, r: seen.setdefault(i, r))
+        # items 1-3 are sub-ms on the other worker while item 0 spends
+        # 0.5 s before raising: their results must have been delivered.
+        assert seen == {1: 1.0, 2: 0.5, 3: 0.25}
+
+
+def _reciprocal(x):
+    """Module-level so the process pool can pickle it."""
+    return 1.0 / x
+
+
+def _slow_reciprocal(x):
+    if x == 0.0:
+        import time
+        time.sleep(0.5)
+    return 1.0 / x
+
+
+class TestResultCache:
+    def payload(self, n=3):
+        return {"mean": 1.5, "std": 0.1,
+                "values": np.arange(n, dtype=np.float64),
+                "n_evals": n, "seed": 7, "wall_time_s": 0.25, "pid": 1}
+
+    def test_memory_round_trip_and_stats(self):
+        cache = ResultCache()
+        assert cache.get("k") is None
+        cache.put("k", self.payload())
+        got = cache.get("k")
+        np.testing.assert_array_equal(got["values"], np.arange(3.0))
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_memory_entries=2)
+        for key in ("a", "b", "c"):
+            cache.put(key, self.payload())
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+        # touching "b" makes "c" the eviction victim
+        cache.get("b")
+        cache.put("d", self.payload())
+        assert "c" not in cache and "b" in cache
+
+    def test_disk_round_trip_exact(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        values = np.array([1.0 / 3.0, np.pi, 1e-300])
+        payload = dict(self.payload(), values=values)
+        cache.put("deadbeef", payload, metadata={"scenario": "s"})
+        fresh = ResultCache(disk_dir=tmp_path)  # empty memory tier
+        got = fresh.get("deadbeef")
+        np.testing.assert_array_equal(got["values"], values)
+        assert got["mean"] == payload["mean"]
+        assert fresh.stats.disk_hits == 1
+        record = json.loads((tmp_path / "deadbeef.json").read_text())
+        assert record["metadata"]["scenario"] == "s"
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        cache.put("k", self.payload())
+        (tmp_path / "k.json").write_text("{not json")
+        fresh = ResultCache(disk_dir=tmp_path)
+        assert fresh.get("k") is None
+
+    def test_engine_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        cache.put("k", self.payload())
+        record = json.loads((tmp_path / "k.json").read_text())
+        record["engine_version"] = -1
+        (tmp_path / "k.json").write_text(json.dumps(record))
+        fresh = ResultCache(disk_dir=tmp_path)
+        assert fresh.get("k") is None
+
+    def test_zero_memory_entries_disables_memory_tier(self):
+        cache = ResultCache(max_memory_entries=0)
+        cache.put("k", self.payload())
+        assert cache.get("k") is None
+
+
+class TestCachedSweeps:
+    """Acceptance: a warm on-disk cache performs zero SWM solves."""
+
+    def test_warm_disk_cache_runs_zero_solves(self, tmp_path, monkeypatch):
+        spec = small_spec()
+        warm = run_sweep(spec, executor=SerialExecutor(),
+                         cache=ResultCache(disk_dir=tmp_path))
+        assert warm.cache_misses == 4 and warm.n_evals > 0
+
+        def no_solves(self, *args, **kwargs):
+            raise AssertionError("SWM solve performed on warm cache")
+
+        monkeypatch.setattr(SWMSolver3D, "_solve_fields", no_solves)
+        replay = run_sweep(spec, executor=SerialExecutor(),
+                           cache=ResultCache(disk_dir=tmp_path))
+        assert replay.cache_hits == 4
+        assert replay.n_evals == 0
+        for name in ("eta1", "eta2"):
+            np.testing.assert_array_equal(replay.mean_curve(name),
+                                          warm.mean_curve(name))
+
+    def test_memory_cache_replay(self):
+        spec = SweepSpec(small_scenario(), [2 * GHZ, 5 * GHZ])
+        cache = ResultCache()
+        first = run_sweep(spec, cache=cache)
+        again = run_sweep(spec, cache=cache)
+        assert first.cache_hits == 0
+        assert again.cache_hits == 2
+        np.testing.assert_array_equal(first.mean_curve("eta1"),
+                                      again.mean_curve("eta1"))
+
+    def test_progress_counts_cached_points(self):
+        spec = SweepSpec(small_scenario(), [2 * GHZ, 5 * GHZ])
+        cache = ResultCache()
+        run_sweep(spec, cache=cache)
+        seen = []
+        run_sweep(spec, cache=cache,
+                  progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(2, 2)]
+
+    def test_interrupted_sweep_keeps_finished_points(self, tmp_path):
+        """Each point commits as it finishes: a sweep that dies midway
+        resumes from whatever completed."""
+        from repro.errors import SolverError
+
+        good = DeterministicScenario("good", np.zeros((8, 8)), 5 * UM)
+        bad = DeterministicScenario("bad", np.full((8, 8), np.nan),
+                                    5 * UM)
+        spec = SweepSpec([good, bad], [2 * GHZ, 5 * GHZ])
+        cache = ResultCache(disk_dir=tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with pytest.raises(SolverError):
+                run_sweep(spec, executor=SerialExecutor(), cache=cache)
+        # The two 'good' points finished before the failure and persist.
+        assert cache.stats.stores == 2
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+        good_only = SweepSpec(good, [2 * GHZ, 5 * GHZ])
+        replay = run_sweep(good_only, executor=SerialExecutor(),
+                           cache=ResultCache(disk_dir=tmp_path))
+        assert replay.cache_hits == 2 and replay.n_evals == 0
+
+    def test_cached_values_are_isolated_from_mutation(self):
+        spec = SweepSpec(small_scenario(), 2 * GHZ)
+        cache = ResultCache()
+        first = run_sweep(spec, cache=cache)
+        baseline = first.points[0].values.copy()
+        with pytest.raises(ValueError):
+            # Cached arrays are read-only: corruption fails loudly.
+            run_sweep(spec, cache=cache).points[0].values[:] = 0.0
+        again = run_sweep(spec, cache=cache)
+        np.testing.assert_array_equal(again.points[0].values, baseline)
+
+    def test_unseeded_montecarlo_never_cached(self):
+        spec = SweepSpec(small_scenario(), 2 * GHZ,
+                         EstimatorSpec(kind="montecarlo", n_samples=2,
+                                       seed=None))
+        cache = ResultCache()
+        run_sweep(spec, cache=cache)
+        res = run_sweep(spec, cache=cache)
+        assert cache.stats.stores == 0
+        assert res.cache_hits == 0
+
+
+class TestPipelineRouting:
+    """The high-level pipeline API routes through the engine."""
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        return StochasticLossModel(GaussianCorrelation(1 * UM, 1 * UM),
+                                   SMALL_CONFIG)
+
+    def test_montecarlo_matches_direct_estimator(self, model):
+        routed = model.montecarlo(5 * GHZ, 8, seed=0, cache=ResultCache())
+        direct = MonteCarloEstimator(model.enhancement_model(5 * GHZ),
+                                     model.dimension).run(8, seed=0)
+        np.testing.assert_array_equal(routed.samples, direct.samples)
+
+    def test_mean_enhancement_parallel_matches_serial(self, model):
+        freqs = np.array([2.0, 5.0]) * GHZ
+        serial = model.mean_enhancement(freqs, order=1, cache=ResultCache())
+        parallel = model.mean_enhancement(freqs, order=1,
+                                          executor=ParallelExecutor(2),
+                                          cache=ResultCache())
+        assert np.max(np.abs(serial - parallel)) <= 1e-12
+
+    def test_deterministic_enhancement_routed(self):
+        dm = DeterministicLossModel()
+        cache = ResultCache()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            vals = dm.enhancement(np.zeros((8, 8)), 5 * UM,
+                                  np.array([2.0, 5.0]) * GHZ, cache=cache)
+        np.testing.assert_allclose(vals, 1.0, atol=0.03)
+        assert cache.stats.stores == 2
+
+    def test_engine_session_scopes_defaults(self, model):
+        session_cache = ResultCache()
+        with engine_session(cache=session_cache):
+            model.mean_enhancement(np.array([2.0]) * GHZ, order=1)
+        assert session_cache.stats.stores == 1
+
+    def test_nested_session_inherits_outer_cache(self, model):
+        outer_cache = ResultCache()
+        with engine_session(cache=outer_cache):
+            with engine_session(n_jobs=1):  # sets executor only
+                model.mean_enhancement(np.array([5.0]) * GHZ, order=1)
+        assert outer_cache.stats.stores == 1
+
+    def test_numpy_tags_survive_disk_metadata(self, tmp_path):
+        spec = SweepSpec(small_scenario(), 2 * GHZ,
+                         tags={"n": np.int64(5), "arr": np.array([1.0])})
+        res = run_sweep(spec, cache=ResultCache(disk_dir=tmp_path))
+        assert res.cache_misses == 1
+        record = json.loads(
+            (tmp_path / f"{res.points[0].key}.json").read_text())
+        assert record["metadata"]["tags"] == {"n": 5, "arr": [1.0]}
+
+    def test_provenance_fields(self, model):
+        res = run_sweep(SweepSpec(model.scenario("m"), 2 * GHZ),
+                        cache=ResultCache())
+        point = res.point("m", 2 * GHZ)
+        assert point.estimator == "sscm(order=1)"
+        assert point.seed is None
+        assert point.n_evals == point.values.size > model.dimension
+        assert point.wall_time_s > 0.0
+        assert point.cache_hit is False
+        assert point.pid is not None
+        assert res.summary().endswith("s")
+
+    def test_result_selectors(self, model):
+        spec = SweepSpec([model.scenario("a"),
+                          small_scenario("b", eta_um=2.0)],
+                         [2 * GHZ, 5 * GHZ])
+        res = run_sweep(spec, cache=ResultCache())
+        with pytest.raises(ConfigurationError):
+            res.mean_curve()  # ambiguous scenario
+        with pytest.raises(ConfigurationError):
+            res.curve("a", statistic="median")
+        assert res.scenario_names == ["a", "b"]
+        assert res.mean_curve("a").shape == (2,)

@@ -1,0 +1,125 @@
+"""Tests of the experiment-runner CLI (argument handling, exit codes,
+and engine integration via ``--jobs``/``--cache-dir``)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import GHZ, UM
+from repro.core import StochasticLossConfig, StochasticLossModel
+from repro.engine import default_cache
+from repro.experiments import runner as runner_module
+from repro.experiments.base import ExperimentResult
+from repro.surfaces import GaussianCorrelation
+
+
+def _fake_experiment(passed: bool, recorded: list | None = None):
+    def run(scale):
+        res = ExperimentResult(
+            experiment="Fake", description="CLI test stub",
+            x_label="x", x=np.array([1.0, 2.0]))
+        res.add_series("y", np.array([1.0, 2.0]))
+        res.check("ok", passed)
+        if recorded is not None:
+            recorded.append(scale.name)
+        return res
+    return run
+
+
+def _sweep_experiment(recorded: list):
+    """A real (tiny) engine-routed sweep, for --jobs parity checks."""
+    def run(scale):
+        model = StochasticLossModel(
+            GaussianCorrelation(1 * UM, 1 * UM),
+            StochasticLossConfig(points_per_side=8, max_modes=2))
+        freqs = np.array([2.0, 5.0]) * GHZ
+        means = model.mean_enhancement(freqs, order=1)
+        recorded.append(means)
+        res = ExperimentResult(
+            experiment="Sweep", description="engine parity stub",
+            x_label="f (GHz)", x=freqs / GHZ)
+        res.add_series("mean", means)
+        res.check("physical", bool(np.all(means > 0.9)))
+        return res
+    return run
+
+
+class TestArguments:
+    def test_list_prints_experiments_and_exits_zero(self, capsys):
+        assert runner_module.main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == sorted(runner_module.ALL_EXPERIMENTS)
+
+    def test_unknown_experiment_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            runner_module.main(["nope"])
+        assert exc.value.code == 2
+        assert "unknown experiment(s): nope" in capsys.readouterr().err
+
+    def test_help_has_no_empty_choice_leak(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            runner_module.main(["--help"])
+        assert exc.value.code == 0
+        help_text = capsys.readouterr().out
+        assert "[]" not in help_text
+        assert "--list" in help_text and "--jobs" in help_text
+
+    def test_bad_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            runner_module.main(["--jobs", "0"])
+        assert exc.value.code == 2
+
+
+class TestExitCodes:
+    def test_passing_checks_exit_zero(self, monkeypatch, capsys):
+        monkeypatch.setattr(runner_module, "ALL_EXPERIMENTS",
+                            {"good": _fake_experiment(True)})
+        assert runner_module.main(["good"]) == 0
+        out = capsys.readouterr().out
+        assert "check ok: PASS" in out
+
+    def test_failing_check_exits_nonzero(self, monkeypatch, capsys):
+        monkeypatch.setattr(runner_module, "ALL_EXPERIMENTS",
+                            {"good": _fake_experiment(True),
+                             "bad": _fake_experiment(False)})
+        assert runner_module.main([]) == 1
+        captured = capsys.readouterr()
+        assert "SOME CHECKS FAILED" in captured.err
+        assert "check ok: FAIL" in captured.out
+
+    def test_scale_is_forwarded(self, monkeypatch):
+        recorded = []
+        monkeypatch.setattr(runner_module, "ALL_EXPERIMENTS",
+                            {"good": _fake_experiment(True, recorded)})
+        assert runner_module.main(["--scale", "standard", "good"]) == 0
+        assert recorded == ["standard"]
+
+
+class TestEngineIntegration:
+    def test_jobs_2_matches_serial(self, monkeypatch, capsys):
+        recorded = []
+        monkeypatch.setattr(runner_module, "ALL_EXPERIMENTS",
+                            {"sweep": _sweep_experiment(recorded)})
+        # Clear the process-global cache between invocations so the
+        # parallel run cannot replay the serial run's points.
+        default_cache().clear()
+        assert runner_module.main(["sweep"]) == 0
+        default_cache().clear()
+        assert runner_module.main(["--jobs", "2", "sweep"]) == 0
+        default_cache().clear()
+        serial, parallel = recorded
+        assert np.max(np.abs(serial - parallel)) <= 1e-12
+
+    def test_cache_dir_persists_results(self, monkeypatch, tmp_path,
+                                        capsys):
+        recorded = []
+        monkeypatch.setattr(runner_module, "ALL_EXPERIMENTS",
+                            {"sweep": _sweep_experiment(recorded)})
+        cache_dir = tmp_path / "sweeps"
+        assert runner_module.main(
+            ["--cache-dir", str(cache_dir), "sweep"]) == 0
+        stored = list(cache_dir.glob("*.npz"))
+        assert len(stored) == 2  # one per frequency
+        assert runner_module.main(
+            ["--cache-dir", str(cache_dir), "sweep"]) == 0
+        first, second = recorded
+        np.testing.assert_array_equal(first, second)
