@@ -1,9 +1,7 @@
 """Fig. 2 benchmark: rough-surface synthesis + statistics round trip."""
 
-from repro.experiments import fig2
-
 from conftest import run_and_report
 
 
 def test_fig2_surface_round_trip(benchmark, scale):
-    run_and_report(benchmark, fig2.run, scale)
+    run_and_report(benchmark, "fig2", scale)

@@ -1,9 +1,7 @@
 """Fig. 3 benchmark: SWM vs SPM2 vs empirical formula (Gaussian CF)."""
 
-from repro.experiments import fig3
-
 from conftest import run_and_report
 
 
 def test_fig3_swm_vs_spm2(benchmark, scale):
-    run_and_report(benchmark, fig3.run, scale)
+    run_and_report(benchmark, "fig3", scale)

@@ -1,9 +1,7 @@
 """Fig. 4 benchmark: SWM vs SPM2 with the extracted CF of eq. (12)."""
 
-from repro.experiments import fig4
-
 from conftest import run_and_report
 
 
 def test_fig4_extracted_cf(benchmark, scale):
-    run_and_report(benchmark, fig4.run, scale)
+    run_and_report(benchmark, "fig4", scale)

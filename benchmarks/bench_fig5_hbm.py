@@ -1,9 +1,7 @@
 """Fig. 5 benchmark: SWM vs HBM on the half-spheroid boss."""
 
-from repro.experiments import fig5
-
 from conftest import run_and_report
 
 
 def test_fig5_spheroid_vs_hbm(benchmark, scale):
-    run_and_report(benchmark, fig5.run, scale)
+    run_and_report(benchmark, "fig5", scale)

@@ -1,9 +1,7 @@
 """Fig. 6 benchmark: 3D SWM vs 2D SWM loss enhancement."""
 
-from repro.experiments import fig6
-
 from conftest import run_and_report
 
 
 def test_fig6_3d_vs_2d(benchmark, scale):
-    run_and_report(benchmark, fig6.run, scale)
+    run_and_report(benchmark, "fig6", scale)

@@ -1,9 +1,7 @@
 """Fig. 7 benchmark: CDF of Pr/Ps — Monte-Carlo vs 1st/2nd-order SSCM."""
 
-from repro.experiments import fig7
-
 from conftest import run_and_report
 
 
 def test_fig7_sscm_cdf(benchmark, scale):
-    run_and_report(benchmark, fig7.run, scale)
+    run_and_report(benchmark, "fig7", scale)

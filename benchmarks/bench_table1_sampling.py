@@ -1,9 +1,7 @@
 """Table I benchmark: sampling-point counts, MC vs sparse-grid SSCM."""
 
-from repro.experiments import table1
-
 from conftest import run_and_report
 
 
 def test_table1_sampling_points(benchmark, scale):
-    run_and_report(benchmark, table1.run, scale)
+    run_and_report(benchmark, "table1", scale)

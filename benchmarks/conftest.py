@@ -10,6 +10,7 @@ import warnings
 
 import pytest
 
+import repro.api
 from repro.experiments import scale_from_env
 from repro.experiments.base import ExperimentResult
 
@@ -19,14 +20,17 @@ def scale():
     return scale_from_env()
 
 
-def run_and_report(benchmark, runner, scale, **kwargs) -> ExperimentResult:
-    """Benchmark one experiment runner and print its table."""
+def run_and_report(benchmark, experiment: str, scale,
+                   **params) -> ExperimentResult:
+    """Benchmark one registered experiment and print its table."""
     def target():
         with warnings.catch_warnings():
             # Reduced scales deliberately run into the documented
             # resolution warnings at the top of the band.
             warnings.simplefilter("ignore", RuntimeWarning)
-            return runner(scale, **kwargs)
+            return repro.api.run(
+                experiment, scale,
+                experiment=repro.api.get(experiment, **params))
 
     result = benchmark.pedantic(target, iterations=1, rounds=1)
     print()

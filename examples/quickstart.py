@@ -1,52 +1,52 @@
 #!/usr/bin/env python
-"""Quickstart: loss-enhancement factor of one rough copper surface.
+"""Quickstart: the declarative experiment API (`repro.api`).
 
-Generates a 3D Gaussian rough surface (sigma = eta = 1 um, the paper's
-Fig. 2 setting), solves the scalar-wave model at a few frequencies, and
-compares against the closed-form baselines.
+Every figure/table of the paper is a registered Experiment:
+``plan(scale)`` describes all of its solver-backed points as one
+engine SweepSpec (inspectable for free), ``run`` executes the spec —
+parallel across the whole figure with ``jobs=N``, replayable from a
+persistent cache with ``cache_dir=...`` — and reduces it to series +
+qualitative checks.
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro import GaussianCorrelation, SWMSolver3D, SurfaceGenerator
-from repro import hammerstad_enhancement, spm2_enhancement
-from repro.constants import GHZ, UM
-from repro.surfaces import extract_statistics
+import repro.api
 
 
 def main() -> None:
-    sigma_um, eta_um = 1.0, 1.0
-    period_um = 5.0 * eta_um  # the paper's L = 5 eta
-    n = 16                     # grid points per side (paper: 40)
-
-    cf_um = GaussianCorrelation(sigma=sigma_um, eta=eta_um)
-    generator = SurfaceGenerator(cf_um, period=period_um, n=n, normalize=True)
-    surface = generator.sample(rng=2009)
-
-    stats = extract_statistics(surface.heights, period_um)
-    print("Surface realization:")
-    print(f"  sigma      = {stats.sigma:.3f} um (target {sigma_um})")
-    print(f"  corr. len. = {stats.correlation_length:.3f} um (target {eta_um})")
-    print(f"  RMS slope  = {stats.rms_slope:.3f}")
+    print("Registered experiments:", ", ".join(repro.api.experiments()))
     print()
 
-    solver = SWMSolver3D()
-    cf_si = GaussianCorrelation(sigma=sigma_um * UM, eta=eta_um * UM)
-    freqs = np.array([1.0, 3.0, 5.0, 7.0, 9.0]) * GHZ
-
-    print(f"{'f (GHz)':>8} | {'SWM Pr/Ps':>10} | {'SPM2':>8} | {'eq.(1)':>8}")
-    print("-" * 44)
-    spm = spm2_enhancement(freqs, cf_si)
-    emp = hammerstad_enhancement(freqs, sigma_um * UM)
-    for i, f in enumerate(freqs):
-        res = solver.solve_um(surface.heights, period_um, float(f))
-        print(f"{f / GHZ:8.1f} | {res.enhancement:10.4f} | "
-              f"{spm[i]:8.4f} | {emp[i]:8.4f}")
+    # Dry-run inspection: Fig. 3 is one multi-scenario sweep — every
+    # roughness case x every frequency under the SSCM estimator — not a
+    # per-curve loop. Nothing is solved here.
+    spec = repro.api.plan("fig3", scale="quick")
+    print("Fig. 3 plan at scale 'quick':")
+    print(f"  scenarios   : {[s.name for s in spec.scenarios]}")
+    print(f"  frequencies : {len(spec.frequencies_hz)}")
+    print(f"  total jobs  : {spec.n_jobs} "
+          "(each content-hashed for the result cache)")
+    print(f"  first job   : {spec.jobs()[0].key[:16]}...")
     print()
-    print("Note: this is a single realization on a coarse grid; the paper")
-    print("reports SSCM ensemble means (see examples/stochastic_analysis.py).")
+
+    # Execute a cheap experiment end to end. Table I counts sampling
+    # points (no SWM solves), so this returns in seconds; for the
+    # solver-backed figures add jobs=4 and cache_dir="./sweep-cache".
+    result = repro.api.run("table1", scale="quick")
+    print(result.format_table())
+    print()
+
+    # One merged job stream for several experiments: parallelism and
+    # cache lookups span the whole selection.
+    results = repro.api.run_many(["fig2", "table1"], scale="quick")
+    for name, res in results.items():
+        status = "PASS" if res.all_checks_pass() else "FAIL"
+        print(f"{name}: {len(res.series)} series, checks {status}")
+    print()
+    print("Next: repro.api.run('fig3', scale='quick', jobs=4) runs the")
+    print("whole figure as one parallel sweep; see examples/ for the")
+    print("lower-level pipeline and engine APIs.")
 
 
 if __name__ == "__main__":

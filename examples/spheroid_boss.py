@@ -10,12 +10,11 @@ sigma) collapses.
 Run:  python examples/spheroid_boss.py
 """
 
-from repro.experiments import fig5
-from repro.experiments.presets import QUICK
+import repro.api
 
 
 def main() -> None:
-    result = fig5.run(QUICK)
+    result = repro.api.run("fig5", scale="quick")
     print(result.format_table())
     print()
     ok = result.all_checks_pass()

@@ -29,7 +29,11 @@ Subpackages
     Transmission-line application layer (RLGC/ABCD/S-parameters with
     roughness-corrected conductor loss).
 ``experiments``
-    One runnable module per figure/table of the paper's evaluation.
+    One declarative Experiment (plan/reduce over the engine) per
+    figure/table of the paper's evaluation.
+``api``
+    The facade: ``repro.api.run("fig3", scale="quick", jobs=4)``,
+    ``repro.api.run_many([...])``, ``repro.api.plan(...)``.
 
 Quickstart
 ----------
@@ -91,6 +95,19 @@ from .swm import SWMSolver2D, SWMSolver3D
 
 __version__ = "1.0.0"
 
+
+def __getattr__(name: str):
+    # The facade pulls in the whole experiments package; loading it
+    # lazily keeps `import repro` (and every pool-worker interpreter)
+    # from paying for all seven figure modules up front. NB: must use
+    # import_module — `from . import api` here would re-enter this
+    # __getattr__ through the fromlist hasattr check and recurse.
+    if name == "api":
+        import importlib
+
+        return importlib.import_module(".api", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "Conductor",
     "ConfigurationError",
@@ -117,6 +134,7 @@ __all__ = [
     "StochasticLossModel",
     "SurfaceGenerator",
     "TwoMediumSystem",
+    "api",
     "constants",
     "extract_statistics",
     "hammerstad_enhancement",

@@ -190,13 +190,42 @@ class StochasticLossModel:
 
     # ------------------------------------------------------------------
 
-    def sscm(self, frequency_hz: float, order: int = 2,
-             progress: Callable[[int, int], None] | None = None
-             ) -> SSCMResult:
-        """SSCM statistics of Pr/Ps at one frequency."""
+    def sscm_direct(self, frequency_hz: float, order: int = 2,
+                    progress: Callable[[int, int], None] | None = None
+                    ) -> SSCMResult:
+        """SSCM statistics computed in-process (no engine routing).
+
+        This is the raw evaluation the engine's workers run; prefer
+        :meth:`sscm`, which adds caching and executor policy on top.
+        ``progress`` here counts individual solver calls (sparse-grid
+        nodes).
+        """
         est = SSCMEstimator(self.enhancement_model(frequency_hz),
                             self.dimension, order=order)
         return est.run(progress=progress)
+
+    def sscm(self, frequency_hz: float, order: int = 2,
+             progress: Callable[[int, int], None] | None = None,
+             executor=None, cache=None) -> SSCMResult:
+        """SSCM statistics of Pr/Ps at one frequency.
+
+        Routed through :mod:`repro.engine`: the node values are content
+        addressed, so a repeated call (same physics inputs) replays from
+        cache with zero solves, and the surrogate is re-projected from
+        the stored values. ``progress`` counts sweep points (here: 1),
+        matching :meth:`montecarlo`.
+        """
+        from ..engine import EstimatorSpec, SweepSpec, run_sweep
+        from ..stochastic.sscm import reproject_node_values
+
+        spec = SweepSpec(
+            scenarios=self.scenario(),
+            frequencies_hz=frequency_hz,
+            estimators=EstimatorSpec(kind="sscm", order=order))
+        result = run_sweep(spec, executor=executor, cache=cache,
+                           progress=progress)
+        return reproject_node_values(result.points[0].values,
+                                     self.dimension, order)
 
     def scenario(self, name: str = "model"):
         """This model as a declarative engine scenario (hash-stable).

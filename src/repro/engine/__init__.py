@@ -26,13 +26,22 @@ Quickstart::
     result.mean_curve("eta1um")
 
 The high-level pipeline API (:mod:`repro.core`) routes through this
-engine, so ``StochasticLossModel.mean_enhancement`` and friends accept
-``executor=``/``cache=`` directly, and :func:`engine_session` scopes a
-default policy for code (like the experiment modules) that never
-mentions the engine.
+engine, so ``StochasticLossModel.sscm``/``.mean_enhancement`` and
+friends accept ``executor=``/``cache=`` directly, and
+:func:`engine_session` scopes a default policy for code (like the
+experiment classes behind :mod:`repro.api`) that never mentions the
+engine.
+
+:func:`run_batch` generalizes :func:`run_sweep` to several named specs
+executed as one merged job stream (cross-sweep deduplication by content
+hash, per-sweep progress attribution) — the mechanism behind
+``repro.api.run_many``. Heterogeneous figures use ``SweepSpec``'s
+``estimator_map`` (per-scenario estimators) and
+:class:`ProfileScenario` (2D y-uniform processes) alongside the 3D
+stochastic and deterministic scenarios.
 """
 
-from .api import default_cache, engine_session, run_sweep
+from .api import default_cache, engine_session, run_batch, run_sweep
 from .cache import CacheStats, ResultCache
 from .executors import Executor, ParallelExecutor, SerialExecutor
 from .results import PointResult, SweepResult
@@ -42,6 +51,7 @@ from .spec import (
     DeterministicScenario,
     EstimatorSpec,
     Job,
+    ProfileScenario,
     StochasticScenario,
     SweepSpec,
     content_hash,
@@ -57,6 +67,7 @@ __all__ = [
     "Job",
     "ParallelExecutor",
     "PointResult",
+    "ProfileScenario",
     "ResultCache",
     "SerialExecutor",
     "StochasticScenario",
@@ -68,6 +79,7 @@ __all__ = [
     "default_cache",
     "engine_session",
     "execute_job",
+    "run_batch",
     "run_sweep",
     "seed_model",
 ]

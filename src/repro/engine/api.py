@@ -1,4 +1,4 @@
-"""`run_sweep` — the single entry point of the execution engine.
+"""`run_sweep` / `run_batch` — the entry points of the execution engine.
 
 Execution policy (executor + cache) is resolved per call:
 
@@ -8,6 +8,13 @@ Execution policy (executor + cache) is resolved per call:
    the experiments without threading arguments through them);
 3. otherwise: serial execution against a process-global in-memory LRU,
    so repeated sweeps in one process are near-free even with no setup.
+
+:func:`run_batch` executes several named sweeps as **one merged job
+stream**: all pending jobs go to the executor as a single batch (so
+parallelism spans experiments, not just one figure's points), cacheable
+jobs that appear in more than one sweep are computed once, and the
+optional ``batch_progress`` callback attributes completed points back to
+the sweep that owns them.
 """
 
 from __future__ import annotations
@@ -15,13 +22,17 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator, Mapping
 
+from ..errors import ConfigurationError
 from .cache import ResultCache
 from .executors import Executor, ParallelExecutor, ProgressFn, SerialExecutor
 from .results import PointResult, SweepResult
 from .runtime import execute_job
 from .spec import SweepSpec
+
+#: ``batch_progress(name, done, total)`` — per-sweep point attribution.
+BatchProgressFn = Callable[[str, int, int], None]
 
 #: Fallback cache when neither an argument nor a session provides one.
 _GLOBAL_CACHE = ResultCache(max_memory_entries=256)
@@ -85,83 +96,164 @@ def _resolve(executor: Executor | None,
     return executor, cache
 
 
+def run_batch(specs: Mapping[str, SweepSpec],
+              executor: Executor | None = None,
+              cache: ResultCache | None = None,
+              progress: ProgressFn | None = None,
+              batch_progress: BatchProgressFn | None = None
+              ) -> dict[str, SweepResult]:
+    """Execute several named sweeps as one merged, deduplicated batch.
+
+    Cached points are served without any SWM solve; every remaining job
+    — across all sweeps — goes to the executor as one batch, and each
+    point commits to the cache the moment it finishes. A cacheable job
+    appearing in more than one sweep (identical content hash) is
+    executed once and fanned out to every owner; its cache entry's
+    human-readable metadata records the *first* owner's tags (payloads
+    are identical by construction, and tags never enter content
+    hashes).
+
+    ``progress(done, total)`` counts points over the whole batch (cache
+    hits included); ``batch_progress(name, done, total)`` additionally
+    attributes each completed point to the sweep that owns it. Every
+    returned :class:`SweepResult` reports the batch's shared wall time.
+    """
+    executor, cache = _resolve(executor, cache)
+    start = time.perf_counter()
+
+    jobs_by_name = {name: spec.jobs() for name, spec in specs.items()}
+    totals = {name: len(jobs) for name, jobs in jobs_by_name.items()}
+    total = sum(totals.values())
+    payloads = {name: [None] * n for name, n in totals.items()}
+    hits = {name: [False] * n for name, n in totals.items()}
+    done_in = dict.fromkeys(specs, 0)
+
+    # One execution slot per distinct pending computation; a slot's
+    # targets are every (sweep, point) its payload satisfies.
+    slots: list[tuple] = []          # (job, [(name, index), ...])
+    slot_by_key: dict[str, int] = {}  # cacheable job hash -> slot
+    for name, jobs in jobs_by_name.items():
+        for i, job in enumerate(jobs):
+            if job.cacheable:
+                cached = cache.get(job.key)
+                if cached is not None:
+                    payloads[name][i] = cached
+                    hits[name][i] = True
+                    done_in[name] += 1
+                    continue
+                slot_idx = slot_by_key.get(job.key)
+                if slot_idx is not None:
+                    slots[slot_idx][1].append((name, i))
+                    continue
+                slot_by_key[job.key] = len(slots)
+            slots.append((job, [(name, i)]))
+
+    done_points = sum(done_in.values())
+    if done_points:
+        if progress is not None:
+            progress(done_points, total)
+        if batch_progress is not None:
+            for name, done in done_in.items():
+                if done:
+                    batch_progress(name, done, totals[name])
+
+    if slots:
+        committed = [False] * len(slots)
+        n_committed = 0
+        last_reported = done_points
+
+        def _report(points_done: int) -> None:
+            # Progress must stay monotone even when the executor's own
+            # slot-level reports interleave with per-commit point counts.
+            nonlocal last_reported
+            if progress is not None and points_done > last_reported:
+                last_reported = points_done
+                progress(points_done, total)
+
+        def _commit(slot_idx: int, payload: dict) -> None:
+            # Committed per result as it arrives, so a batch that dies
+            # midway (worker error, Ctrl-C) keeps everything finished.
+            nonlocal done_points, n_committed
+            if committed[slot_idx]:
+                return
+            committed[slot_idx] = True
+            n_committed += 1
+            job, targets = slots[slot_idx]
+            if job.cacheable:
+                owner, _ = targets[0]
+                cache.put(job.key, payload, metadata={
+                    "scenario": job.scenario.name,
+                    "frequency_hz": float(job.frequency_hz),
+                    "estimator": job.estimator_label,
+                    "tags": dict(specs[owner].tags),
+                })
+            for name, i in targets:
+                payloads[name][i] = payload
+                done_in[name] += 1
+            done_points += len(targets)
+            _report(done_points)
+            if batch_progress is not None:
+                for name in dict.fromkeys(name for name, _ in targets):
+                    batch_progress(name, done_in[name], totals[name])
+
+        cached_points = done_points
+
+        def _executor_progress(done_slots: int, _n_slots: int) -> None:
+            # Custom executors that honor progress but ignore on_result
+            # (the fallback loop below commits for them) still get a
+            # live bar: each finished slot is at least one point.
+            if n_committed == 0:
+                _report(cached_points + done_slots)
+
+        computed = executor.run(execute_job, [job for job, _ in slots],
+                                progress=_executor_progress,
+                                on_result=_commit)
+        # Fallback for custom executors that ignore on_result.
+        for slot_idx, payload in enumerate(computed):
+            _commit(slot_idx, payload)
+
+    wall = time.perf_counter() - start
+    results: dict[str, SweepResult] = {}
+    for name, spec in specs.items():
+        points = []
+        for i, job in enumerate(jobs_by_name[name]):
+            payload = payloads[name][i]
+            points.append(PointResult(
+                scenario=job.scenario.name,
+                frequency_hz=float(job.frequency_hz),
+                estimator=job.estimator_label,
+                key=job.key,
+                mean=payload["mean"],
+                std=payload["std"],
+                values=payload["values"],
+                n_evals=payload["n_evals"],
+                seed=payload["seed"],
+                wall_time_s=payload["wall_time_s"],
+                cache_hit=hits[name][i],
+                pid=payload.get("pid"),
+            ))
+        results[name] = SweepResult(
+            frequencies_hz=spec.frequencies_hz,
+            points=tuple(points),
+            tags=dict(spec.tags),
+            executor=executor.name,
+            wall_time_s=wall,
+        )
+    return results
+
+
 def run_sweep(spec: SweepSpec, executor: Executor | None = None,
               cache: ResultCache | None = None,
               progress: ProgressFn | None = None) -> SweepResult:
-    """Execute (or replay from cache) every job of a sweep.
+    """Execute (or replay from cache) every job of one sweep.
 
     Cached points are served without any SWM solve; the remaining jobs
     go to the executor as one batch. ``progress(done, total)`` counts
     sweep points, cache hits included.
     """
-    executor, cache = _resolve(executor, cache)
-    start = time.perf_counter()
-    jobs = spec.jobs()
-    total = len(jobs)
-
-    payloads: list[dict | None] = [None] * total
-    hit = [False] * total
-    pending = []
-    for i, job in enumerate(jobs):
-        if job.cacheable:
-            cached = cache.get(job.key)
-            if cached is not None:
-                payloads[i] = cached
-                hit[i] = True
-                continue
-        pending.append((i, job))
-
-    done_cached = total - len(pending)
-    if progress is not None and done_cached:
-        progress(done_cached, total)
-
-    if pending:
-        def _progress(done: int, _n_pending: int) -> None:
-            if progress is not None:
-                progress(done_cached + done, total)
-
-        def _commit(pending_idx: int, payload: dict) -> None:
-            # Committed per result as it arrives, so a sweep that dies
-            # midway (worker error, Ctrl-C) keeps everything finished.
-            i, job = pending[pending_idx]
-            if payloads[i] is not None:
-                return
-            payloads[i] = payload
-            if job.cacheable:
-                cache.put(job.key, payload, metadata={
-                    "scenario": job.scenario.name,
-                    "frequency_hz": float(job.frequency_hz),
-                    "estimator": job.estimator_label,
-                    "tags": dict(spec.tags),
-                })
-
-        computed = executor.run(execute_job, [job for _, job in pending],
-                                progress=_progress, on_result=_commit)
-        # Fallback for custom executors that ignore on_result.
-        for pending_idx, payload in enumerate(computed):
-            _commit(pending_idx, payload)
-
-    points = []
-    for i, job in enumerate(jobs):
-        payload = payloads[i]
-        points.append(PointResult(
-            scenario=job.scenario.name,
-            frequency_hz=float(job.frequency_hz),
-            estimator=job.estimator_label,
-            key=job.key,
-            mean=payload["mean"],
-            std=payload["std"],
-            values=payload["values"],
-            n_evals=payload["n_evals"],
-            seed=payload["seed"],
-            wall_time_s=payload["wall_time_s"],
-            cache_hit=hit[i],
-            pid=payload.get("pid"),
-        ))
-    return SweepResult(
-        frequencies_hz=spec.frequencies_hz,
-        points=tuple(points),
-        tags=dict(spec.tags),
-        executor=executor.name,
-        wall_time_s=time.perf_counter() - start,
-    )
+    if not isinstance(spec, SweepSpec):
+        raise ConfigurationError(
+            f"run_sweep expects a SweepSpec, got {type(spec).__name__}"
+        )
+    return run_batch({"sweep": spec}, executor=executor, cache=cache,
+                     progress=progress)["sweep"]

@@ -21,7 +21,12 @@ from collections import OrderedDict
 
 import numpy as np
 
-from .spec import DeterministicScenario, Job, StochasticScenario
+from .spec import (
+    DeterministicScenario,
+    Job,
+    ProfileScenario,
+    StochasticScenario,
+)
 
 #: Models/solvers kept alive per process (LRU on scenario hash).
 _MEMO_MAX = 8
@@ -58,6 +63,33 @@ def _model_for(scenario: StochasticScenario):
     return _memoized(scenario.key, lambda: StochasticLossModel(
         scenario.correlation, scenario.config, scenario.system,
         scenario.options))
+
+
+def _profile_model_for(scenario: ProfileScenario, frequency_hz: float):
+    """(xi -> enhancement) callable for a 2D profile scenario.
+
+    The generator's FFT amplitudes and the (stateless) 2D solver are
+    memoized per scenario; the returned closure is the same map Fig. 6
+    historically built by hand: white noise -> profile -> 2D solve.
+    """
+    from ..surfaces.generation import ProfileGenerator
+    from ..swm.solver2d import SWMSolver2D
+
+    def build():
+        gen = ProfileGenerator(scenario.correlation,
+                               period=scenario.period_um, n=scenario.n,
+                               normalize=scenario.normalize)
+        solver = SWMSolver2D(scenario.system, scenario.options)
+        return gen, solver
+
+    gen, solver = _memoized(scenario.key, build)
+
+    def model(xi: np.ndarray) -> float:
+        profile = gen.from_white_noise(xi)
+        return solver.solve_um(profile, scenario.period_um,
+                               frequency_hz).enhancement
+
+    return model
 
 
 def _solver_for(scenario: DeterministicScenario):
@@ -101,12 +133,33 @@ def execute_job(job: Job) -> dict:
         values = np.array([res.enhancement], dtype=np.float64)
         mean, std = float(res.enhancement), 0.0
         n_evals, seed = 1, None
+    elif isinstance(scenario, ProfileScenario):
+        # The 2D solver keeps no cross-solve state, so no reset needed.
+        fn = _profile_model_for(scenario, job.frequency_hz)
+        est = job.estimator
+        if est.kind == "sscm":
+            from ..stochastic.sscm import SSCMEstimator
+
+            res = SSCMEstimator(fn, scenario.n, order=est.order).run()
+            values = np.asarray(res.node_values, dtype=np.float64)
+            mean, std = res.mean, res.std
+            n_evals, seed = res.n_samples, None
+        else:
+            from ..stochastic.montecarlo import MonteCarloEstimator
+
+            res = MonteCarloEstimator(fn, scenario.n).run(
+                est.n_samples, seed=est.seed)
+            values = np.asarray(res.samples, dtype=np.float64)
+            mean, std = res.mean, res.std
+            n_evals, seed = res.n_samples, est.seed
     else:
         model = _model_for(scenario)
         model.solver.reset_tables()  # same purity argument as above
         est = job.estimator
         if est.kind == "sscm":
-            res = model.sscm(job.frequency_hz, order=est.order)
+            # sscm_direct, not sscm(): the public wrapper routes back
+            # through the engine.
+            res = model.sscm_direct(job.frequency_hz, order=est.order)
             values = np.asarray(res.node_values, dtype=np.float64)
             mean, std = res.mean, res.std
             n_evals, seed = res.n_samples, None

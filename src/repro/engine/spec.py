@@ -33,6 +33,7 @@ from ..errors import ConfigurationError
 from ..materials import PAPER_SYSTEM, TwoMediumSystem
 from ..surfaces.correlation import CorrelationFunction
 from ..swm.solver import SWMOptions
+from ..swm.solver2d import SWM2DOptions
 
 #: Bump to invalidate on-disk caches when job semantics change.
 ENGINE_VERSION = 1
@@ -251,7 +252,58 @@ class DeterministicScenario:
         return content_hash(self.to_spec())
 
 
-Scenario = Union[StochasticScenario, DeterministicScenario]
+@dataclass(frozen=True)
+class ProfileScenario:
+    """One y-uniform (2D) random-profile process (the Fig. 6 baseline).
+
+    The 2D SWM treats the surface as a ridged profile ``f(x)`` extruded
+    along y; samples are synthesized with the CF's 1D spectrum by
+    :class:`~repro.surfaces.generation.ProfileGenerator` and solved with
+    :class:`~repro.swm.solver2d.SWMSolver2D`. By that generator's
+    convention, ``correlation`` and ``period_um`` are in **micrometers**
+    (unlike :class:`StochasticScenario`, which is SI). The stochastic
+    dimension equals ``n`` (one white-noise normal per grid point), so
+    Monte-Carlo is the natural estimator; SSCM works but its sparse
+    grids grow with ``n``.
+    """
+
+    name: str
+    correlation: CorrelationFunction
+    period_um: float
+    n: int
+    normalize: bool = True
+    system: TwoMediumSystem = PAPER_SYSTEM
+    options: SWM2DOptions | None = None
+
+    kind = "profile"
+
+    def __post_init__(self) -> None:
+        if self.period_um <= 0.0:
+            raise ConfigurationError(
+                f"period must be positive, got {self.period_um}"
+            )
+        if self.n < 4:
+            raise ConfigurationError(f"n must be >= 4, got {self.n}")
+
+    def to_spec(self) -> dict:
+        from dataclasses import asdict
+        options = self.options or SWM2DOptions()
+        return {
+            "kind": self.kind,
+            "correlation": correlation_spec(self.correlation),
+            "period_um": float(self.period_um),
+            "n": int(self.n),
+            "normalize": bool(self.normalize),
+            "system": _system_spec(self.system),
+            "options": asdict(options),
+        }
+
+    @cached_property
+    def key(self) -> str:
+        return content_hash(self.to_spec())
+
+
+Scenario = Union[StochasticScenario, DeterministicScenario, ProfileScenario]
 
 
 # ----------------------------------------------------------------------
@@ -296,6 +348,12 @@ class Job:
 class SweepSpec:
     """Cartesian product of scenarios x frequencies x estimators.
 
+    ``estimator_map`` overrides the shared estimator tuple per scenario
+    name, which is how one spec carries a heterogeneous figure (e.g.
+    Fig. 6: SSCM on the 3D scenarios, Monte-Carlo on the 2D profile
+    baselines) as a single job stream. Scenarios not named in the map
+    use ``estimators``.
+
     ``tags`` is free-form provenance (e.g. ``{"scale": "quick"}``)
     recorded in results and cache metadata but **excluded** from content
     hashes, so annotating a sweep never invalidates warm caches.
@@ -304,14 +362,20 @@ class SweepSpec:
     scenarios: tuple[Scenario, ...]
     frequencies_hz: tuple[float, ...]
     estimators: tuple[EstimatorSpec, ...] = (EstimatorSpec(),)
+    estimator_map: Mapping[str, tuple[EstimatorSpec, ...]] = field(
+        default_factory=dict)
     tags: Mapping[str, Any] = field(default_factory=dict)
 
     def __init__(self, scenarios: Scenario | Sequence[Scenario],
                  frequencies_hz: float | Iterable[float],
                  estimators: EstimatorSpec | Sequence[EstimatorSpec] = (
                      EstimatorSpec(),),
+                 estimator_map: Mapping[
+                     str, EstimatorSpec | Sequence[EstimatorSpec]
+                 ] | None = None,
                  tags: Mapping[str, Any] | None = None) -> None:
-        if isinstance(scenarios, (StochasticScenario, DeterministicScenario)):
+        if isinstance(scenarios, (StochasticScenario, DeterministicScenario,
+                                  ProfileScenario)):
             scenarios = (scenarios,)
         scenarios = tuple(scenarios)
         if not scenarios:
@@ -333,10 +397,30 @@ class SweepSpec:
         estimators = tuple(estimators)
         if not estimators:
             raise ConfigurationError("sweep needs at least one estimator")
+        resolved_map: dict[str, tuple[EstimatorSpec, ...]] = {}
+        for scen_name, ests in dict(estimator_map or {}).items():
+            if scen_name not in names:
+                raise ConfigurationError(
+                    f"estimator_map names unknown scenario {scen_name!r} "
+                    f"(scenarios: {names})"
+                )
+            if isinstance(ests, EstimatorSpec):
+                ests = (ests,)
+            ests = tuple(ests)
+            if not ests:
+                raise ConfigurationError(
+                    f"estimator_map entry for {scen_name!r} is empty"
+                )
+            resolved_map[scen_name] = ests
         object.__setattr__(self, "scenarios", scenarios)
         object.__setattr__(self, "frequencies_hz", freqs)
         object.__setattr__(self, "estimators", estimators)
+        object.__setattr__(self, "estimator_map", resolved_map)
         object.__setattr__(self, "tags", dict(tags or {}))
+
+    def estimators_for(self, scenario: Scenario) -> tuple[EstimatorSpec, ...]:
+        """The estimator tuple a scenario actually runs under."""
+        return self.estimator_map.get(scenario.name, self.estimators)
 
     def jobs(self) -> list[Job]:
         """Materialize the cartesian product, scenario-major."""
@@ -346,7 +430,7 @@ class SweepSpec:
                 for f in self.frequencies_hz:
                     out.append(Job(scenario, f, None, len(out)))
             else:
-                for est in self.estimators:
+                for est in self.estimators_for(scenario):
                     for f in self.frequencies_hz:
                         out.append(Job(scenario, f, est, len(out)))
         return out
@@ -358,9 +442,17 @@ class SweepSpec:
     @cached_property
     def key(self) -> str:
         """Content hash of the whole sweep (tags excluded)."""
-        return content_hash({
+        payload = {
             "engine_version": ENGINE_VERSION,
             "scenarios": [s.to_spec() for s in self.scenarios],
             "frequencies_hz": list(self.frequencies_hz),
             "estimators": [e.to_spec() for e in self.estimators],
-        })
+        }
+        if self.estimator_map:
+            # Included only when present so pre-existing spec hashes
+            # (and any cache manifests keyed by them) stay valid.
+            payload["estimator_map"] = {
+                name: [e.to_spec() for e in ests]
+                for name, ests in self.estimator_map.items()
+            }
+        return content_hash(payload)

@@ -1,10 +1,16 @@
 """Reproductions of every figure and table in the paper's evaluation.
 
-Each module exposes ``run(scale) -> ExperimentResult`` with the paper's
-parameters baked in and shape checks encoding the figure's claims.
+Each module defines a declarative :class:`~.base.Experiment` —
+``plan(scale) -> SweepSpec`` (every solver-backed point of the figure as
+one engine spec) and ``reduce(sweep, scale) -> ExperimentResult``
+(series assembly + qualitative checks) — registered by name in
+:mod:`.registry`. Drive them through the :mod:`repro.api` facade::
+
+    import repro.api
+    result = repro.api.run("fig3", scale="quick", jobs=4)
 
 ========  =====================================================
-module    paper content
+name      paper content
 ========  =====================================================
 fig2      simulated 3D Gaussian rough surface (+ statistics round trip)
 fig3      SWM vs SPM2 vs empirical, Gaussian CF, eta = 1, 2, 3 um
@@ -14,12 +20,27 @@ fig6      3D SWM vs 2D SWM
 fig7      CDF of Pr/Ps: MC vs 1st/2nd-order SSCM
 table1    sampling-point counts: MC vs sparse-grid SSCM
 ========  =====================================================
+
+The module-level ``run(scale)`` functions are kept as deprecation
+shims, and ``ALL_EXPERIMENTS`` remains as a deprecated view over them;
+new code should use the registry (:func:`registry.names`,
+:func:`registry.create`) or :mod:`repro.api`.
 """
 
-from . import fig2, fig3, fig4, fig5, fig6, fig7, table1
-from .base import ExperimentResult
-from .presets import PAPER, QUICK, STANDARD, Scale, scale_from_env
+from . import fig2, fig3, fig4, fig5, fig6, fig7, registry, table1
+from .base import Experiment, ExperimentResult
+from .presets import (
+    PAPER,
+    QUICK,
+    SCALES,
+    STANDARD,
+    Scale,
+    resolve_scale,
+    scale_from_env,
+)
 
+#: Deprecated: name -> module-level ``run`` shim. Use
+#: :func:`registry.create`/:mod:`repro.api` instead.
 ALL_EXPERIMENTS = {
     "fig2": fig2.run,
     "fig3": fig3.run,
@@ -32,9 +53,11 @@ ALL_EXPERIMENTS = {
 
 __all__ = [
     "ALL_EXPERIMENTS",
+    "Experiment",
     "ExperimentResult",
     "PAPER",
     "QUICK",
+    "SCALES",
     "STANDARD",
     "Scale",
     "fig2",
@@ -43,6 +66,8 @@ __all__ = [
     "fig5",
     "fig6",
     "fig7",
+    "registry",
+    "resolve_scale",
     "scale_from_env",
     "table1",
 ]

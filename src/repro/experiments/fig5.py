@@ -24,6 +24,10 @@ Two documented substitutions (see DESIGN.md section 5):
    trustworthy; the sweep is truncated at that frequency and the note
    records it. The tile size L (the paper leaves it unspecified) sets
    the absolute level of both SWM and HBM identically; we use 12 um.
+
+The plan is one :class:`~repro.engine.DeterministicScenario` swept over
+the *similarity-scaled* frequencies; ``reduce`` reports the curve back
+on the original axis.
 """
 
 from __future__ import annotations
@@ -31,15 +35,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..constants import COPPER_RESISTIVITY, GHZ, UM
-from ..materials import skin_depth
 from ..models.hbm import HemisphericalBossModel
 from ..models.spm2 import spm2_enhancement
 from ..surfaces import GaussianCorrelation
 from ..surfaces.deterministic import half_spheroid
 from ..surfaces.statistics import rms_slope_2d
-from ..swm.solver import SWMSolver3D
-from .base import ExperimentResult
+from .base import Experiment, ExperimentResult, warn_deprecated_run
 from .presets import QUICK, Scale
+from .registry import register
 
 HEIGHT_UM = 5.8
 BASE_DIAMETER_UM = 9.4
@@ -62,68 +65,93 @@ def _resolution_limited_f_max_ghz(n: int) -> float:
     return float(f_sim / SIMILARITY ** 2 / GHZ)
 
 
+@register
+class Fig5SpheroidBoss(Experiment):
+    """SWM vs HBM vs (out-of-regime) SPM2 on the half-spheroid boss."""
+
+    name = "fig5"
+    title = "Fig. 5"
+
+    def _band(self, scale: Scale) -> tuple[int, float, np.ndarray]:
+        """(grid n, truncated f_top_ghz, original-axis frequencies)."""
+        n = scale.spheroid_grid_n
+        f_top = min(scale.fig5_f_max_ghz, _resolution_limited_f_max_ghz(n))
+        f_top = max(f_top, 2.0)
+        return n, f_top, scale.frequency_grid_hz(1.0, f_top)
+
+    def plan(self, scale: Scale):
+        from ..engine import DeterministicScenario, SweepSpec
+
+        n, _, freqs = self._band(scale)
+        patch_sim_um = PATCH_UM / SIMILARITY
+        heights_sim_um = half_spheroid(n, patch_sim_um,
+                                       HEIGHT_UM / SIMILARITY,
+                                       BASE_DIAMETER_UM / SIMILARITY)
+        scenario = DeterministicScenario(
+            "spheroid", heights_sim_um * UM, patch_sim_um * UM)
+        return SweepSpec(
+            scenarios=scenario,
+            frequencies_hz=freqs * SIMILARITY ** 2,
+            tags={"experiment": self.name, "scale": scale.name,
+                  "similarity": SIMILARITY})
+
+    def reduce(self, sweep, scale: Scale) -> ExperimentResult:
+        n, f_top, freqs = self._band(scale)
+        swm = sweep.mean_curve("spheroid")
+
+        hbm_model = HemisphericalBossModel(
+            height_m=HEIGHT_UM * UM,
+            base_diameter_m=BASE_DIAMETER_UM * UM,
+            tile_area_m2=(PATCH_UM * UM) ** 2,
+        )
+        hbm = hbm_model.enhancement(freqs)
+
+        # SPM2 fed the boss's equivalent statistics (same RMS height and
+        # slope): far outside its small-roughness regime.
+        heights_full = half_spheroid(n, PATCH_UM, HEIGHT_UM,
+                                     BASE_DIAMETER_UM)
+        sigma_eq = float(np.sqrt(np.mean(heights_full ** 2))) * UM
+        slope_eq = rms_slope_2d(heights_full, PATCH_UM)
+        eta_eq = 2.0 * sigma_eq / max(slope_eq, 0.5)
+        spm = spm2_enhancement(freqs, GaussianCorrelation(sigma_eq, eta_eq))
+
+        result = ExperimentResult(
+            experiment=self.title,
+            description=(f"SWM vs HBM, half-spheroid h={HEIGHT_UM}um, "
+                         f"d={BASE_DIAMETER_UM}um on {PATCH_UM}um tile; "
+                         f"similarity-scaled mesh {n}x{n}, "
+                         f"band 1-{f_top:.1f} GHz"),
+            x_label="f (GHz)",
+            x=freqs / GHZ,
+        )
+        result.add_series("SWM", swm)
+        result.add_series("HBM", hbm)
+        result.add_series("SPM2(equiv)", spm)
+
+        result.check("hbm_rises", bool(hbm[-1] > hbm[0]))
+        result.check("swm_rises", bool(swm[-1] > swm[0] - 0.02))
+        result.check("strong_enhancement", bool(
+            np.all(hbm[1:] > 1.25) and np.all(swm > 1.25)))
+        gap = np.abs(swm - hbm) / hbm
+        result.check("swm_tracks_hbm", float(np.max(gap)) < 0.35)
+        result.check("swm_below_hbm", bool(np.all(swm <= hbm + 0.05)))
+        # SPM2's prediction diverges from the in-regime reference at the
+        # top of the band — it cannot be trusted for large roughness.
+        result.check("spm2_out_of_regime",
+                     bool(abs(spm[-1] - swm[-1]) > 0.25
+                          or abs(spm[-1] - hbm[-1]) > 0.25))
+        result.notes.append(
+            f"SWM/HBM relative gap: max {np.max(gap):.3f}")
+        result.notes.append(
+            f"band truncated at {f_top:.1f} GHz by the delta >= "
+            f"{MIN_DELTA_PER_STEP} dx mesh rule (paper: delta/5 meshing)")
+        result.notes.append(
+            f"SPM2 equivalent surface: sigma={sigma_eq / UM:.2f}um, "
+            f"eta={eta_eq / UM:.2f}um (sigma ~ eta: out of SPM2's regime)")
+        return result
+
+
 def run(scale: Scale = QUICK) -> ExperimentResult:
-    n = scale.spheroid_grid_n
-    f_top = min(scale.fig5_f_max_ghz, _resolution_limited_f_max_ghz(n))
-    f_top = max(f_top, 2.0)
-    freqs = np.linspace(1.0, f_top, scale.n_frequencies) * GHZ
-
-    patch_sim = PATCH_UM / SIMILARITY
-    heights_sim = half_spheroid(n, patch_sim, HEIGHT_UM / SIMILARITY,
-                                BASE_DIAMETER_UM / SIMILARITY)
-
-    solver = SWMSolver3D()
-    swm = np.empty(freqs.shape)
-    for i, f in enumerate(freqs):
-        res = solver.solve_um(heights_sim, patch_sim,
-                              float(f) * SIMILARITY ** 2)
-        swm[i] = res.enhancement
-
-    hbm_model = HemisphericalBossModel(
-        height_m=HEIGHT_UM * UM,
-        base_diameter_m=BASE_DIAMETER_UM * UM,
-        tile_area_m2=(PATCH_UM * UM) ** 2,
-    )
-    hbm = hbm_model.enhancement(freqs)
-
-    # SPM2 fed the boss's equivalent statistics (same RMS height and
-    # slope): far outside its small-roughness regime.
-    heights_full = half_spheroid(n, PATCH_UM, HEIGHT_UM, BASE_DIAMETER_UM)
-    sigma_eq = float(np.sqrt(np.mean(heights_full ** 2))) * UM
-    slope_eq = rms_slope_2d(heights_full, PATCH_UM)
-    eta_eq = 2.0 * sigma_eq / max(slope_eq, 0.5)
-    spm = spm2_enhancement(freqs, GaussianCorrelation(sigma_eq, eta_eq))
-
-    result = ExperimentResult(
-        experiment="Fig. 5",
-        description=(f"SWM vs HBM, half-spheroid h={HEIGHT_UM}um, "
-                     f"d={BASE_DIAMETER_UM}um on {PATCH_UM}um tile; "
-                     f"similarity-scaled mesh {n}x{n}, band 1-{f_top:.1f} GHz"),
-        x_label="f (GHz)",
-        x=freqs / GHZ,
-    )
-    result.add_series("SWM", swm)
-    result.add_series("HBM", hbm)
-    result.add_series("SPM2(equiv)", spm)
-
-    result.check("hbm_rises", bool(hbm[-1] > hbm[0]))
-    result.check("swm_rises", bool(swm[-1] > swm[0] - 0.02))
-    result.check("strong_enhancement", bool(
-        np.all(hbm[1:] > 1.25) and np.all(swm > 1.25)))
-    gap = np.abs(swm - hbm) / hbm
-    result.check("swm_tracks_hbm", float(np.max(gap)) < 0.35)
-    result.check("swm_below_hbm", bool(np.all(swm <= hbm + 0.05)))
-    # SPM2's prediction diverges from the in-regime reference at the top
-    # of the band — it cannot be trusted for large roughness.
-    result.check("spm2_out_of_regime",
-                 bool(abs(spm[-1] - swm[-1]) > 0.25
-                      or abs(spm[-1] - hbm[-1]) > 0.25))
-    result.notes.append(
-        f"SWM/HBM relative gap: max {np.max(gap):.3f}")
-    result.notes.append(
-        f"band truncated at {f_top:.1f} GHz by the delta >= "
-        f"{MIN_DELTA_PER_STEP} dx mesh rule (paper: delta/5 meshing)")
-    result.notes.append(
-        f"SPM2 equivalent surface: sigma={sigma_eq / UM:.2f}um, "
-        f"eta={eta_eq / UM:.2f}um (sigma ~ eta: out of SPM2's regime)")
-    return result
+    """Deprecated shim: use ``repro.api.run("fig5", scale=...)``."""
+    warn_deprecated_run("fig5")
+    return Fig5SpheroidBoss().run(scale)

@@ -27,6 +27,8 @@ import math
 import os
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..constants import COPPER_RESISTIVITY, GHZ
 from ..errors import ConfigurationError
 from ..materials import skin_depth
@@ -82,6 +84,16 @@ class Scale:
         n = int(math.ceil(period_um / step))
         return int(min(max(n, self.grid_n), self.grid_cap))
 
+    def frequency_grid_hz(self, f_min_ghz: float = 1.0,
+                          f_max_ghz: float | None = None) -> np.ndarray:
+        """The sweep's frequency points [Hz].
+
+        Defaults to the paper's band (1 GHz up to this scale's top);
+        experiments with their own band pass explicit endpoints.
+        """
+        top = self.f_max_ghz if f_max_ghz is None else f_max_ghz
+        return np.linspace(f_min_ghz, top, self.n_frequencies) * GHZ
+
     @property
     def f_max_hz(self) -> float:
         return self.f_max_ghz * GHZ
@@ -106,14 +118,35 @@ PAPER = Scale(name="paper", grid_n=20, spacing_divisor=8.0, grid_cap=48,
               n_frequencies=9, max_modes=16, mc_samples=5000,
               surrogate_samples=100000)
 
-_SCALES = {"quick": QUICK, "standard": STANDARD, "paper": PAPER}
+#: Name -> preset mapping (the CLI's ``--scale`` choices).
+SCALES = {"quick": QUICK, "standard": STANDARD, "paper": PAPER}
+
+
+def resolve_scale(scale: Scale | str | None) -> Scale:
+    """Coerce a scale name (or ``None``) to a :class:`Scale` instance.
+
+    Accepts a :class:`Scale` (returned as-is), one of the preset names,
+    or ``None`` (meaning :data:`QUICK`). This is what lets the
+    :mod:`repro.api` facade take ``scale="standard"`` strings.
+    """
+    if scale is None:
+        return QUICK
+    if isinstance(scale, Scale):
+        return scale
+    name = str(scale).lower()
+    if name not in SCALES:
+        raise ConfigurationError(
+            f"unknown scale {scale!r}; use one of {sorted(SCALES)} "
+            "or pass a Scale instance"
+        )
+    return SCALES[name]
 
 
 def scale_from_env(default: Scale = QUICK) -> Scale:
     """Read the scale from ``REPRO_SCALE`` (defaults to ``quick``)."""
     name = os.environ.get("REPRO_SCALE", default.name).lower()
-    if name not in _SCALES:
+    if name not in SCALES:
         raise ConfigurationError(
-            f"unknown REPRO_SCALE {name!r}; use one of {sorted(_SCALES)}"
+            f"unknown REPRO_SCALE {name!r}; use one of {sorted(SCALES)}"
         )
-    return _SCALES[name]
+    return SCALES[name]

@@ -7,25 +7,31 @@ Usage::
     python -m repro.experiments.runner --scale standard table1
     python -m repro.experiments.runner --list      # available experiments
     python -m repro.experiments.runner --jobs 4 --cache-dir ./sweep-cache
+    python -m repro.experiments.runner --format json --output results/
 
-Prints each experiment's series table (the data behind the paper's
-figure) and the pass/fail status of its qualitative checks; exits
-non-zero if any check fails. ``--jobs``/``--cache-dir`` scope an
-engine session, so every sweep inside the experiments runs on a process
-pool and/or replays from a persistent result cache.
+A thin argument-parsing layer over :mod:`repro.api`: the selected
+experiments execute as **one merged engine batch**
+(:func:`repro.api.run_many`), so ``--jobs N`` parallelizes across the
+whole figure set and ``--cache-dir`` replays every previously computed
+point. ``--format table`` (default) prints each experiment's
+paper-style series table; ``--format json`` prints one machine-readable
+document; ``--output DIR`` additionally writes one ``<name>.json``
+artifact per experiment. Exits non-zero if any qualitative check fails,
+with a stderr summary naming each failing check per experiment.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 import warnings
+from pathlib import Path
 
-from . import ALL_EXPERIMENTS
-from .presets import PAPER, QUICK, STANDARD
-
-_SCALES = {"quick": QUICK, "standard": STANDARD, "paper": PAPER}
+from ..errors import ConfigurationError
+from . import registry
+from .presets import SCALES
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -36,7 +42,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="experiments to run (default: all; "
                              "see --list)")
     parser.add_argument("--scale", default="quick",
-                        choices=sorted(_SCALES),
+                        choices=sorted(SCALES),
                         help="execution scale (default: quick)")
     parser.add_argument("--list", action="store_true", dest="list_",
                         help="list available experiments and exit")
@@ -46,26 +52,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-dir", default=None, metavar="PATH",
                         help="persistent result-cache directory "
                              "(re-runs replay cached sweep points)")
+    parser.add_argument("--format", default="table",
+                        choices=("table", "json"), dest="format_",
+                        help="stdout format (default: table)")
+    parser.add_argument("--output", default=None, metavar="DIR",
+                        help="write one machine-readable <name>.json "
+                             "per experiment into DIR")
     args = parser.parse_args(argv)
 
     if args.list_:
-        for name in sorted(ALL_EXPERIMENTS):
+        for name in registry.names():
             print(name)
         return 0
 
-    unknown = sorted(set(args.experiments) - set(ALL_EXPERIMENTS))
+    unknown = sorted(set(args.experiments) - set(registry.names()))
     if unknown:
         parser.error(
             f"unknown experiment(s): {', '.join(unknown)} "
-            f"(choose from {', '.join(sorted(ALL_EXPERIMENTS))})")
+            f"(choose from {', '.join(registry.names())})")
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
-    names = args.experiments or sorted(ALL_EXPERIMENTS)
-    scale = _SCALES[args.scale]
-
-    from ..engine import ResultCache, engine_session
-    from ..errors import ConfigurationError
+    from ..engine import ResultCache
 
     cache = None
     if args.cache_dir is not None:
@@ -74,20 +82,49 @@ def main(argv: list[str] | None = None) -> int:
         except ConfigurationError as exc:
             parser.error(f"--cache-dir: {exc}")
 
-    all_pass = True
-    with engine_session(n_jobs=args.jobs, cache=cache):
-        for name in names:
-            runner = ALL_EXPERIMENTS[name]
-            start = time.time()
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", RuntimeWarning)
-                result = runner(scale)
-            elapsed = time.time() - start
+    output_dir = None
+    if args.output is not None:
+        output_dir = Path(args.output)
+        try:
+            output_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            parser.error(f"--output: cannot create {output_dir}: {exc}")
+
+    from .. import api
+
+    # Repeated names on the command line would recompute nothing (the
+    # engine dedups the jobs) but run_many rejects duplicates, so fold
+    # them here, first occurrence wins.
+    names = list(dict.fromkeys(args.experiments)) or registry.names()
+    start = time.time()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        results = api.run_many(names, scale=args.scale, jobs=args.jobs,
+                               cache=cache)
+    elapsed = time.time() - start
+
+    if args.format_ == "json":
+        print(json.dumps({name: result.to_dict()
+                          for name, result in results.items()}, indent=2))
+    else:
+        for name, result in results.items():
             print(result.format_table())
-            print(f"[{name}: {elapsed:.1f} s at scale {scale.name!r}]")
             print()
-            all_pass = all_pass and result.all_checks_pass()
-    if not all_pass:
+        print(f"[{len(results)} experiment(s) at scale {args.scale!r} "
+              f"in {elapsed:.1f} s, jobs={args.jobs}]")
+
+    if output_dir is not None:
+        for name, result in results.items():
+            (output_dir / f"{name}.json").write_text(result.to_json(),
+                                                     encoding="utf-8")
+
+    failed = {name: result.failing_checks()
+              for name, result in results.items()
+              if not result.all_checks_pass()}
+    if failed:
+        for name, checks in failed.items():
+            print(f"{name}: failing check(s): {', '.join(checks)}",
+                  file=sys.stderr)
         print("SOME CHECKS FAILED", file=sys.stderr)
         return 1
     return 0

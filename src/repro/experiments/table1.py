@@ -13,6 +13,9 @@ match the ``2M + 1`` law exactly, level-2 counts depend on the 1D-rule
 growth (ours: sizes 1, 3, 5 => ``2M^2 + 4M + 1``), so the paper's 345
 corresponds to a slightly leaner rule — the order-of-magnitude-vs-MC
 story is scale-independent.
+
+Counting sampling points needs the KL truncation but zero SWM solves,
+so ``plan`` returns ``None`` and the table is assembled in ``reduce``.
 """
 
 from __future__ import annotations
@@ -23,54 +26,76 @@ from ..constants import UM
 from ..core import StochasticLossConfig, StochasticLossModel
 from ..stochastic.sparsegrid import smolyak_grid
 from ..surfaces import ExtractedCorrelation, GaussianCorrelation
-from .base import ExperimentResult
+from .base import Experiment, ExperimentResult, warn_deprecated_run
 from .presets import QUICK, Scale
+from .registry import register
 
 MC_REFERENCE = 5000  # the paper's MC convergence budget
 
 
+@register
+class Table1SamplingCounts(Experiment):
+    """Sampling-point economics of SSCM vs Monte-Carlo."""
+
+    name = "table1"
+    title = "Table I"
+
+    def plan(self, scale: Scale):
+        return None  # KL truncation only: no solver-backed points
+
+    def reduce(self, sweep, scale: Scale) -> ExperimentResult:
+        cases = {
+            "Gaussian": GaussianCorrelation(sigma=1.0 * UM, eta=1.0 * UM),
+            "CF(12)": ExtractedCorrelation(sigma=1.0 * UM, eta1=1.4 * UM,
+                                           eta2=0.53 * UM),
+        }
+
+        rows = []
+        dims = []
+        for name, cf in cases.items():
+            model = StochasticLossModel(
+                cf, StochasticLossConfig(points_per_side=scale.grid_n,
+                                         max_modes=scale.max_modes))
+            m = model.dimension
+            n1 = smolyak_grid(m, 1).n_points
+            n2 = smolyak_grid(m, 2).n_points
+            rows.append((name, m, MC_REFERENCE, n1, n2,
+                         model.kl.captured_fraction))
+            dims.append(m)
+
+        result = ExperimentResult(
+            experiment=self.title,
+            description=(
+                "Sampling points: MC vs sparse-grid SSCM "
+                f"(KL energy target "
+                f"{StochasticLossConfig().energy_fraction:.0%},"
+                f" max_modes={scale.max_modes})"),
+            x_label="case",
+            x=np.arange(len(rows), dtype=np.float64),
+        )
+        result.add_series("M_kl",
+                          np.array([r[1] for r in rows], dtype=float))
+        result.add_series("MC", np.array([r[2] for r in rows], dtype=float))
+        result.add_series("SSCM_1st",
+                          np.array([r[3] for r in rows], dtype=float))
+        result.add_series("SSCM_2nd",
+                          np.array([r[4] for r in rows], dtype=float))
+
+        for (name, m, mc_n, n1, n2, frac) in rows:
+            result.notes.append(
+                f"{name}: M={m} (energy {frac:.1%}), MC={mc_n}, "
+                f"1st-SSCM={n1}, 2nd-SSCM={n2}")
+
+        result.check("level1_is_2M_plus_1", all(
+            r[3] == 2 * r[1] + 1 for r in rows))
+        result.check("sscm_orders_of_magnitude_cheaper", all(
+            r[3] * 10 <= r[2] and r[4] * 5 <= r[2] for r in rows))
+        result.check("extracted_cf_needs_no_fewer_modes",
+                     dims[1] >= dims[0])
+        return result
+
+
 def run(scale: Scale = QUICK) -> ExperimentResult:
-    cases = {
-        "Gaussian": GaussianCorrelation(sigma=1.0 * UM, eta=1.0 * UM),
-        "CF(12)": ExtractedCorrelation(sigma=1.0 * UM, eta1=1.4 * UM,
-                                       eta2=0.53 * UM),
-    }
-
-    rows = []
-    dims = []
-    for name, cf in cases.items():
-        model = StochasticLossModel(
-            cf, StochasticLossConfig(points_per_side=scale.grid_n,
-                                     max_modes=scale.max_modes))
-        m = model.dimension
-        n1 = smolyak_grid(m, 1).n_points
-        n2 = smolyak_grid(m, 2).n_points
-        rows.append((name, m, MC_REFERENCE, n1, n2,
-                     model.kl.captured_fraction))
-        dims.append(m)
-
-    result = ExperimentResult(
-        experiment="Table I",
-        description=("Sampling points: MC vs sparse-grid SSCM "
-                     f"(KL energy target {StochasticLossConfig().energy_fraction:.0%},"
-                     f" max_modes={scale.max_modes})"),
-        x_label="case",
-        x=np.arange(len(rows), dtype=np.float64),
-    )
-    result.add_series("M_kl", np.array([r[1] for r in rows], dtype=float))
-    result.add_series("MC", np.array([r[2] for r in rows], dtype=float))
-    result.add_series("SSCM_1st", np.array([r[3] for r in rows], dtype=float))
-    result.add_series("SSCM_2nd", np.array([r[4] for r in rows], dtype=float))
-
-    for (name, m, mc_n, n1, n2, frac) in rows:
-        result.notes.append(
-            f"{name}: M={m} (energy {frac:.1%}), MC={mc_n}, "
-            f"1st-SSCM={n1}, 2nd-SSCM={n2}")
-
-    result.check("level1_is_2M_plus_1", all(
-        r[3] == 2 * r[1] + 1 for r in rows))
-    result.check("sscm_orders_of_magnitude_cheaper", all(
-        r[3] * 10 <= r[2] and r[4] * 5 <= r[2] for r in rows))
-    result.check("extracted_cf_needs_no_fewer_modes",
-                 dims[1] >= dims[0])
-    return result
+    """Deprecated shim: use ``repro.api.run("table1", scale=...)``."""
+    warn_deprecated_run("table1")
+    return Table1SamplingCounts().run(scale)

@@ -120,3 +120,24 @@ class SSCMEstimator:
         return SSCMResult(order=self.order, indices=indices,
                           coefficients=coeffs, grid=grid,
                           node_values=values)
+
+
+def reproject_node_values(values: np.ndarray, dimension: int,
+                          order: int) -> SSCMResult:
+    """Rebuild an :class:`SSCMResult` from stored sparse-grid values.
+
+    The projection is pure linear algebra over ``values`` — no model
+    evaluation happens — so a surrogate rebuilt from cached node values
+    (e.g. a sweep-engine payload) is bit-identical to the one the
+    original run produced.
+    """
+    grid = smolyak_grid(dimension, order)
+    estimator = SSCMEstimator(_never_evaluated, dimension, order=order)
+    return estimator.project(grid, np.asarray(values, dtype=np.float64))
+
+
+def _never_evaluated(xi: np.ndarray) -> float:
+    raise StochasticError(
+        "reprojection must not evaluate the model; the node values are "
+        "already known"
+    )

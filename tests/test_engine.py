@@ -23,7 +23,9 @@ from repro.core import (
 from repro.engine import (
     DeterministicScenario,
     EstimatorSpec,
+    Executor,
     ParallelExecutor,
+    ProfileScenario,
     ResultCache,
     SerialExecutor,
     StochasticScenario,
@@ -31,6 +33,7 @@ from repro.engine import (
     content_hash,
     correlation_spec,
     engine_session,
+    run_batch,
     run_sweep,
 )
 from repro.errors import ConfigurationError
@@ -410,6 +413,187 @@ class TestCachedSweeps:
         assert res.cache_hits == 0
 
 
+class TestProfileScenario:
+    """2D (y-uniform) profile processes as first-class engine jobs."""
+
+    def profile(self, name="prof", n=16):
+        return ProfileScenario(name, GaussianCorrelation(1.0, 1.0),
+                               period_um=5.0, n=n, normalize=True)
+
+    def test_matches_direct_generator_solver_loop(self):
+        """Engine values are bit-identical to the hand-rolled Fig. 6
+        loop: seeded white noise -> ProfileGenerator -> SWMSolver2D."""
+        from repro.materials import PAPER_SYSTEM
+        from repro.surfaces import ProfileGenerator
+        from repro.swm.solver2d import SWMSolver2D
+
+        scenario = self.profile()
+        spec = SweepSpec(scenario, [2 * GHZ, 5 * GHZ],
+                         EstimatorSpec(kind="montecarlo", n_samples=4,
+                                       seed=7))
+        res = run_sweep(spec, executor=SerialExecutor(),
+                        cache=ResultCache())
+
+        gen = ProfileGenerator(GaussianCorrelation(1.0, 1.0), period=5.0,
+                               n=16, normalize=True)
+        solver = SWMSolver2D(PAPER_SYSTEM)
+        for f in (2 * GHZ, 5 * GHZ):
+            def model(xi, f=f):
+                profile = gen.from_white_noise(xi)
+                return solver.solve_um(profile, 5.0, f).enhancement
+            direct = MonteCarloEstimator(model, 16).run(4, seed=7)
+            point = res.point("prof", f)
+            np.testing.assert_array_equal(point.values, direct.samples)
+            assert point.seed == 7
+
+    def test_hash_covers_profile_parameters(self):
+        base = self.profile()
+        assert base.key == self.profile().key
+        assert base.key != self.profile(n=24).key
+        other_period = ProfileScenario(
+            "prof", GaussianCorrelation(1.0, 1.0), period_um=6.0, n=16)
+        assert base.key != other_period.key
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProfileScenario("p", GaussianCorrelation(1.0, 1.0),
+                            period_um=-1.0, n=16)
+        with pytest.raises(ConfigurationError):
+            ProfileScenario("p", GaussianCorrelation(1.0, 1.0),
+                            period_um=5.0, n=2)
+
+    def test_cache_replay(self):
+        spec = SweepSpec(self.profile(), 2 * GHZ,
+                         EstimatorSpec(kind="montecarlo", n_samples=4,
+                                       seed=1))
+        cache = ResultCache()
+        first = run_sweep(spec, cache=cache)
+        again = run_sweep(spec, cache=cache)
+        assert first.cache_hits == 0 and again.cache_hits == 1
+        np.testing.assert_array_equal(first.points[0].values,
+                                      again.points[0].values)
+
+
+class TestEstimatorMap:
+    """Per-scenario estimators: heterogeneous figures as one spec."""
+
+    def spec(self):
+        return SweepSpec(
+            [small_scenario("sscm-side"),
+             ProfileScenario("mc-side", GaussianCorrelation(1.0, 1.0),
+                             period_um=5.0, n=16)],
+            [2 * GHZ],
+            estimators=EstimatorSpec(order=1),
+            estimator_map={"mc-side": EstimatorSpec(
+                kind="montecarlo", n_samples=4, seed=0)})
+
+    def test_jobs_use_mapped_estimators(self):
+        by_scenario = {j.scenario.name: j.estimator_label
+                       for j in self.spec().jobs()}
+        assert by_scenario == {"sscm-side": "sscm(order=1)",
+                               "mc-side": "montecarlo(n=4, seed=0)"}
+
+    def test_unknown_scenario_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            SweepSpec(small_scenario("a"), [2 * GHZ],
+                      estimator_map={"b": EstimatorSpec(order=2)})
+
+    def test_map_changes_spec_hash_only_when_present(self):
+        plain = SweepSpec(small_scenario("a"), [2 * GHZ])
+        plain_again = SweepSpec(small_scenario("a"), [2 * GHZ],
+                                estimator_map={})
+        mapped = SweepSpec(small_scenario("a"), [2 * GHZ],
+                           estimator_map={"a": EstimatorSpec(order=2)})
+        assert plain.key == plain_again.key
+        assert plain.key != mapped.key
+
+    def test_runs_end_to_end(self):
+        res = run_sweep(self.spec(), cache=ResultCache())
+        assert res.point("sscm-side").estimator == "sscm(order=1)"
+        assert res.point("mc-side").n_evals == 4
+
+
+class TestRunBatch:
+    """Merged multi-sweep execution with cross-sweep deduplication."""
+
+    def test_shared_jobs_computed_once(self):
+        shared = small_scenario("shared")
+        a = SweepSpec(shared, [2 * GHZ, 5 * GHZ])
+        b = SweepSpec(shared, [2 * GHZ])  # subset of a's jobs
+        cache = ResultCache()
+        out = run_batch({"a": a, "b": b}, executor=SerialExecutor(),
+                        cache=cache)
+        # b's single point was deduplicated against a's first job.
+        assert cache.stats.stores == 2
+        assert out["b"].points[0].cache_hit is False
+        np.testing.assert_array_equal(
+            out["a"].point("shared", 2 * GHZ).values,
+            out["b"].point("shared", 2 * GHZ).values)
+
+    def test_results_match_individual_sweeps(self):
+        a = SweepSpec(small_scenario("x"), [2 * GHZ])
+        b = SweepSpec(small_scenario("y", eta_um=2.0), [5 * GHZ])
+        batch = run_batch({"a": a, "b": b}, cache=ResultCache())
+        alone_a = run_sweep(a, cache=ResultCache())
+        alone_b = run_sweep(b, cache=ResultCache())
+        np.testing.assert_array_equal(batch["a"].points[0].values,
+                                      alone_a.points[0].values)
+        np.testing.assert_array_equal(batch["b"].points[0].values,
+                                      alone_b.points[0].values)
+
+    def test_progress_spans_batch_and_attributes_per_sweep(self):
+        a = SweepSpec(small_scenario("x"), [2 * GHZ, 5 * GHZ])
+        b = SweepSpec(small_scenario("y", eta_um=2.0), [2 * GHZ])
+        seen, attributed = [], []
+        run_batch({"a": a, "b": b}, cache=ResultCache(),
+                  progress=lambda done, total: seen.append((done, total)),
+                  batch_progress=lambda name, done, total:
+                  attributed.append((name, done, total)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+        assert ("a", 2, 2) in attributed and ("b", 1, 1) in attributed
+
+    def test_cached_points_attributed_upfront(self):
+        spec = SweepSpec(small_scenario("x"), [2 * GHZ])
+        cache = ResultCache()
+        run_batch({"a": spec}, cache=cache)
+        attributed = []
+        run_batch({"a": spec}, cache=cache,
+                  batch_progress=lambda name, done, total:
+                  attributed.append((name, done, total)))
+        assert attributed == [("a", 1, 1)]
+
+    def test_empty_batch(self):
+        assert run_batch({}, cache=ResultCache()) == {}
+
+    def test_progress_flows_from_executors_that_ignore_on_result(self):
+        """A custom executor honoring only the progress callback still
+        drives a live (slot-granularity) progress bar; the fallback
+        commit loop finishes the exact count afterwards."""
+        class ProgressOnlyExecutor(Executor):
+            name = "progress-only"
+
+            def run(self, fn, items, progress=None, on_result=None):
+                out = []
+                for i, item in enumerate(items):
+                    out.append(fn(item))
+                    if progress is not None:
+                        progress(i + 1, len(items))
+                return out
+
+        spec = SweepSpec(small_scenario("x"), [2 * GHZ, 5 * GHZ])
+        seen = []
+        cache = ResultCache()
+        run_batch({"a": spec}, executor=ProgressOnlyExecutor(),
+                  cache=cache,
+                  progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(1, 2), (2, 2)]
+        assert cache.stats.stores == 2  # fallback loop still committed
+
+    def test_run_sweep_rejects_non_spec(self):
+        with pytest.raises(ConfigurationError, match="SweepSpec"):
+            run_sweep([small_scenario("a")])
+
+
 class TestPipelineRouting:
     """The high-level pipeline API routes through the engine."""
 
@@ -423,6 +607,26 @@ class TestPipelineRouting:
         direct = MonteCarloEstimator(model.enhancement_model(5 * GHZ),
                                      model.dimension).run(8, seed=0)
         np.testing.assert_array_equal(routed.samples, direct.samples)
+
+    def test_sscm_matches_direct_and_replays_from_cache(self, model,
+                                                        monkeypatch):
+        cache = ResultCache()
+        routed = model.sscm(5 * GHZ, order=1, cache=cache)
+        model.solver.reset_tables()  # history-free, like engine jobs
+        direct = model.sscm_direct(5 * GHZ, order=1)
+        np.testing.assert_array_equal(routed.node_values,
+                                      direct.node_values)
+        np.testing.assert_array_equal(routed.coefficients,
+                                      direct.coefficients)
+        assert routed.mean == direct.mean
+
+        def no_solves(self, *args, **kwargs):
+            raise AssertionError("SWM solve performed on warm cache")
+
+        monkeypatch.setattr(SWMSolver3D, "_solve_fields", no_solves)
+        replay = model.sscm(5 * GHZ, order=1, cache=cache)
+        np.testing.assert_array_equal(replay.node_values,
+                                      routed.node_values)
 
     def test_mean_enhancement_parallel_matches_serial(self, model):
         freqs = np.array([2.0, 5.0]) * GHZ

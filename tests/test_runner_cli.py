@@ -1,53 +1,93 @@
 """Tests of the experiment-runner CLI (argument handling, exit codes,
-and engine integration via ``--jobs``/``--cache-dir``)."""
+output formats, and engine integration via ``--jobs``/``--cache-dir``).
+
+The runner is a thin layer over ``repro.api`` and the experiment
+registry, so the tests install fake :class:`Experiment` subclasses into
+a scratch registry instead of monkeypatching a dict of functions.
+"""
+
+import json
 
 import numpy as np
 import pytest
 
 from repro.constants import GHZ, UM
-from repro.core import StochasticLossConfig, StochasticLossModel
+from repro.core import StochasticLossConfig
 from repro.engine import default_cache
+from repro.experiments import registry as registry_module
 from repro.experiments import runner as runner_module
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import Experiment, ExperimentResult
 from repro.surfaces import GaussianCorrelation
 
 
-def _fake_experiment(passed: bool, recorded: list | None = None):
-    def run(scale):
-        res = ExperimentResult(
-            experiment="Fake", description="CLI test stub",
-            x_label="x", x=np.array([1.0, 2.0]))
-        res.add_series("y", np.array([1.0, 2.0]))
-        res.check("ok", passed)
-        if recorded is not None:
-            recorded.append(scale.name)
-        return res
-    return run
+def _fake_experiment(name, passed=True, recorded=None):
+    """A no-solve Experiment class reporting one check."""
+    exp_name, exp_passed, exp_recorded = name, passed, recorded
+
+    class Fake(Experiment):
+        name = exp_name
+
+        def plan(self, scale):
+            return None
+
+        def reduce(self, sweep, scale):
+            res = ExperimentResult(
+                experiment="Fake", description="CLI test stub",
+                x_label="x", x=np.array([1.0, 2.0]))
+            res.add_series("y", np.array([1.0, 2.0]))
+            res.check("ok", exp_passed)
+            if exp_recorded is not None:
+                exp_recorded.append(scale.name)
+            return res
+
+    return Fake
 
 
-def _sweep_experiment(recorded: list):
-    """A real (tiny) engine-routed sweep, for --jobs parity checks."""
-    def run(scale):
-        model = StochasticLossModel(
-            GaussianCorrelation(1 * UM, 1 * UM),
-            StochasticLossConfig(points_per_side=8, max_modes=2))
-        freqs = np.array([2.0, 5.0]) * GHZ
-        means = model.mean_enhancement(freqs, order=1)
-        recorded.append(means)
-        res = ExperimentResult(
-            experiment="Sweep", description="engine parity stub",
-            x_label="f (GHz)", x=freqs / GHZ)
-        res.add_series("mean", means)
-        res.check("physical", bool(np.all(means > 0.9)))
-        return res
-    return run
+def _sweep_experiment(recorded):
+    """A real (tiny) planned sweep, for --jobs/--cache-dir checks."""
+    class Sweep(Experiment):
+        name = "sweep"
+
+        def plan(self, scale):
+            from repro.engine import (
+                EstimatorSpec,
+                StochasticScenario,
+                SweepSpec,
+            )
+
+            scenario = StochasticScenario(
+                "m", GaussianCorrelation(1 * UM, 1 * UM),
+                StochasticLossConfig(points_per_side=8, max_modes=2))
+            return SweepSpec(scenario, np.array([2.0, 5.0]) * GHZ,
+                             EstimatorSpec(kind="sscm", order=1))
+
+        def reduce(self, sweep, scale):
+            means = sweep.mean_curve("m")
+            recorded.append(means)
+            res = ExperimentResult(
+                experiment="Sweep", description="engine parity stub",
+                x_label="f (GHz)", x=np.array(sweep.frequencies_hz) / GHZ)
+            res.add_series("mean", means)
+            res.check("physical", bool(np.all(means > 0.9)))
+            return res
+
+    return Sweep
+
+
+@pytest.fixture
+def scratch_registry(monkeypatch):
+    """An empty registry the test can populate via @register."""
+    registry = {}
+    monkeypatch.setattr(registry_module, "_REGISTRY", registry)
+    return registry
 
 
 class TestArguments:
     def test_list_prints_experiments_and_exits_zero(self, capsys):
         assert runner_module.main(["--list"]) == 0
         out = capsys.readouterr().out.split()
-        assert out == sorted(runner_module.ALL_EXPERIMENTS)
+        assert out == registry_module.names()
+        assert "fig3" in out and "table1" in out
 
     def test_unknown_experiment_is_an_argparse_error(self, capsys):
         with pytest.raises(SystemExit) as exc:
@@ -62,43 +102,92 @@ class TestArguments:
         help_text = capsys.readouterr().out
         assert "[]" not in help_text
         assert "--list" in help_text and "--jobs" in help_text
+        assert "--format" in help_text and "--output" in help_text
 
     def test_bad_jobs_rejected(self, capsys):
         with pytest.raises(SystemExit) as exc:
             runner_module.main(["--jobs", "0"])
         assert exc.value.code == 2
 
+    def test_bad_format_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            runner_module.main(["--format", "xml"])
+        assert exc.value.code == 2
+
 
 class TestExitCodes:
-    def test_passing_checks_exit_zero(self, monkeypatch, capsys):
-        monkeypatch.setattr(runner_module, "ALL_EXPERIMENTS",
-                            {"good": _fake_experiment(True)})
+    def test_passing_checks_exit_zero(self, scratch_registry, capsys):
+        registry_module.register(_fake_experiment("good", passed=True))
         assert runner_module.main(["good"]) == 0
         out = capsys.readouterr().out
         assert "check ok: PASS" in out
 
-    def test_failing_check_exits_nonzero(self, monkeypatch, capsys):
-        monkeypatch.setattr(runner_module, "ALL_EXPERIMENTS",
-                            {"good": _fake_experiment(True),
-                             "bad": _fake_experiment(False)})
+    def test_failing_check_exits_nonzero(self, scratch_registry, capsys):
+        registry_module.register(_fake_experiment("good", passed=True))
+        registry_module.register(_fake_experiment("bad", passed=False))
         assert runner_module.main([]) == 1
         captured = capsys.readouterr()
         assert "SOME CHECKS FAILED" in captured.err
         assert "check ok: FAIL" in captured.out
 
-    def test_scale_is_forwarded(self, monkeypatch):
+    def test_failure_summary_names_each_failing_check(self, scratch_registry,
+                                                      capsys):
+        registry_module.register(_fake_experiment("good", passed=True))
+        registry_module.register(_fake_experiment("bad", passed=False))
+        assert runner_module.main([]) == 1
+        err = capsys.readouterr().err
+        assert "bad: failing check(s): ok" in err
+        assert "good:" not in err
+
+    def test_duplicate_names_run_once(self, scratch_registry, capsys):
         recorded = []
-        monkeypatch.setattr(runner_module, "ALL_EXPERIMENTS",
-                            {"good": _fake_experiment(True, recorded)})
+        registry_module.register(
+            _fake_experiment("good", passed=True, recorded=recorded))
+        assert runner_module.main(["good", "good"]) == 0
+        assert recorded == ["quick"]
+
+    def test_scale_is_forwarded(self, scratch_registry):
+        recorded = []
+        registry_module.register(
+            _fake_experiment("good", passed=True, recorded=recorded))
         assert runner_module.main(["--scale", "standard", "good"]) == 0
         assert recorded == ["standard"]
 
 
+class TestOutputFormats:
+    def test_json_format_is_machine_readable(self, scratch_registry,
+                                             capsys):
+        registry_module.register(_fake_experiment("good", passed=True))
+        assert runner_module.main(["--format", "json", "good"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) == {"good"}
+        assert doc["good"]["checks"] == {"ok": True}
+        assert doc["good"]["all_checks_pass"] is True
+        assert doc["good"]["series"]["y"] == [1.0, 2.0]
+
+    def test_output_dir_gets_one_json_per_experiment(self, scratch_registry,
+                                                     tmp_path, capsys):
+        registry_module.register(_fake_experiment("good", passed=True))
+        registry_module.register(_fake_experiment("bad", passed=False))
+        out_dir = tmp_path / "artifacts"
+        assert runner_module.main(["--output", str(out_dir)]) == 1
+        files = sorted(p.name for p in out_dir.glob("*.json"))
+        assert files == ["bad.json", "good.json"]
+        doc = json.loads((out_dir / "bad.json").read_text())
+        assert doc["all_checks_pass"] is False
+
+    def test_table_format_prints_summary_line(self, scratch_registry,
+                                              capsys):
+        registry_module.register(_fake_experiment("good", passed=True))
+        assert runner_module.main(["good"]) == 0
+        out = capsys.readouterr().out
+        assert "1 experiment(s) at scale 'quick'" in out
+
+
 class TestEngineIntegration:
-    def test_jobs_2_matches_serial(self, monkeypatch, capsys):
+    def test_jobs_2_matches_serial(self, scratch_registry, capsys):
         recorded = []
-        monkeypatch.setattr(runner_module, "ALL_EXPERIMENTS",
-                            {"sweep": _sweep_experiment(recorded)})
+        registry_module.register(_sweep_experiment(recorded))
         # Clear the process-global cache between invocations so the
         # parallel run cannot replay the serial run's points.
         default_cache().clear()
@@ -109,11 +198,10 @@ class TestEngineIntegration:
         serial, parallel = recorded
         assert np.max(np.abs(serial - parallel)) <= 1e-12
 
-    def test_cache_dir_persists_results(self, monkeypatch, tmp_path,
+    def test_cache_dir_persists_results(self, scratch_registry, tmp_path,
                                         capsys):
         recorded = []
-        monkeypatch.setattr(runner_module, "ALL_EXPERIMENTS",
-                            {"sweep": _sweep_experiment(recorded)})
+        registry_module.register(_sweep_experiment(recorded))
         cache_dir = tmp_path / "sweeps"
         assert runner_module.main(
             ["--cache-dir", str(cache_dir), "sweep"]) == 0
