@@ -1,0 +1,109 @@
+"""Service overhead: warm-cache HTTP requests vs in-process engine.
+
+Against a fully warm cache every sweep point is a replay — zero SWM
+solves — so this benchmark isolates what the service *adds*: wire
+(de)serialization, the scheduler's hit/pending split, and one HTTP
+round-trip per submit/poll/fetch. Reported numbers:
+
+- in-process warm `run_sweep` latency (the floor);
+- HTTP warm `ServiceClient.run_sweep` latency + requests/second over a
+  burst of repeat submissions (throughput of the service's hot path).
+
+The sweep is the engine-scaling workload (Fig. 3-style SSCM points) at
+a small grid so the cold warm-up fits CI budgets.
+"""
+
+import threading
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.constants import GHZ, UM
+from repro.core import StochasticLossConfig
+from repro.engine import (
+    EstimatorSpec,
+    ResultCache,
+    SerialExecutor,
+    StochasticScenario,
+    SweepSpec,
+    run_sweep,
+)
+from repro.service.client import ServiceClient
+from repro.service.server import make_server
+from repro.surfaces import GaussianCorrelation
+
+N_BURST = 25
+
+
+def _spec(n_freqs: int = 4) -> SweepSpec:
+    scenarios = [
+        StochasticScenario(
+            f"eta{eta:g}um", GaussianCorrelation(1 * UM, eta * UM),
+            StochasticLossConfig(points_per_side=10, max_modes=4))
+        for eta in (1.0, 2.0)
+    ]
+    return SweepSpec(scenarios=scenarios,
+                     frequencies_hz=np.linspace(1.0, 5.0, n_freqs) * GHZ,
+                     estimators=EstimatorSpec(kind="sscm", order=1),
+                     tags={"bench": "service"})
+
+
+@pytest.fixture(scope="module")
+def warm_service():
+    """A live server over a warm cache, plus the in-process reference."""
+    cache = ResultCache(disk_dir=None)
+    spec = _spec()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        reference = run_sweep(spec, executor=SerialExecutor(), cache=cache)
+    server = make_server(port=0, cache=cache)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}", poll_interval=0.005)
+    yield spec, cache, reference, client
+    server.service.shutdown()
+    server.shutdown()
+    thread.join(5)
+
+
+def test_warm_latency_http_vs_inprocess(benchmark, warm_service):
+    spec, cache, reference, client = warm_service
+
+    start = time.perf_counter()
+    local = run_sweep(spec, executor=SerialExecutor(), cache=cache)
+    local_s = time.perf_counter() - start
+    assert local.cache_hits == local.n_points
+
+    def remote():
+        return client.run_sweep(spec, timeout=60)
+
+    result = benchmark.pedantic(remote, iterations=1, rounds=5)
+    assert result.cache_hits == result.n_points
+    for name in ("eta1um", "eta2um"):
+        assert np.array_equal(reference.mean_curve(name),
+                              result.mean_curve(name))
+    remote_s = benchmark.stats.stats.mean
+    print(f"\nwarm in-process: {local_s * 1e3:8.2f} ms")
+    print(f"warm HTTP:       {remote_s * 1e3:8.2f} ms "
+          f"(x{remote_s / max(local_s, 1e-9):.1f} the in-process floor; "
+          f"submit + poll + result fetch)")
+
+
+def test_warm_request_throughput(benchmark, warm_service):
+    spec, _, _, client = warm_service
+
+    def burst():
+        for _ in range(N_BURST):
+            ticket = client.submit(spec)
+            status = client.wait(ticket, timeout=60)
+            assert status["state"] == "complete"
+        return N_BURST
+
+    n = benchmark.pedantic(burst, iterations=1, rounds=3)
+    elapsed = benchmark.stats.stats.mean
+    print(f"\n{n} warm submissions in {elapsed:.2f} s "
+          f"-> {n / elapsed:7.1f} sweeps/s "
+          f"({n * spec.n_jobs / elapsed:7.1f} points/s served from cache)")

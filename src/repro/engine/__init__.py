@@ -41,7 +41,13 @@ hash, per-sweep progress attribution) — the mechanism behind
 stochastic and deterministic scenarios.
 """
 
-from .api import default_cache, engine_session, run_batch, run_sweep
+from .api import (
+    cache_split,
+    default_cache,
+    engine_session,
+    run_batch,
+    run_sweep,
+)
 from .cache import CacheStats, ResultCache
 from .executors import Executor, ParallelExecutor, SerialExecutor
 from .results import PointResult, SweepResult
@@ -73,6 +79,7 @@ __all__ = [
     "StochasticScenario",
     "SweepResult",
     "SweepSpec",
+    "cache_split",
     "clear_memo",
     "content_hash",
     "correlation_spec",

@@ -21,15 +21,16 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
-from typing import Callable, Iterator, Mapping
+from typing import Callable, Iterator, Mapping, Sequence
 
 from ..errors import ConfigurationError
 from .cache import ResultCache
 from .executors import Executor, ParallelExecutor, ProgressFn, SerialExecutor
 from .results import PointResult, SweepResult
 from .runtime import execute_job
-from .spec import SweepSpec
+from .spec import Job, SweepSpec
 
 #: ``batch_progress(name, done, total)`` — per-sweep point attribution.
 BatchProgressFn = Callable[[str, int, int], None]
@@ -38,13 +39,19 @@ BatchProgressFn = Callable[[str, int, int], None]
 _GLOBAL_CACHE = ResultCache(max_memory_entries=256)
 
 
-@dataclass
+@dataclass(frozen=True)
 class _SessionDefaults:
     executor: Executor | None = None
     cache: ResultCache | None = None
 
 
-_session = _SessionDefaults()
+# Context-local, not module-global: concurrent callers (the threaded
+# HTTP service, notebook background tasks) each get their own session
+# stack, so one thread entering engine_session can never redirect
+# another thread's sweeps to its executor/cache. Threads and asyncio
+# tasks start from an empty Context, i.e. from the no-session default.
+_SESSION: ContextVar[_SessionDefaults] = ContextVar(
+    "repro_engine_session", default=_SessionDefaults())
 
 
 def default_cache() -> ResultCache:
@@ -65,35 +72,66 @@ def engine_session(n_jobs: int | None = None,
     the inner session leaves unspecified (setting only ``n_jobs``
     inside a ``cache_dir`` session keeps the outer cache).
     """
-    global _session
     if executor is None and n_jobs is not None:
         executor = (ParallelExecutor(n_jobs) if n_jobs > 1
                     else SerialExecutor())
     if cache is None and cache_dir is not None:
         cache = ResultCache(disk_dir=cache_dir)
-    previous = _session
+    previous = _SESSION.get()
     if executor is None:
         executor = previous.executor
     if cache is None:
         cache = previous.cache
-    _session = _SessionDefaults(executor=executor, cache=cache)
+    token = _SESSION.set(_SessionDefaults(executor=executor, cache=cache))
     try:
         yield
     finally:
-        _session = previous
+        _SESSION.reset(token)
 
 
 def _resolve(executor: Executor | None,
              cache: ResultCache | None) -> tuple[Executor, ResultCache]:
+    session = _SESSION.get()
     if executor is None:
-        executor = (_session.executor if _session.executor is not None
+        executor = (session.executor if session.executor is not None
                     else SerialExecutor())
     if cache is None:
         # NB: an *empty* ResultCache is falsy (it has __len__), so the
         # fallbacks must test identity, not truthiness.
-        cache = _session.cache if _session.cache is not None \
+        cache = session.cache if session.cache is not None \
             else _GLOBAL_CACHE
     return executor, cache
+
+
+def cache_split(jobs: SweepSpec | Sequence[Job],
+                cache: ResultCache | None = None
+                ) -> tuple[dict[int, dict], list[Job]]:
+    """Split a job stream into cache hits and pending computations.
+
+    This is the scheduler core of :func:`run_sweep`/:func:`run_batch`,
+    exposed for services that answer hits immediately and enqueue the
+    rest (the async sweep service of :mod:`repro.service` is built on
+    it). ``jobs`` is a :class:`SweepSpec` (its materialized job list is
+    used) or an explicit job sequence; ``cache`` defaults to the active
+    session's cache, like :func:`run_sweep`.
+
+    Returns ``(hits, pending)``: ``hits`` maps job index -> cached
+    payload dict, ``pending`` lists the jobs that still need an
+    executor (non-cacheable jobs are always pending). Looking up a hit
+    counts in the cache's stats, exactly as running the sweep would.
+    """
+    if isinstance(jobs, SweepSpec):
+        jobs = jobs.jobs()
+    _, cache = _resolve(None, cache)
+    hits: dict[int, dict] = {}
+    pending: list[Job] = []
+    for i, job in enumerate(jobs):
+        payload = cache.get(job.key) if job.cacheable else None
+        if payload is not None:
+            hits[i] = payload
+        else:
+            pending.append(job)
+    return hits, pending
 
 
 def run_batch(specs: Mapping[str, SweepSpec],

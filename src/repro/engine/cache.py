@@ -55,6 +55,7 @@ class CacheStats:
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
+    disk_evictions: int = 0
 
     @property
     def hits(self) -> int:
@@ -74,10 +75,16 @@ class ResultCache:
     disk_dir:
         Directory of the persistent tier; created on first use. ``None``
         keeps the cache memory-only.
+    max_disk_bytes:
+        Disk-tier budget. After every store, least-recently-used
+        entries (by mtime — disk hits refresh it) are evicted until the
+        tier fits, so a long-running service cannot fill the volume.
+        ``None`` (default) disables eviction.
     """
 
     max_memory_entries: int = 256
     disk_dir: str | os.PathLike | None = None
+    max_disk_bytes: int | None = None
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
@@ -86,7 +93,16 @@ class ResultCache:
                 f"max_memory_entries must be >= 0, "
                 f"got {self.max_memory_entries}"
             )
+        if self.max_disk_bytes is not None and self.max_disk_bytes <= 0:
+            raise ConfigurationError(
+                f"max_disk_bytes must be positive, got {self.max_disk_bytes}"
+            )
         self._memory: OrderedDict[str, dict] = OrderedDict()
+        # Running disk-tier byte total (None = not yet scanned). Kept
+        # incrementally so enforcing max_disk_bytes is O(1) per store;
+        # the full directory scan only runs on first use and when the
+        # budget is actually exceeded (eviction re-synchronizes it).
+        self._disk_total: int | None = None
         if self.disk_dir is not None:
             self.disk_dir = Path(self.disk_dir)
             try:
@@ -126,11 +142,17 @@ class ResultCache:
         if payload is not None:
             self._memory.move_to_end(key)
             self.stats.memory_hits += 1
+            if self.max_disk_bytes is not None and self.disk_dir is not None:
+                # Disk LRU eviction clocks on mtime; without this, a
+                # hot entry served from memory would look cold on disk
+                # and be the first one evicted.
+                self._touch(key)
             return dict(payload)
         if self.disk_dir is not None:
             payload = self._disk_get(key)
             if payload is not None:
                 self.stats.disk_hits += 1
+                self._touch(key)
                 self._memory_put(key, payload)
                 return dict(payload)
         self.stats.misses += 1
@@ -195,6 +217,18 @@ class ResultCache:
             json_path,
             json.dumps(record, sort_keys=True, indent=1,
                        default=_jsonable).encode("utf-8"))
+        if self.max_disk_bytes is not None:
+            if self._disk_total is None:
+                self._disk_total = sum(
+                    size for _, size, _ in self._disk_entries())
+            else:
+                for path in (json_path, npz_path):
+                    try:
+                        self._disk_total += path.stat().st_size
+                    except OSError:
+                        pass
+            if self._disk_total > self.max_disk_bytes:
+                self._enforce_disk_budget()
 
     @staticmethod
     def _atomic_write(path: Path, data: bytes) -> None:
@@ -202,3 +236,150 @@ class ResultCache:
         with open(tmp, "wb") as fh:
             fh.write(data)
         os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Disk-tier introspection and GC (the service's artifact store).
+    # ------------------------------------------------------------------
+
+    def _touch(self, key: str) -> None:
+        """Refresh both files' mtime: the disk tier's LRU clock."""
+        for path in self._disk_paths(key):
+            try:
+                os.utime(path)
+            except OSError:
+                pass  # concurrently evicted/purged — the read still won
+
+    def _disk_entries(self) -> list[tuple[float, int, str]]:
+        """``(mtime, bytes, key)`` per complete on-disk entry, oldest
+        first. Orphaned halves (torn by an eviction race) count toward
+        the pair they belong to; missing halves contribute zero."""
+        assert self.disk_dir is not None
+        entries = []
+        for json_path in Path(self.disk_dir).glob("*.json"):
+            key = json_path.stem
+            size = 0
+            mtime = 0.0
+            for path in self._disk_paths(key):
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
+                size += st.st_size
+                mtime = max(mtime, st.st_mtime)
+            entries.append((mtime, size, key))
+        entries.sort()
+        return entries
+
+    def disk_size_bytes(self) -> int:
+        """Total bytes of the disk tier (0 when memory-only)."""
+        return self.disk_usage()[1]
+
+    def disk_usage(self) -> tuple[int, int]:
+        """``(entries, bytes)`` of the disk tier in one directory scan
+        (stat only — no record is opened; cheap enough for monitoring
+        endpoints to poll)."""
+        if self.disk_dir is None:
+            return 0, 0
+        entries = self._disk_entries()
+        total = sum(size for _, size, _ in entries)
+        self._disk_total = total
+        return len(entries), total
+
+    def _evict(self, key: str) -> None:
+        # Disk-tier only: the memory LRU is bounded independently, and
+        # a content-addressed payload can never go stale, so a still-hot
+        # memory copy stays servable after its disk artifact is evicted.
+        for path in self._disk_paths(key):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        self.stats.disk_evictions += 1
+
+    def _enforce_disk_budget(self) -> None:
+        entries = self._disk_entries()
+        total = sum(size for _, size, _ in entries)
+        for _, size, key in entries:
+            if total <= self.max_disk_bytes:
+                break
+            self._evict(key)
+            total -= size
+        self._disk_total = total  # re-synchronized by the full scan
+
+    def purge(self, older_than_s: float) -> int:
+        """Delete disk entries idle for more than ``older_than_s``
+        seconds (mtime-based, so recently *hit* entries survive).
+        Returns the number of entries removed."""
+        if older_than_s < 0:
+            raise ConfigurationError(
+                f"older_than_s must be >= 0, got {older_than_s}"
+            )
+        if self.disk_dir is None:
+            return 0
+        cutoff = time.time() - older_than_s
+        purged = 0
+        for mtime, size, key in self._disk_entries():
+            if mtime < cutoff:
+                self._evict(key)
+                purged += 1
+                if self._disk_total is not None:
+                    self._disk_total = max(0, self._disk_total - size)
+        return purged
+
+    def get_record(self, key: str) -> dict | None:
+        """The full stored record for ``key``: payload plus provenance.
+
+        This is the artifact-store read path (``GET /v1/jobs/<hash>``):
+        unlike :func:`get` it also returns the human-readable metadata
+        and creation time the disk tier records. Memory-only caches
+        synthesize a metadata-free record from the hot tier.
+        """
+        if self.disk_dir is not None:
+            json_path, npz_path = self._disk_paths(key)
+            try:
+                with open(json_path, "r", encoding="utf-8") as fh:
+                    record = json.load(fh)
+                with np.load(npz_path) as npz:
+                    values = np.asarray(npz["values"])
+            except (OSError, ValueError, KeyError, json.JSONDecodeError):
+                record = None
+            else:
+                if record.get("engine_version") == ENGINE_VERSION:
+                    values.flags.writeable = False
+                    record["payload"] = dict(record["payload"])
+                    record["payload"]["values"] = values
+                    return record
+        payload = self._memory.get(key)
+        if payload is None:
+            return None
+        return {"engine_version": ENGINE_VERSION, "key": key,
+                "created_unix": None, "payload": dict(payload),
+                "metadata": {}}
+
+    def manifest(self) -> list[dict]:
+        """One provenance entry per disk-tier artifact, oldest first.
+
+        Each entry carries ``key``, ``bytes``, ``mtime_unix``,
+        ``created_unix`` and the stored ``metadata`` (scenario,
+        frequency, estimator, tags). An unreadable record (torn by a
+        concurrent eviction) is skipped rather than failing the listing.
+        """
+        if self.disk_dir is None:
+            return []
+        out = []
+        for mtime, size, key in self._disk_entries():
+            json_path, _ = self._disk_paths(key)
+            try:
+                with open(json_path, "r", encoding="utf-8") as fh:
+                    record = json.load(fh)
+            except (OSError, ValueError, json.JSONDecodeError):
+                continue
+            out.append({
+                "key": key,
+                "bytes": size,
+                "mtime_unix": mtime,
+                "created_unix": record.get("created_unix"),
+                "engine_version": record.get("engine_version"),
+                "metadata": record.get("metadata", {}),
+            })
+        return out

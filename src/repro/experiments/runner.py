@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments.runner --list      # available experiments
     python -m repro.experiments.runner --jobs 4 --cache-dir ./sweep-cache
     python -m repro.experiments.runner --format json --output results/
+    python -m repro.experiments.runner serve --port 8321 --jobs 4
 
 A thin argument-parsing layer over :mod:`repro.api`: the selected
 experiments execute as **one merged engine batch**
@@ -18,6 +19,11 @@ paper-style series table; ``--format json`` prints one machine-readable
 document; ``--output DIR`` additionally writes one ``<name>.json``
 artifact per experiment. Exits non-zero if any qualitative check fails,
 with a stderr summary naming each failing check per experiment.
+
+The ``serve`` subcommand runs the async sweep service instead
+(:mod:`repro.service`): a long-lived HTTP server that accepts wire
+``SweepSpec`` documents, answers cached points immediately, and
+streams NDJSON progress — see the README's "Running as a service".
 """
 
 from __future__ import annotations
@@ -34,10 +40,53 @@ from . import registry
 from .presets import SCALES
 
 
+def _serve_main(argv: list[str]) -> int:
+    """``repro-experiments serve ...`` — run the async sweep service."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments serve",
+        description="Serve sweeps over HTTP (async job queue, "
+                    "content-addressed cache, NDJSON progress).")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8321,
+                        help="bind port (default: 8321; 0 = ephemeral)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes per dispatch round "
+                             "(default: 1 = serial)")
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="persistent result-cache directory (also "
+                             "the /v1/jobs/<hash> artifact store)")
+    parser.add_argument("--max-disk-bytes", type=int, default=None,
+                        metavar="B",
+                        help="disk-cache budget; least-recently-used "
+                             "artifacts are evicted beyond it")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every HTTP request to stderr")
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    from ..service.server import serve
+
+    try:
+        return serve(host=args.host, port=args.port, jobs=args.jobs,
+                     cache_dir=args.cache_dir,
+                     max_disk_bytes=args.max_disk_bytes,
+                     quiet=not args.verbose)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
-        description="Regenerate the paper's tables and figures.")
+        description="Regenerate the paper's tables and figures "
+                    "(or 'serve' them over HTTP: see "
+                    "'repro-experiments serve --help').")
     parser.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
                         help="experiments to run (default: all; "
                              "see --list)")

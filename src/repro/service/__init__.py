@@ -1,0 +1,57 @@
+"""Async sweep service: the engine as a long-running multi-client server.
+
+Chen & Wong's SSCM turns each loss statistic into a small set of
+content-addressed solver jobs — exactly the shape a shared,
+cache-fronted compute service exploits. This subsystem stacks four
+layers over :mod:`repro.engine`, the first place the engine outlives a
+single process:
+
+- :mod:`.wire` — versioned JSON wire format; ``SweepSpec``/``Job``/
+  ``SweepResult`` cross process and machine boundaries with their
+  content hashes (and array payloads) intact.
+- :mod:`.scheduler` — :class:`SweepScheduler`, an async job queue over
+  :func:`repro.engine.cache_split`'s hit/pending split: hits answer
+  immediately, pending jobs deduplicate globally by content hash
+  (concurrent clients requesting overlapping figures share one solve
+  per unique job) and dispatch longest-first by the dense-solve
+  ``O(n^3)`` cost model onto any engine :class:`~repro.engine.Executor`.
+- :mod:`.server` — stdlib-only streaming HTTP front-end
+  (``POST /v1/sweeps``, NDJSON ``/events``, registry-backed
+  ``/v1/experiments``, and the ``/v1/jobs/<hash>`` artifact-store read
+  path over the disk cache tier). Start one with
+  ``repro-experiments serve`` or :func:`repro.service.server.serve`.
+- :mod:`.client` — :class:`ServiceClient` (remote ``run_sweep``) and
+  :class:`RemoteExecutor`, the drop-in third executor tier:
+  ``engine_session(executor=RemoteExecutor(url))`` routes every sweep
+  in scope to the server.
+
+Quickstart::
+
+    # server: repro-experiments serve --port 8321 --jobs 4 \\
+    #                                 --cache-dir ./sweep-cache
+    from repro.service import ServiceClient
+    import repro.api
+
+    spec = repro.api.plan("fig3", scale="quick")
+    result = ServiceClient("http://127.0.0.1:8321").run_sweep(spec)
+"""
+
+from .client import RemoteExecutor, ServiceClient, ServiceUnavailable
+from .scheduler import SweepScheduler, estimate_job_cost
+from .server import ServiceError, SweepService, make_server, serve
+from .wire import WIRE_VERSION, WireError, register_correlation
+
+__all__ = [
+    "WIRE_VERSION",
+    "RemoteExecutor",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+    "SweepScheduler",
+    "SweepService",
+    "WireError",
+    "estimate_job_cost",
+    "make_server",
+    "register_correlation",
+    "serve",
+]

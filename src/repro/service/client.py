@@ -1,0 +1,315 @@
+"""Thin urllib client for the sweep service.
+
+Two ways to consume a remote server:
+
+- :class:`ServiceClient` — the high-level API, mirroring
+  :func:`repro.engine.run_sweep`'s call signature: ``submit`` a
+  :class:`~repro.engine.SweepSpec`, stream progress, and get back a
+  fully decoded :class:`~repro.engine.SweepResult` that is
+  bit-identical to an in-process run of the same spec against the same
+  cache.
+
+- :class:`RemoteExecutor` — an :class:`~repro.engine.Executor` whose
+  backend is the server's ``POST /v1/jobs`` batch endpoint. Because it
+  speaks the standard executor contract, ``engine_session
+  (executor=RemoteExecutor(url))`` makes the remote service a drop-in
+  **third executor tier** (serial -> process pool -> service): every
+  ``run_sweep``/``run_batch`` in scope executes on the server and
+  benefits from its global cache and cross-client deduplication,
+  with zero changes to experiment code.
+
+Standard library only (``urllib.request``); errors surface as
+:class:`ServiceUnavailable` (transport) or
+:class:`~repro.errors.ConfigurationError` (HTTP 4xx with a decoded
+server message).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Sequence
+
+from ..errors import ConfigurationError, ReproError
+from ..engine.executors import Executor, ProgressFn, ResultFn
+from ..engine.results import SweepResult
+from ..engine.spec import Job, SweepSpec
+from . import wire
+
+#: ``progress(done, total)`` — same shape the engine uses.
+Progress = ProgressFn
+
+
+class ServiceUnavailable(ReproError):
+    """The server could not be reached (connection/transport error)."""
+
+
+class ServiceClient:
+    """HTTP client for one sweep-service base URL.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``"http://127.0.0.1:8321"`` (trailing slash optional).
+    timeout:
+        Per-request socket timeout in seconds.
+    poll_interval:
+        Sleep between status polls when not streaming events.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 poll_interval: float = 0.25) -> None:
+        if "://" not in base_url:
+            base_url = "http://" + base_url
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: bytes | None = None,
+                 content_type: str = "application/json") -> dict:
+        req = urllib.request.Request(
+            self.base_url + path, data=body, method=method,
+            headers={"Content-Type": content_type} if body else {})
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            detail = exc.read()
+            try:
+                message = json.loads(detail).get("error", detail.decode())
+            except (ValueError, AttributeError):
+                message = detail.decode("utf-8", "replace")
+            raise ConfigurationError(
+                f"{method} {path} -> HTTP {exc.code}: {message}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceUnavailable(
+                f"cannot reach sweep service at {self.base_url}: "
+                f"{exc.reason}"
+            ) from exc
+
+    def _get(self, path: str) -> dict:
+        return self._request("GET", path)
+
+    def _post(self, path: str, body: bytes | None = None) -> dict:
+        return self._request("POST", path, body=body)
+
+    # ------------------------------------------------------------------
+    # Service API
+    # ------------------------------------------------------------------
+
+    def healthy(self) -> bool:
+        """True iff the server answers its liveness probe."""
+        try:
+            return bool(self._get("/v1/healthz").get("ok"))
+        except ReproError:
+            return False
+
+    def experiments(self) -> list[dict]:
+        """The server's registered experiments."""
+        return self._get("/v1/experiments")["experiments"]
+
+    def cache_info(self) -> dict:
+        """The server cache's stats/size snapshot."""
+        return self._get("/v1/cache")
+
+    def submit(self, spec: SweepSpec) -> str:
+        """Submit a sweep; returns the ticket id immediately."""
+        return self._post(
+            "/v1/sweeps", wire.dumps(spec).encode("utf-8"))["id"]
+
+    def status(self, ticket_id: str) -> dict:
+        """The ticket's status document (see the server docs)."""
+        return self._get(f"/v1/sweeps/{ticket_id}")
+
+    def events(self, ticket_id: str,
+               on_event: Callable[[dict], None] | None = None
+               ) -> list[dict]:
+        """Consume the NDJSON progress stream until it closes.
+
+        Blocks until the sweep finishes; every parsed event is passed
+        to ``on_event`` as it arrives and the full list is returned.
+        """
+        req = urllib.request.Request(
+            f"{self.base_url}/v1/sweeps/{ticket_id}/events")
+        events = []
+        try:
+            with urllib.request.urlopen(req, timeout=None) as resp:
+                for raw in resp:
+                    line = raw.strip()
+                    if not line:
+                        continue
+                    event = json.loads(line)
+                    events.append(event)
+                    if on_event is not None:
+                        on_event(event)
+        except urllib.error.HTTPError as exc:
+            raise ConfigurationError(
+                f"events stream -> HTTP {exc.code}") from exc
+        except urllib.error.URLError as exc:
+            raise ServiceUnavailable(
+                f"cannot reach sweep service at {self.base_url}: "
+                f"{exc.reason}"
+            ) from exc
+        return events
+
+    def wait(self, ticket_id: str,
+             progress: Progress | None = None,
+             timeout: float | None = None) -> dict:
+        """Poll until the ticket completes/fails; returns final status."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(ticket_id)
+            if progress is not None:
+                progress(status["done"], status["total"])
+            if status["state"] in ("complete", "failed"):
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise ConfigurationError(
+                    f"sweep {ticket_id} still {status['state']} after "
+                    f"{timeout} s ({status['done']}/{status['total']})"
+                )
+            time.sleep(self.poll_interval)
+
+    @staticmethod
+    def _decode_result(status: dict) -> SweepResult:
+        """Decode the ``SweepResult`` out of a final status document."""
+        ticket_id = status.get("id")
+        if status["state"] == "failed":
+            raise ConfigurationError(
+                f"sweep {ticket_id} failed: {status.get('error')}"
+            )
+        if "result" not in status:
+            raise ConfigurationError(
+                f"sweep {ticket_id} is {status['state']} "
+                f"({status['done']}/{status['total']}); no result yet"
+            )
+        body = wire.open_envelope(status["result"])
+        result = wire.from_wire(body)
+        if not isinstance(result, SweepResult):
+            raise ConfigurationError(
+                f"server returned {type(result).__name__}, "
+                "expected SweepResult")
+        return result
+
+    def result(self, ticket_id: str) -> SweepResult:
+        """Fetch and decode a completed ticket's :class:`SweepResult`."""
+        return self._decode_result(self.status(ticket_id))
+
+    def run_sweep(self, spec: SweepSpec,
+                  progress: Progress | None = None,
+                  timeout: float | None = None) -> SweepResult:
+        """Remote analogue of :func:`repro.engine.run_sweep`.
+
+        Submit, wait (polling, reporting ``progress(done, total)``),
+        decode — the final status poll already carries the encoded
+        result, so no extra fetch. A warm server cache answers without
+        any solve.
+        """
+        if not isinstance(spec, SweepSpec):
+            raise ConfigurationError(
+                f"run_sweep expects a SweepSpec, got {type(spec).__name__}"
+            )
+        ticket_id = self.submit(spec)
+        status = self.wait(ticket_id, progress=progress, timeout=timeout)
+        return self._decode_result(status)
+
+    def run_experiment(self, name: str, scale: str = "quick",
+                       progress: Progress | None = None,
+                       timeout: float | None = None) -> dict:
+        """Run a registered experiment server-side; returns the reduced
+        :class:`~repro.experiments.base.ExperimentResult` dict."""
+        submitted = self._post(
+            f"/v1/experiments/{name}/run",
+            json.dumps({"scale": scale}).encode("utf-8"))
+        if submitted.get("id") is None:  # solve-free: reduced inline
+            return submitted["experiment"]
+        status = self.wait(submitted["id"], progress=progress,
+                           timeout=timeout)
+        if status["state"] == "failed":
+            raise ConfigurationError(
+                f"experiment {name!r} failed remotely: "
+                f"{status.get('error')}"
+            )
+        if "experiment" not in status:
+            raise ConfigurationError(
+                f"sweep {submitted['id']} finished without an "
+                "experiment reduction"
+            )
+        return status["experiment"]
+
+    def job_record(self, key: str) -> dict:
+        """Artifact-store read: the cached record for a content hash,
+        with its ``values`` array decoded."""
+        record = self._get(f"/v1/jobs/{key}")
+        record["payload"] = wire.decode_payload(record["payload"])
+        return record
+
+
+class RemoteExecutor(Executor):
+    """Executor backend that ships job batches to a sweep service.
+
+    The third executor tier: ``SerialExecutor`` runs in-process,
+    ``ParallelExecutor`` on a local pool, ``RemoteExecutor`` on a
+    shared server — same contract, so the engine (and everything above
+    it: ``run_sweep``, ``run_batch``, ``repro.api``) is oblivious::
+
+        from repro.engine import engine_session, run_sweep
+        from repro.service.client import RemoteExecutor
+
+        with engine_session(executor=RemoteExecutor("http://host:8321")):
+            result = run_sweep(spec)   # solves happen on the server
+
+    ``fn`` is ignored — the server always runs
+    :func:`repro.engine.execute_job`; items must be engine
+    :class:`~repro.engine.Job` objects. Results come back in item
+    order, and ``on_result`` fires for every payload after the batch
+    completes (the engine then commits them to the *local* cache, so
+    subsequent local runs replay without any HTTP).
+    """
+
+    name = "remote"
+
+    def __init__(self, base_url: str | ServiceClient,
+                 poll_interval: float = 0.25,
+                 timeout: float | None = None) -> None:
+        self.client = (base_url if isinstance(base_url, ServiceClient)
+                       else ServiceClient(base_url,
+                                          poll_interval=poll_interval))
+        self.timeout = timeout
+
+    def run(self, fn: Callable[[Any], Any], items: Sequence[Any],
+            progress: ProgressFn | None = None,
+            on_result: ResultFn | None = None) -> list:
+        if not items:
+            return []
+        if not all(isinstance(item, Job) for item in items):
+            raise ConfigurationError(
+                "RemoteExecutor can only run engine Jobs "
+                "(the server always executes execute_job)"
+            )
+        client = self.client
+        submitted = client._post(
+            "/v1/jobs", wire.dumps(list(items)).encode("utf-8"))
+        status = client.wait(submitted["id"], progress=progress,
+                             timeout=self.timeout)
+        if status["state"] == "failed":
+            raise ConfigurationError(
+                f"remote batch {submitted['id']} failed: "
+                f"{status.get('error')}"
+            )
+        payloads = [wire.decode_payload(p) for p in status["payloads"]]
+        if on_result is not None:
+            for i, payload in enumerate(payloads):
+                on_result(i, payload)
+        return payloads
+
+    def __repr__(self) -> str:
+        return f"RemoteExecutor({self.client.base_url!r})"

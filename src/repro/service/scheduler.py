@@ -1,0 +1,574 @@
+"""Async job-queue scheduler over the engine's hit/pending split.
+
+The service's execution core: submitted sweeps are split by
+:func:`repro.engine.cache_split` into cache hits (answered immediately)
+and pending jobs that enter one **global deduplicating queue** — two
+clients asking for the same content hash share a single computation,
+and its payload fans out to every waiting ticket the moment it commits.
+
+A background dispatcher thread drains the queue in rounds: it takes
+every queued unique computation, orders it **longest-first** by the
+dense-solve cost model (:func:`estimate_job_cost`, the ROADMAP's
+``O(n^3)`` plan-level estimate resolved from grid/order in the spec)
+and hands the round to the configured :class:`~repro.engine.Executor`
+as one batch — so a ``ParallelExecutor`` parallelizes across every
+client's pending work at once, exactly like :func:`repro.engine
+.run_batch` does within one process.
+
+Every mutation appends a JSON-ready event to the owning ticket
+(``submitted``/``point``/``complete``/``failed``); pollers and the
+HTTP layer's NDJSON stream read those via :meth:`SweepScheduler.events`
+which supports long-polling on the scheduler's condition variable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..errors import ConfigurationError
+from ..engine.api import cache_split
+from ..engine.cache import ResultCache
+from ..engine.executors import Executor, SerialExecutor
+from ..engine.results import PointResult, SweepResult
+from ..engine.runtime import execute_job
+from ..engine.spec import (
+    DeterministicScenario,
+    EstimatorSpec,
+    Job,
+    ProfileScenario,
+    StochasticScenario,
+    SweepSpec,
+)
+
+
+# ----------------------------------------------------------------------
+# Cost model
+# ----------------------------------------------------------------------
+
+def _unknowns(job: Job) -> int:
+    """Dense-system size N of one SWM solve for this job's scenario."""
+    scenario = job.scenario
+    if isinstance(scenario, DeterministicScenario):
+        return int(scenario.heights_m.size)
+    if isinstance(scenario, ProfileScenario):
+        return int(scenario.n)
+    if isinstance(scenario, StochasticScenario):
+        _, n = scenario._resolved_config().resolve(scenario.correlation)
+        return int(n) * int(n)
+    return 1
+
+
+def _evals(job: Job) -> int:
+    """Estimated solver evaluations the job's estimator performs.
+
+    Monte-Carlo is exact (``n_samples``); SSCM uses the level-``order``
+    sparse-grid growth ``1 + 2 d order`` in the stochastic dimension
+    ``d`` (bounded by ``max_modes`` for 3D processes, ``n`` for 2D
+    profiles) — a deliberate over-estimate at higher orders, which only
+    sharpens the longest-first ordering.
+    """
+    est: EstimatorSpec | None = job.estimator
+    if est is None:
+        return 1
+    if est.kind == "montecarlo":
+        return max(int(est.n_samples), 1)
+    scenario = job.scenario
+    if isinstance(scenario, ProfileScenario):
+        dim = int(scenario.n)
+    elif isinstance(scenario, StochasticScenario):
+        dim = int(scenario._resolved_config().max_modes)
+    else:
+        dim = 1
+    return 1 + 2 * dim * int(est.order)
+
+
+def estimate_job_cost(job: Job) -> float:
+    """Relative cost of a job: ``evals * N^3`` dense-LU work units.
+
+    ``N`` is the scenario's dense-system size (grid points of the
+    surface patch), resolved from the spec alone — no model is built.
+    The absolute scale is meaningless; the scheduler only sorts by it.
+    """
+    return float(_evals(job)) * float(_unknowns(job)) ** 3
+
+
+# ----------------------------------------------------------------------
+# Tickets
+# ----------------------------------------------------------------------
+
+#: Ticket lifecycle states.
+PENDING, RUNNING, COMPLETE, FAILED = "pending", "running", "complete", "failed"
+
+#: Sentinel key marking a payload as a captured per-job failure.
+_JOB_ERROR = "__job_error__"
+
+
+def _execute_safely(job: Job) -> dict:
+    """Run one job, folding its failure into the payload.
+
+    Module-level so process pools can pickle it. Capturing per-job
+    errors here (instead of letting them escape ``Executor.run``) is
+    what isolates failures in a multi-client round: a bad job fails
+    only the tickets waiting on *it*, never the other clients' jobs
+    that happen to share the dispatch round. Executor-level errors
+    (worker pool died, etc.) still escape and fail the whole round.
+    """
+    try:
+        return execute_job(job)
+    except Exception as exc:  # noqa: BLE001 — reported per waiter
+        return {_JOB_ERROR: f"{type(exc).__name__}: {exc}"}
+
+
+@dataclass
+class _Ticket:
+    """One submitted sweep (or raw job batch) and its progress."""
+
+    id: str
+    spec: SweepSpec | None
+    jobs: list[Job]
+    payloads: list[dict | None]
+    hits: list[bool]
+    meta: dict[str, Any]
+    created_unix: float
+    done: int = 0
+    state: str = PENDING
+    error: str | None = None
+    events: list[dict] = field(default_factory=list)
+    finished_unix: float | None = None
+
+    @property
+    def total(self) -> int:
+        return len(self.jobs)
+
+
+@dataclass
+class _Slot:
+    """One unique pending computation and the points waiting on it."""
+
+    job: Job
+    cost: float
+    waiters: list[tuple[str, int]]  # (ticket id, point index)
+    queued: bool = True
+
+
+class SweepScheduler:
+    """Global deduplicating job queue with a dispatcher thread.
+
+    Parameters
+    ----------
+    executor:
+        Backend the dispatcher hands each round to (default serial).
+    cache:
+        Result cache shared by the split and the commits (default: a
+        fresh in-memory :class:`~repro.engine.ResultCache`).
+    """
+
+    def __init__(self, executor: Executor | None = None,
+                 cache: ResultCache | None = None,
+                 max_finished_tickets: int = 256) -> None:
+        if max_finished_tickets < 1:
+            raise ConfigurationError(
+                f"max_finished_tickets must be >= 1, "
+                f"got {max_finished_tickets}"
+            )
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.cache = cache if cache is not None else ResultCache()
+        self.max_finished_tickets = max_finished_tickets
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)  # dispatcher waits
+        self._changed = threading.Condition(self._lock)  # pollers wait
+        self._tickets: dict[str, _Ticket] = {}
+        self._slots: dict[str, _Slot] = {}  # slot id -> slot
+        self._slot_by_key: dict[str, str] = {}  # cacheable hash -> slot id
+        self._uncacheable = itertools.count()
+        self._closed = False
+        self._thread = threading.Thread(target=self._dispatch_loop,
+                                        name="sweep-scheduler", daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: SweepSpec,
+               meta: Mapping[str, Any] | None = None) -> str:
+        """Queue one sweep; returns its ticket id.
+
+        Cache hits are recorded on the ticket immediately (a fully warm
+        sweep completes before ``submit`` returns); the rest join the
+        global queue, deduplicated against every other ticket's pending
+        jobs by content hash.
+        """
+        if not isinstance(spec, SweepSpec):
+            raise ConfigurationError(
+                f"submit expects a SweepSpec, got {type(spec).__name__}"
+            )
+        return self._admit(spec, spec.jobs(), meta)
+
+    def submit_jobs(self, jobs: Sequence[Job],
+                    meta: Mapping[str, Any] | None = None) -> str:
+        """Queue an explicit job batch (the remote-executor wire path).
+
+        The ticket's payloads come back in the order given; no
+        :class:`SweepResult` assembly is available for raw batches.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            raise ConfigurationError("submit_jobs needs at least one job")
+        if not all(isinstance(j, Job) for j in jobs):
+            raise ConfigurationError("submit_jobs expects engine Jobs")
+        return self._admit(None, jobs, meta)
+
+    def _admit(self, spec: SweepSpec | None, jobs: list[Job],
+               meta: Mapping[str, Any] | None) -> str:
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError("scheduler is shut down")
+            # The hit/pending split runs under the scheduler lock:
+            # commits (cache.put) hold the same lock, so a job can
+            # never fall between "not yet cached" and "no longer
+            # queued" — each unique content hash is computed exactly
+            # once even under concurrent overlapping submissions.
+            hits, _ = cache_split(jobs, self.cache)
+            ticket = _Ticket(
+                id=uuid.uuid4().hex[:16],
+                spec=spec,
+                jobs=jobs,
+                payloads=[hits.get(i) for i in range(len(jobs))],
+                hits=[i in hits for i in range(len(jobs))],
+                meta=dict(meta or {}),
+                created_unix=time.time(),
+                done=len(hits),
+            )
+            self._tickets[ticket.id] = ticket
+            self._prune_finished()
+            n_new = 0
+            for i, job in enumerate(jobs):
+                if ticket.payloads[i] is not None:
+                    continue
+                slot_id = (self._slot_by_key.get(job.key)
+                           if job.cacheable else None)
+                if slot_id is not None and slot_id in self._slots:
+                    self._slots[slot_id].waiters.append((ticket.id, i))
+                    continue
+                slot_id = (job.key if job.cacheable
+                           else f"once-{next(self._uncacheable)}")
+                self._slots[slot_id] = _Slot(
+                    job=job, cost=estimate_job_cost(job),
+                    waiters=[(ticket.id, i)])
+                if job.cacheable:
+                    self._slot_by_key[job.key] = slot_id
+                n_new += 1
+            self._event(ticket, {
+                "event": "submitted",
+                "total": ticket.total,
+                "cache_hits": ticket.done,
+                "pending": ticket.total - ticket.done,
+                "deduplicated": ticket.total - ticket.done - n_new,
+            })
+            if ticket.done == ticket.total:
+                self._finish(ticket)
+            else:
+                ticket.state = RUNNING
+                self._wakeup.notify_all()
+            self._changed.notify_all()
+        return ticket.id
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._closed and not any(
+                        s.queued for s in self._slots.values()):
+                    self._wakeup.wait()
+                if self._closed:
+                    return
+                round_ids = [sid for sid, s in self._slots.items()
+                             if s.queued]
+                # Longest-first: start the most expensive solves before
+                # the cheap ones so a parallel backend's stragglers are
+                # short, not the n^3 monsters.
+                round_ids.sort(key=lambda sid: self._slots[sid].cost,
+                               reverse=True)
+                for sid in round_ids:
+                    self._slots[sid].queued = False
+                round_jobs = [self._slots[sid].job for sid in round_ids]
+
+            def _commit(pos: int, payload: dict) -> None:
+                self._commit_slot(round_ids[pos], payload)
+
+            try:
+                computed = self.executor.run(_execute_safely, round_jobs,
+                                             on_result=_commit)
+            except Exception as exc:  # noqa: BLE001 — executor-level error
+                self._fail_round(round_ids, exc)
+            else:
+                # Custom executors that ignore on_result still commit.
+                for pos, payload in enumerate(computed):
+                    self._commit_slot(round_ids[pos], payload)
+
+    def _commit_slot(self, slot_id: str, payload: dict) -> None:
+        with self._lock:
+            slot = self._slots.pop(slot_id, None)
+            if slot is None:
+                return
+            job = slot.job
+            error = payload.get(_JOB_ERROR)
+            if error is not None:
+                if job.cacheable:
+                    self._slot_by_key.pop(job.key, None)
+                self._fail_waiters(slot.waiters, error)
+                self._changed.notify_all()
+                return
+            if job.cacheable:
+                self._slot_by_key.pop(job.key, None)
+                owner = slot.waiters[0][0]
+                meta = self._tickets[owner].meta if owner in self._tickets \
+                    else {}
+                tags = (dict(self._tickets[owner].spec.tags)
+                        if owner in self._tickets
+                        and self._tickets[owner].spec is not None else {})
+                self.cache.put(job.key, payload, metadata={
+                    "scenario": job.scenario.name,
+                    "frequency_hz": float(job.frequency_hz),
+                    "estimator": job.estimator_label,
+                    "tags": tags or dict(meta),
+                })
+            for ticket_id, index in slot.waiters:
+                ticket = self._tickets.get(ticket_id)
+                if ticket is None or ticket.payloads[index] is not None:
+                    continue
+                ticket.payloads[index] = payload
+                ticket.done += 1
+                self._event(ticket, {
+                    "event": "point",
+                    "scenario": job.scenario.name,
+                    "frequency_hz": float(job.frequency_hz),
+                    "estimator": job.estimator_label,
+                    "key": job.key,
+                    "mean": payload["mean"],
+                    "done": ticket.done,
+                    "total": ticket.total,
+                })
+                if ticket.done == ticket.total:
+                    self._finish(ticket)
+            self._changed.notify_all()
+
+    def _fail_waiters(self, waiters: list[tuple[str, int]],
+                      message: str) -> None:
+        """Fail every live ticket waiting on one slot (lock held)."""
+        for ticket_id, _ in waiters:
+            ticket = self._tickets.get(ticket_id)
+            if ticket is None or ticket.state in (COMPLETE, FAILED):
+                continue
+            ticket.state = FAILED
+            ticket.error = message
+            ticket.finished_unix = time.time()
+            self._event(ticket, {"event": "failed", "error": message})
+
+    def _fail_round(self, round_ids: list[str], exc: Exception) -> None:
+        message = f"{type(exc).__name__}: {exc}"
+        with self._lock:
+            for slot_id in round_ids:
+                slot = self._slots.pop(slot_id, None)
+                if slot is None:  # committed before the round died
+                    continue
+                if slot.job.cacheable:
+                    self._slot_by_key.pop(slot.job.key, None)
+                self._fail_waiters(slot.waiters, message)
+            self._changed.notify_all()
+
+    def _finish(self, ticket: _Ticket) -> None:
+        ticket.state = COMPLETE
+        ticket.finished_unix = time.time()
+        self._event(ticket, {
+            "event": "complete",
+            "total": ticket.total,
+            "cache_hits": sum(ticket.hits),
+            "wall_time_s": ticket.finished_unix - ticket.created_unix,
+        })
+
+    def _prune_finished(self) -> None:
+        """Bound ticket history: drop the oldest finished tickets once
+        more than ``max_finished_tickets`` have completed/failed (their
+        results stay replayable through the cache)."""
+        finished = [t for t in self._tickets.values()
+                    if t.state in (COMPLETE, FAILED)]
+        if len(finished) <= self.max_finished_tickets:
+            return
+        finished.sort(key=lambda t: t.finished_unix or 0.0)
+        for t in finished[:len(finished) - self.max_finished_tickets]:
+            self._tickets.pop(t.id, None)
+
+    @staticmethod
+    def _event(ticket: _Ticket, event: dict) -> None:
+        event["ticket"] = ticket.id
+        event["seq"] = len(ticket.events)
+        event["time_unix"] = time.time()
+        ticket.events.append(event)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def _ticket(self, ticket_id: str) -> _Ticket:
+        ticket = self._tickets.get(ticket_id)
+        if ticket is None:
+            raise KeyError(ticket_id)
+        return ticket
+
+    def status(self, ticket_id: str) -> dict:
+        """JSON-ready snapshot of one ticket's progress."""
+        with self._lock:
+            t = self._ticket(ticket_id)
+            points = [
+                {
+                    "scenario": job.scenario.name,
+                    "frequency_hz": float(job.frequency_hz),
+                    "estimator": job.estimator_label,
+                    "key": job.key,
+                    "done": t.payloads[i] is not None,
+                    "cache_hit": t.hits[i],
+                    "mean": (t.payloads[i]["mean"]
+                             if t.payloads[i] is not None else None),
+                }
+                for i, job in enumerate(t.jobs)
+            ]
+            return {
+                "id": t.id,
+                "state": t.state,
+                "done": t.done,
+                "total": t.total,
+                "cache_hits": sum(t.hits),
+                "error": t.error,
+                "meta": dict(t.meta),
+                "created_unix": t.created_unix,
+                "finished_unix": t.finished_unix,
+                "points": points,
+            }
+
+    def events(self, ticket_id: str, since: int = 0,
+               timeout: float | None = None) -> tuple[list[dict], bool]:
+        """Events after sequence ``since`` (long-poll up to ``timeout``).
+
+        Returns ``(events, finished)``; with a timeout, blocks until a
+        new event arrives, the ticket finishes, or the timeout expires.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            t = self._ticket(ticket_id)
+            while True:
+                fresh = t.events[since:]
+                finished = t.state in (COMPLETE, FAILED)
+                if fresh or finished or deadline is None:
+                    return list(fresh), finished
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return [], False
+                self._changed.wait(remaining)
+
+    def wait(self, ticket_id: str, timeout: float | None = None) -> bool:
+        """Block until the ticket completes or fails; True if it did."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            t = self._ticket(ticket_id)
+            while t.state not in (COMPLETE, FAILED):
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._changed.wait(remaining)
+            return True
+
+    def result(self, ticket_id: str) -> SweepResult:
+        """Assemble the completed ticket's :class:`SweepResult`.
+
+        Mirrors :func:`repro.engine.run_batch`'s assembly exactly, so a
+        service-side sweep of a spec equals the in-process result
+        bit-for-bit (modulo wall time and executor provenance).
+        """
+        with self._lock:
+            t = self._ticket(ticket_id)
+            if t.state == FAILED:
+                raise ConfigurationError(
+                    f"sweep {ticket_id} failed: {t.error}"
+                )
+            if t.state != COMPLETE:
+                raise ConfigurationError(
+                    f"sweep {ticket_id} is {t.state} "
+                    f"({t.done}/{t.total} points)"
+                )
+            if t.spec is None:
+                raise ConfigurationError(
+                    f"ticket {ticket_id} is a raw job batch; use "
+                    "payloads() for it"
+                )
+            points = tuple(
+                PointResult(
+                    scenario=job.scenario.name,
+                    frequency_hz=float(job.frequency_hz),
+                    estimator=job.estimator_label,
+                    key=job.key,
+                    mean=payload["mean"],
+                    std=payload["std"],
+                    values=payload["values"],
+                    n_evals=payload["n_evals"],
+                    seed=payload["seed"],
+                    wall_time_s=payload["wall_time_s"],
+                    cache_hit=hit,
+                    pid=payload.get("pid"),
+                )
+                for job, payload, hit in zip(t.jobs, t.payloads, t.hits)
+            )
+            return SweepResult(
+                frequencies_hz=t.spec.frequencies_hz,
+                points=points,
+                tags=dict(t.spec.tags),
+                executor=f"service:{self.executor.name}",
+                wall_time_s=(t.finished_unix or t.created_unix)
+                - t.created_unix,
+            )
+
+    def payloads(self, ticket_id: str) -> list[dict]:
+        """The completed ticket's payload dicts, in job order."""
+        with self._lock:
+            t = self._ticket(ticket_id)
+            if t.state == FAILED:
+                raise ConfigurationError(
+                    f"batch {ticket_id} failed: {t.error}"
+                )
+            if t.state != COMPLETE:
+                raise ConfigurationError(
+                    f"batch {ticket_id} is {t.state} "
+                    f"({t.done}/{t.total} points)"
+                )
+            return [dict(p) for p in t.payloads]
+
+    def tickets(self) -> list[dict]:
+        """Summaries of every ticket (newest first)."""
+        with self._lock:
+            out = [{"id": t.id, "state": t.state, "done": t.done,
+                    "total": t.total, "meta": dict(t.meta),
+                    "created_unix": t.created_unix}
+                   for t in self._tickets.values()]
+        out.sort(key=lambda d: d["created_unix"], reverse=True)
+        return out
+
+    # ------------------------------------------------------------------
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop the dispatcher (queued-but-unstarted work is dropped;
+        the running round finishes committing)."""
+        with self._lock:
+            self._closed = True
+            self._wakeup.notify_all()
+            self._changed.notify_all()
+        self._thread.join(timeout)

@@ -1,0 +1,475 @@
+"""Streaming HTTP front-end over the sweep scheduler (stdlib only).
+
+One long-running process turns the engine into a shared, cache-fronted
+compute service: concurrent clients submit :class:`~repro.engine
+.SweepSpec` documents (the :mod:`~repro.service.wire` format), cached
+points are answered immediately, and overlapping pending work
+deduplicates to one solve per unique content hash.
+
+Endpoints (all JSON unless noted):
+
+========================================  =============================
+``POST /v1/sweeps``                       submit a wire ``SweepSpec``;
+                                          returns a ticket
+``POST /v1/jobs``                         submit a wire ``Job`` batch
+                                          (the remote-executor path)
+``GET  /v1/sweeps``                       ticket summaries
+``GET  /v1/sweeps/<id>``                  status + partial results
+                                          (+ full wire ``SweepResult``
+                                          once complete)
+``GET  /v1/sweeps/<id>/events``           NDJSON progress stream
+                                          (terminates on completion)
+``GET  /v1/experiments``                  registered experiments
+``POST /v1/experiments/<name>/run``       plan+submit a registered
+                                          experiment (body:
+                                          ``{"scale": "quick"}``)
+``GET  /v1/jobs/<hash>``                  artifact-store read path
+                                          over the disk cache tier
+``GET  /v1/cache``                        cache stats + manifest size
+``GET  /v1/healthz``                      liveness probe
+========================================  =============================
+
+Built on :class:`http.server.ThreadingHTTPServer` — no dependencies
+beyond the standard library, per-request threads, and the engine's
+context-local sessions (PR 3) keep concurrent requests isolated.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..errors import ReproError
+from ..engine.cache import ResultCache
+from ..engine.executors import Executor, ParallelExecutor, SerialExecutor
+from ..engine.spec import Job, SweepSpec
+from ..experiments import registry
+from ..experiments.presets import SCALES, resolve_scale
+from .scheduler import COMPLETE, SweepScheduler
+from . import wire
+
+#: Media type of the progress stream (one JSON event per line).
+NDJSON = "application/x-ndjson"
+
+
+class ServiceError(ReproError):
+    """An HTTP-level request error (maps to a 4xx response)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class SweepService:
+    """The service application: scheduler + registry glue.
+
+    Owns one :class:`SweepScheduler` (global dedup queue over the
+    configured executor/cache) and maps experiment names onto it via
+    ``plan``/``reduce``. The HTTP handler below is a thin parser around
+    these methods, so tests can drive the application object directly.
+    """
+
+    #: Completed tickets whose encoded results are memoized.
+    MAX_MEMOIZED_RESULTS = 64
+
+    def __init__(self, executor: Executor | None = None,
+                 cache: ResultCache | None = None,
+                 scheduler: SweepScheduler | None = None) -> None:
+        self.scheduler = scheduler if scheduler is not None else \
+            SweepScheduler(executor=executor, cache=cache)
+        # ticket id -> (experiment name, scale name) for reduce-on-read
+        self._experiment_tickets: dict[str, tuple[str, str]] = {}
+        # ticket id -> encoded result/payloads/experiment extras; a
+        # completed ticket is immutable, so re-assembling + base64
+        # re-encoding it (and re-running reduce) on every poll would be
+        # pure repeated work.
+        self._completed: "OrderedDict[str, dict]" = OrderedDict()
+        self._exp_lock = threading.Lock()
+
+    @property
+    def cache(self) -> ResultCache:
+        return self.scheduler.cache
+
+    # ------------------------------------------------------------------
+    # Application operations (the handler calls only these)
+    # ------------------------------------------------------------------
+
+    def submit_sweep(self, body: bytes) -> dict:
+        try:
+            spec = wire.loads(body)
+        except wire.WireError as exc:
+            raise ServiceError(400, str(exc)) from exc
+        if not isinstance(spec, SweepSpec):
+            raise ServiceError(
+                400, f"body decodes to "
+                f"{type(spec).__name__}, expected SweepSpec")
+        ticket_id = self.scheduler.submit(spec)
+        return self._ticket_links(ticket_id)
+
+    def submit_jobs(self, body: bytes) -> dict:
+        try:
+            jobs = wire.loads(body)
+        except wire.WireError as exc:
+            raise ServiceError(400, str(exc)) from exc
+        if isinstance(jobs, Job):
+            jobs = [jobs]
+        if (not isinstance(jobs, list)
+                or not all(isinstance(j, Job) for j in jobs)):
+            raise ServiceError(400, "body must be a wire Job list")
+        ticket_id = self.scheduler.submit_jobs(jobs)
+        return self._ticket_links(ticket_id)
+
+    def _ticket_links(self, ticket_id: str) -> dict:
+        status = self.scheduler.status(ticket_id)
+        return {
+            "id": ticket_id,
+            "state": status["state"],
+            "done": status["done"],
+            "total": status["total"],
+            "cache_hits": status["cache_hits"],
+            "links": {
+                "status": f"/v1/sweeps/{ticket_id}",
+                "events": f"/v1/sweeps/{ticket_id}/events",
+            },
+        }
+
+    def sweep_status(self, ticket_id: str) -> dict:
+        try:
+            status = self.scheduler.status(ticket_id)
+            if status["state"] == COMPLETE:
+                status.update(self._completed_extras(ticket_id))
+        except KeyError:
+            # Either unknown, or pruned by the scheduler between calls.
+            raise ServiceError(404, f"no such sweep {ticket_id!r}") from None
+        return status
+
+    def _completed_extras(self, ticket_id: str) -> dict:
+        """Encoded result/payloads (+ experiment reduction) of a
+        completed ticket, memoized — the ticket is immutable now."""
+        with self._exp_lock:
+            extras = self._completed.get(ticket_id)
+            if extras is not None:
+                self._completed.move_to_end(ticket_id)
+                return extras
+            exp = self._experiment_tickets.get(ticket_id)
+        extras = {}
+        try:
+            result = self.scheduler.result(ticket_id)
+        except ReproError:
+            # Raw job batches have payloads, not SweepResults.
+            extras["payloads"] = [
+                wire.encode_payload(p)
+                for p in self.scheduler.payloads(ticket_id)
+            ]
+        else:
+            extras["result"] = wire.envelope(wire.to_wire(result))
+            if exp is not None:
+                extras["experiment"] = self._reduce(result, *exp)
+        with self._exp_lock:
+            self._completed[ticket_id] = extras
+            while len(self._completed) > self.MAX_MEMOIZED_RESULTS:
+                self._completed.popitem(last=False)
+        return extras
+
+    @staticmethod
+    def _reduce(sweep, name: str, scale_name: str) -> dict:
+        experiment = registry.create(name)
+        result = experiment.reduce(sweep, resolve_scale(scale_name))
+        return result.to_dict()
+
+    def sweep_events(self, ticket_id: str, since: int = 0,
+                     timeout: float = 10.0) -> tuple[list[dict], bool]:
+        try:
+            return self.scheduler.events(ticket_id, since=since,
+                                         timeout=timeout)
+        except KeyError:
+            raise ServiceError(404, f"no such sweep {ticket_id!r}") from None
+
+    def list_sweeps(self) -> dict:
+        return {"sweeps": self.scheduler.tickets()}
+
+    def list_experiments(self) -> dict:
+        out = []
+        for name in registry.names():
+            cls = registry.get_class(name)
+            out.append({"name": name, "title": cls.title,
+                        "run": f"/v1/experiments/{name}/run"})
+        return {"experiments": out, "scales": sorted(SCALES)}
+
+    def run_experiment(self, name: str, body: bytes) -> dict:
+        if name not in registry.names():
+            raise ServiceError(404, f"unknown experiment {name!r} "
+                                    f"(choose from {registry.names()})")
+        options = _parse_json(body) if body else {}
+        scale_name = options.get("scale", "quick")
+        if scale_name not in SCALES:
+            raise ServiceError(400, f"unknown scale {scale_name!r} "
+                                    f"(choose from {sorted(SCALES)})")
+        scale = resolve_scale(scale_name)
+        experiment = registry.create(name)
+        spec = experiment.plan(scale)
+        if spec is None:
+            # Solve-free experiments (fig2, table1) reduce right here.
+            result = experiment.reduce(None, scale)
+            return {"experiment": result.to_dict(), "state": COMPLETE,
+                    "id": None, "name": name, "scale": scale_name}
+        ticket_id = self.scheduler.submit(
+            spec, meta={"experiment": name, "scale": scale_name})
+        with self._exp_lock:
+            # The scheduler prunes old finished tickets; drop our
+            # reductions for tickets it no longer knows, so this map
+            # cannot grow without bound on a long-running service.
+            live = {t["id"] for t in self.scheduler.tickets()}
+            for stale in [t for t in self._experiment_tickets
+                          if t not in live]:
+                del self._experiment_tickets[stale]
+            self._experiment_tickets[ticket_id] = (name, scale_name)
+        links = self._ticket_links(ticket_id)
+        links.update({"name": name, "scale": scale_name})
+        return links
+
+    def job_record(self, key: str) -> dict:
+        record = self.cache.get_record(key)
+        if record is None:
+            raise ServiceError(404, f"no cached result for {key!r}")
+        record = dict(record)
+        record["payload"] = wire.encode_payload(record["payload"])
+        return record
+
+    def cache_info(self) -> dict:
+        stats = self.cache.stats
+        artifacts, disk_bytes = self.cache.disk_usage()
+        return {
+            "memory_entries": len(self.cache),
+            "disk_dir": (str(self.cache.disk_dir)
+                         if self.cache.disk_dir is not None else None),
+            "disk_bytes": disk_bytes,
+            "max_disk_bytes": self.cache.max_disk_bytes,
+            "artifacts": artifacts,
+            "stats": {
+                "memory_hits": stats.memory_hits,
+                "disk_hits": stats.disk_hits,
+                "misses": stats.misses,
+                "stores": stats.stores,
+                "disk_evictions": stats.disk_evictions,
+            },
+        }
+
+    def shutdown(self) -> None:
+        self.scheduler.shutdown()
+
+
+def _parse_json(body: bytes) -> dict:
+    try:
+        doc = json.loads(body)
+    except (ValueError, TypeError) as exc:
+        raise ServiceError(400, f"request body is not JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ServiceError(400, "request body must be a JSON object")
+    return doc
+
+
+def _json_default(obj: Any):
+    if isinstance(obj, (np.integer, np.floating, np.bool_)):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route parser over the :class:`SweepService` application."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-sweep-service/1"
+
+    # Set by make_server() on the handler subclass.
+    service: SweepService
+    quiet: bool = True
+
+    # -- helpers -------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, doc: Mapping, status: int = 200) -> None:
+        data = json.dumps(doc, default=_json_default).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        # An error path may not have read the request body; on a
+        # keep-alive connection those unread bytes would be parsed as
+        # the next request line. Close instead of desyncing.
+        self.close_connection = True
+        self._send_json({"error": message}, status=status)
+
+    def _body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    def _route(self) -> list[str]:
+        path = self.path.split("?", 1)[0]
+        return [part for part in path.split("/") if part]
+
+    def _query(self) -> dict[str, str]:
+        if "?" not in self.path:
+            return {}
+        from urllib.parse import parse_qsl
+        return dict(parse_qsl(self.path.split("?", 1)[1]))
+
+    def _dispatch(self, method: str) -> None:
+        parts = self._route()
+        try:
+            if not parts or parts[0] != "v1":
+                raise ServiceError(404, f"unknown path {self.path!r}")
+            self._dispatch_v1(method, parts[1:])
+        except ServiceError as exc:
+            self._send_error_json(exc.status, str(exc))
+        except BrokenPipeError:
+            pass  # client went away mid-stream
+        except ReproError as exc:
+            self._send_error_json(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 — last-resort 500
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+
+    def _dispatch_v1(self, method: str, parts: list[str]) -> None:
+        service = self.service
+        match (method, parts):
+            case ("GET", ["healthz"]):
+                self._send_json({"ok": True})
+            case ("GET", ["cache"]):
+                self._send_json(service.cache_info())
+            case ("GET", ["experiments"]):
+                self._send_json(service.list_experiments())
+            case ("POST", ["experiments", name, "run"]):
+                self._send_json(service.run_experiment(name, self._body()),
+                                status=202)
+            case ("POST", ["sweeps"]):
+                self._send_json(service.submit_sweep(self._body()),
+                                status=202)
+            case ("GET", ["sweeps"]):
+                self._send_json(service.list_sweeps())
+            case ("GET", ["sweeps", ticket_id]):
+                self._send_json(service.sweep_status(ticket_id))
+            case ("GET", ["sweeps", ticket_id, "events"]):
+                self._stream_events(ticket_id)
+            case ("POST", ["jobs"]):
+                self._send_json(service.submit_jobs(self._body()),
+                                status=202)
+            case ("GET", ["jobs", key]):
+                self._send_json(service.job_record(key))
+            case _:
+                raise ServiceError(
+                    404, f"no route for {method} {self.path!r}")
+
+    def _stream_events(self, ticket_id: str) -> None:
+        """NDJSON progress stream: one event object per line, closing
+        once the sweep completes or fails (chunked transfer)."""
+        query = self._query()
+        try:
+            since = int(query.get("since", 0))
+        except ValueError:
+            raise ServiceError(
+                400, f"'since' must be an integer, "
+                     f"got {query.get('since')!r}") from None
+        self.service.sweep_events(ticket_id, since=since, timeout=0)
+        self.send_response(200)
+        self.send_header("Content-Type", NDJSON)
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+
+        def write_chunk(data: bytes) -> None:
+            self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
+            self.wfile.write(data + b"\r\n")
+
+        def write_event(doc: Mapping) -> None:
+            line = json.dumps(doc, default=_json_default) + "\n"
+            write_chunk(line.encode("utf-8"))
+
+        # Headers are out: from here on an error must not become a
+        # second HTTP response inside the chunked body (it would
+        # corrupt the stream). Emit it as a final error event instead.
+        try:
+            finished = False
+            while not finished:
+                events, finished = self.service.sweep_events(
+                    ticket_id, since=since, timeout=10.0)
+                for event in events:
+                    write_event(event)
+                since += len(events)
+                self.wfile.flush()
+        except BrokenPipeError:
+            raise  # client went away; nothing left to salvage
+        except Exception as exc:  # noqa: BLE001 — stream-level error
+            self.close_connection = True
+            write_event({"event": "stream_error",
+                         "error": f"{type(exc).__name__}: {exc}"})
+        write_chunk(b"")  # terminating chunk
+        self.wfile.flush()
+
+    # -- verbs ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+
+def make_server(host: str = "127.0.0.1", port: int = 8321,
+                service: SweepService | None = None,
+                executor: Executor | None = None,
+                cache: ResultCache | None = None,
+                quiet: bool = True) -> ThreadingHTTPServer:
+    """A ready-to-serve threading HTTP server (not yet serving).
+
+    ``port=0`` binds an ephemeral port (tests); read it back from
+    ``server.server_address``. The server gets ``.service`` attached
+    for introspection and shutdown.
+    """
+    if service is None:
+        service = SweepService(executor=executor, cache=cache)
+    handler = type("BoundHandler", (_Handler,),
+                   {"service": service, "quiet": quiet})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    return server
+
+
+def serve(host: str = "127.0.0.1", port: int = 8321,
+          jobs: int = 1, cache_dir: str | None = None,
+          max_disk_bytes: int | None = None,
+          quiet: bool = False) -> int:
+    """Run the sweep service until interrupted (the CLI entry point)."""
+    executor = ParallelExecutor(jobs) if jobs > 1 else SerialExecutor()
+    cache = ResultCache(disk_dir=cache_dir, max_disk_bytes=max_disk_bytes)
+    server = make_server(host, port, executor=executor, cache=cache,
+                         quiet=quiet)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro sweep service listening on http://{bound_host}:"
+          f"{bound_port} (executor={executor.name}, jobs={jobs}, "
+          f"cache_dir={cache_dir!r})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.service.shutdown()  # type: ignore[attr-defined]
+        server.server_close()
+    return 0

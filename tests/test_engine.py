@@ -691,3 +691,196 @@ class TestPipelineRouting:
             res.curve("a", statistic="median")
         assert res.scenario_names == ["a", "b"]
         assert res.mean_curve("a").shape == (2,)
+
+
+class TestSessionIsolation:
+    """engine_session is context-local: concurrent threads cannot
+    redirect each other's sweeps (the threaded-HTTP-service regression
+    of PR 3)."""
+
+    def test_threads_see_their_own_session(self):
+        import threading
+
+        from repro.engine.api import _resolve
+
+        n = 4
+        caches = [ResultCache() for _ in range(n)]
+        barrier = threading.Barrier(n)
+        seen: dict[int, ResultCache] = {}
+        errors: list[BaseException] = []
+
+        def worker(i: int) -> None:
+            try:
+                with engine_session(cache=caches[i]):
+                    barrier.wait(timeout=10)  # all sessions active at once
+                    _, cache = _resolve(None, None)
+                    seen[i] = cache
+                    barrier.wait(timeout=10)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not errors
+        assert all(seen[i] is caches[i] for i in range(n))
+
+    def test_thread_does_not_inherit_callers_session(self):
+        import threading
+
+        from repro.engine import default_cache
+        from repro.engine.api import _resolve
+
+        found = []
+
+        def probe() -> None:
+            _, cache = _resolve(None, None)
+            found.append(cache)
+
+        outer = ResultCache()
+        with engine_session(cache=outer):
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join(10)
+        # a fresh thread starts from the no-session default, not from
+        # whatever session happened to be active on the spawning thread
+        assert found[0] is default_cache()
+
+    def test_nested_sessions_inherit_within_a_thread(self):
+        from repro.engine.api import _resolve
+
+        outer_cache = ResultCache()
+        inner_executor = SerialExecutor()
+        with engine_session(cache=outer_cache):
+            with engine_session(executor=inner_executor):
+                executor, cache = _resolve(None, None)
+                assert executor is inner_executor
+                assert cache is outer_cache
+            _, cache = _resolve(None, None)
+            assert cache is outer_cache
+
+
+class TestDiskCacheGC:
+    """max_disk_bytes LRU eviction and the purge/manifest helpers."""
+
+    @staticmethod
+    def _payload(i: int) -> dict:
+        return {"mean": float(i), "std": 0.0,
+                "values": np.full(64, float(i)), "n_evals": 1,
+                "seed": None, "wall_time_s": 0.0, "pid": None}
+
+    @staticmethod
+    def _entry_bytes(tmp_path) -> int:
+        probe = ResultCache(disk_dir=tmp_path / "probe")
+        probe.put("k", {"mean": 0.0, "std": 0.0,
+                        "values": np.full(64, 0.0), "n_evals": 1,
+                        "seed": None, "wall_time_s": 0.0, "pid": None})
+        return probe.disk_size_bytes()
+
+    def test_lru_eviction_by_recency(self, tmp_path):
+        import os
+
+        entry = self._entry_bytes(tmp_path)
+        cache = ResultCache(max_memory_entries=0,
+                            disk_dir=tmp_path / "store",
+                            max_disk_bytes=3 * entry + entry // 2)
+        # mtime granularity can be coarse; pin each write to its own tick
+        now = [1_000_000.0]
+
+        def put(key, i):
+            cache.put(key, self._payload(i))
+            for p in cache._disk_paths(key):
+                os.utime(p, times=(now[0], now[0]))
+            now[0] += 10.0
+
+        put("aa", 0)
+        put("bb", 1)
+        put("cc", 2)
+        assert {e["key"] for e in cache.manifest()} == {"aa", "bb", "cc"}
+        # touch "aa" (disk hit refreshes its LRU stamp)
+        assert cache.get("aa") is not None
+        for p in cache._disk_paths("aa"):
+            os.utime(p, times=(now[0], now[0]))
+        now[0] += 10.0
+        # a fourth entry busts the budget: "bb" (oldest mtime) goes
+        put("dd", 3)
+        keys = {e["key"] for e in cache.manifest()}
+        assert "bb" not in keys
+        assert {"aa", "cc", "dd"} <= keys
+        assert cache.stats.disk_evictions >= 1
+        assert cache.disk_size_bytes() <= cache.max_disk_bytes
+
+    def test_budget_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="max_disk_bytes"):
+            ResultCache(disk_dir=tmp_path, max_disk_bytes=0)
+
+    def test_purge_by_age(self, tmp_path):
+        import os
+        import time as time_module
+
+        cache = ResultCache(disk_dir=tmp_path / "store")
+        cache.put("old1", self._payload(0))
+        cache.put("old2", self._payload(1))
+        cache.put("new", self._payload(2))
+        stale = time_module.time() - 3600.0
+        for key in ("old1", "old2"):
+            for p in cache._disk_paths(key):
+                os.utime(p, times=(stale, stale))
+        assert cache.purge(older_than_s=600.0) == 2
+        assert {e["key"] for e in cache.manifest()} == {"new"}
+        assert cache.purge(older_than_s=600.0) == 0
+        with pytest.raises(ConfigurationError):
+            cache.purge(older_than_s=-1.0)
+
+    def test_purge_memory_only_cache_is_noop(self):
+        assert ResultCache().purge(older_than_s=0.0) == 0
+
+    def test_get_record_read_path(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path / "store")
+        payload = self._payload(7)
+        cache.put("deadbeef", payload, metadata={"scenario": "m",
+                                                 "tags": {"scale": "quick"}})
+        record = cache.get_record("deadbeef")
+        assert record["key"] == "deadbeef"
+        assert record["metadata"]["scenario"] == "m"
+        assert record["payload"]["mean"] == 7.0
+        np.testing.assert_array_equal(record["payload"]["values"],
+                                      payload["values"])
+        assert cache.get_record("feedface") is None
+
+    def test_get_record_memory_fallback(self):
+        cache = ResultCache()
+        cache.put("aa", self._payload(3))
+        record = cache.get_record("aa")
+        assert record["payload"]["mean"] == 3.0
+        assert record["metadata"] == {}
+
+
+class TestCacheSplit:
+    """The hit/pending split the async service schedules from."""
+
+    def test_split_matches_cache_state(self):
+        spec = small_spec(frequencies=(2.0,))
+        cache = ResultCache()
+        from repro.engine import cache_split
+
+        hits, pending = cache_split(spec, cache)
+        assert hits == {} and len(pending) == spec.n_jobs
+        run_sweep(spec, cache=cache)
+        hits, pending = cache_split(spec, cache)
+        assert pending == [] and sorted(hits) == list(range(spec.n_jobs))
+        assert all(p["n_evals"] > 0 for p in hits.values())
+
+    def test_uncacheable_jobs_always_pending(self):
+        from repro.engine import cache_split
+
+        spec = SweepSpec(small_scenario("m"), [2 * GHZ],
+                         EstimatorSpec(kind="montecarlo", n_samples=4,
+                                       seed=None))
+        cache = ResultCache()
+        run_sweep(spec, cache=cache)
+        hits, pending = cache_split(spec, cache)
+        assert hits == {} and len(pending) == 1
