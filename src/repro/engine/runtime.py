@@ -65,12 +65,16 @@ def _model_for(scenario: StochasticScenario):
         scenario.options))
 
 
-def _profile_model_for(scenario: ProfileScenario, frequency_hz: float):
-    """(xi -> enhancement) callable for a 2D profile scenario.
+def _profile_models_for(scenario: ProfileScenario, frequency_hz: float):
+    """Scalar and batched ``xi -> enhancement`` maps for a 2D profile
+    scenario.
 
     The generator's FFT amplitudes and the (stateless) 2D solver are
-    memoized per scenario; the returned closure is the same map Fig. 6
-    historically built by hand: white noise -> profile -> 2D solve.
+    memoized per scenario; the scalar closure is the same map Fig. 6
+    historically built by hand: white noise -> profile -> 2D solve. The
+    batched closure stacks the sample profiles into one
+    :meth:`~repro.swm.solver2d.SWMSolver2D.solve_many_um` call
+    (bit-identical values).
     """
     from ..surfaces.generation import ProfileGenerator
     from ..swm.solver2d import SWMSolver2D
@@ -89,7 +93,21 @@ def _profile_model_for(scenario: ProfileScenario, frequency_hz: float):
         return solver.solve_um(profile, scenario.period_um,
                                frequency_hz).enhancement
 
-    return model
+    def batch_model(xis: np.ndarray) -> np.ndarray:
+        profiles = np.stack([gen.from_white_noise(xi) for xi in xis])
+        results = solver.solve_many_um(profiles, scenario.period_um,
+                                       frequency_hz)
+        return np.array([r.enhancement for r in results], dtype=np.float64)
+
+    return model, batch_model
+
+
+def _batch_size_for(estimator, options) -> int | None:
+    """Worker-side batch size: the estimator's knob, else the solver
+    options' default (both perf-only, excluded from content hashes)."""
+    if estimator.batch_size is not None:
+        return estimator.batch_size
+    return getattr(options, "batch_size", None) if options else None
 
 
 def _solver_for(scenario: DeterministicScenario):
@@ -135,20 +153,24 @@ def execute_job(job: Job) -> dict:
         n_evals, seed = 1, None
     elif isinstance(scenario, ProfileScenario):
         # The 2D solver keeps no cross-solve state, so no reset needed.
-        fn = _profile_model_for(scenario, job.frequency_hz)
+        fn, batch_fn = _profile_models_for(scenario, job.frequency_hz)
         est = job.estimator
+        batch_size = _batch_size_for(est, scenario.options)
         if est.kind == "sscm":
             from ..stochastic.sscm import SSCMEstimator
 
-            res = SSCMEstimator(fn, scenario.n, order=est.order).run()
+            res = SSCMEstimator(fn, scenario.n, order=est.order,
+                                batch_model=batch_fn).run(
+                batch_size=batch_size)
             values = np.asarray(res.node_values, dtype=np.float64)
             mean, std = res.mean, res.std
             n_evals, seed = res.n_samples, None
         else:
             from ..stochastic.montecarlo import MonteCarloEstimator
 
-            res = MonteCarloEstimator(fn, scenario.n).run(
-                est.n_samples, seed=est.seed)
+            res = MonteCarloEstimator(fn, scenario.n,
+                                      batch_model=batch_fn).run(
+                est.n_samples, seed=est.seed, batch_size=batch_size)
             values = np.asarray(res.samples, dtype=np.float64)
             mean, std = res.mean, res.std
             n_evals, seed = res.n_samples, est.seed
@@ -156,10 +178,12 @@ def execute_job(job: Job) -> dict:
         model = _model_for(scenario)
         model.solver.reset_tables()  # same purity argument as above
         est = job.estimator
+        batch_size = _batch_size_for(est, scenario.options)
         if est.kind == "sscm":
             # sscm_direct, not sscm(): the public wrapper routes back
             # through the engine.
-            res = model.sscm_direct(job.frequency_hz, order=est.order)
+            res = model.sscm_direct(job.frequency_hz, order=est.order,
+                                    batch_size=batch_size)
             values = np.asarray(res.node_values, dtype=np.float64)
             mean, std = res.mean, res.std
             n_evals, seed = res.n_samples, None
@@ -169,8 +193,10 @@ def execute_job(job: Job) -> dict:
             from ..stochastic.montecarlo import MonteCarloEstimator
 
             estimator = MonteCarloEstimator(
-                model.enhancement_model(job.frequency_hz), model.dimension)
-            res = estimator.run(est.n_samples, seed=est.seed)
+                model.enhancement_model(job.frequency_hz), model.dimension,
+                batch_model=model.enhancement_batch_model(job.frequency_hz))
+            res = estimator.run(est.n_samples, seed=est.seed,
+                                batch_size=batch_size)
             values = np.asarray(res.samples, dtype=np.float64)
             mean, std = res.mean, res.std
             n_evals, seed = res.n_samples, est.seed

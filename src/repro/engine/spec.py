@@ -123,12 +123,20 @@ class EstimatorSpec:
     ``kind`` is ``"sscm"`` (sparse-grid collocation, the paper's method;
     uses ``order``) or ``"montecarlo"`` (uses ``n_samples`` and
     ``seed``). Deterministic scenarios ignore the estimator entirely.
+
+    ``batch_size`` stacks that many sample/node solves per dense
+    factorization in the worker (``None`` = per-sample solves). It is a
+    pure performance knob — batched solves are bit-identical to
+    sequential ones, seed stream included — so it is **excluded** from
+    :meth:`to_spec` and therefore from job content hashes: batched and
+    per-sample runs share cache entries, and warmed caches stay valid.
     """
 
     kind: str = "sscm"
     order: int = 1
     n_samples: int = 0
     seed: int | None = 0
+    batch_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("sscm", "montecarlo"):
@@ -141,6 +149,10 @@ class EstimatorSpec:
         if self.kind == "montecarlo" and self.n_samples < 2:
             raise ConfigurationError(
                 f"montecarlo needs n_samples >= 2, got {self.n_samples}"
+            )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1 or None, got {self.batch_size}"
             )
 
     @property
@@ -286,7 +298,6 @@ class ProfileScenario:
             raise ConfigurationError(f"n must be >= 4, got {self.n}")
 
     def to_spec(self) -> dict:
-        from dataclasses import asdict
         options = self.options or SWM2DOptions()
         return {
             "kind": self.kind,
@@ -295,7 +306,9 @@ class ProfileScenario:
             "n": int(self.n),
             "normalize": bool(self.normalize),
             "system": _system_spec(self.system),
-            "options": asdict(options),
+            # to_spec, not asdict: perf-only knobs (batch_size) must not
+            # enter the content hash.
+            "options": options.to_spec(),
         }
 
     @cached_property

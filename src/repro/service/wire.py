@@ -179,7 +179,8 @@ def _encode_estimator(est: EstimatorSpec | None) -> dict | None:
     if est is None:
         return None
     return {_TAG: "EstimatorSpec", "kind": est.kind, "order": est.order,
-            "n_samples": est.n_samples, "seed": est.seed}
+            "n_samples": est.n_samples, "seed": est.seed,
+            "batch_size": est.batch_size}
 
 
 def _encode_tags(tags: Mapping[str, Any]) -> dict:
@@ -348,8 +349,10 @@ def _decode_estimator(doc: Mapping | None) -> EstimatorSpec | None:
         return None
     kind, order, n_samples, seed = _expect(doc, "kind", "order",
                                            "n_samples", "seed")
+    # .get, not _expect: batch_size is absent from pre-batching wire
+    # documents (it is perf-only and outside the content hash).
     return EstimatorSpec(kind=kind, order=order, n_samples=n_samples,
-                         seed=seed)
+                         seed=seed, batch_size=doc.get("batch_size"))
 
 
 def _decode(doc: Any) -> Any:

@@ -4,10 +4,20 @@ SSCM is compared against in Fig. 7 / Table I).
 Generic over the model: any callable mapping a standard-normal vector
 ``xi`` (length M) to a scalar. Seeded, batched, with running confidence
 intervals and the empirical CDF the paper plots.
+
+Vectorized-model protocol: a second callable mapping an ``(S, M)`` block
+of standard-normal vectors to ``(S,)`` values (e.g. a batched SWM solve,
+:meth:`repro.core.StochasticLossModel.enhancement_batch_model`) can be
+attached as ``batch_model``; ``run(..., batch_size=...)`` then evaluates
+samples in stacked blocks. The xi stream is drawn block-wise from the
+same bit stream the per-sample loop consumes (``standard_normal((S, M))``
+fills row-major), so a correct batch model makes batched runs
+bit-identical to per-sample runs.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable
 
@@ -15,13 +25,31 @@ import numpy as np
 
 from ..errors import StochasticError
 
+#: Vectorized model: an (S, M) block of standard normals -> (S,) values.
+BatchModel = Callable[[np.ndarray], np.ndarray]
+
 
 @dataclass(frozen=True)
 class MonteCarloResult:
-    """Ensemble summary of a Monte-Carlo run."""
+    """Ensemble summary of a Monte-Carlo run.
+
+    Requires at least two samples: ``std``/``stderr`` (and hence the
+    confidence interval) use ``ddof=1`` and are undefined — silent NaNs —
+    for a single sample, so construction validates instead.
+    """
 
     samples: np.ndarray
     seed: int | None
+
+    def __post_init__(self) -> None:
+        samples = np.asarray(self.samples, dtype=np.float64)
+        if samples.ndim != 1 or samples.size < 2:
+            raise StochasticError(
+                "MonteCarloResult needs a 1D array of >= 2 samples "
+                f"(std/stderr are undefined below that), got shape "
+                f"{samples.shape}"
+            )
+        object.__setattr__(self, "samples", samples)
 
     @property
     def n_samples(self) -> int:
@@ -58,6 +86,38 @@ class MonteCarloResult:
         return float(np.quantile(self.samples, q))
 
 
+class _RunningMoments:
+    """Welford running mean/variance (O(1) per sample, numerically stable).
+
+    Replaces the full-array ``np.mean``/``np.std`` recomputation the
+    adaptive loop used to do after every batch (O(n^2) over a run).
+    """
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, x: float) -> None:
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+
+    def push_block(self, values: np.ndarray) -> None:
+        for x in values:
+            self.push(float(x))
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean (ddof=1); NaN below two samples."""
+        if self.count < 2:
+            return math.nan
+        return math.sqrt(self._m2 / (self.count - 1)) / math.sqrt(self.count)
+
+
 class MonteCarloEstimator:
     """Plain Monte-Carlo over a ``xi -> scalar`` model.
 
@@ -68,28 +128,75 @@ class MonteCarloEstimator:
         a float (e.g. KL realize -> SWM solve -> Pr/Ps).
     dimension:
         Number of independent standard normals.
+    batch_model:
+        Optional vectorized model mapping an ``(S, M)`` block to ``(S,)``
+        values; enables the ``batch_size`` fast path of :meth:`run` and
+        block evaluation in :meth:`run_until`.
     """
 
     def __init__(self, model: Callable[[np.ndarray], float],
-                 dimension: int) -> None:
+                 dimension: int,
+                 batch_model: BatchModel | None = None) -> None:
         if dimension < 1:
             raise StochasticError(f"dimension must be >= 1, got {dimension}")
         self.model = model
         self.dimension = int(dimension)
+        self.batch_model = batch_model
+
+    def _eval_block(self, rng: np.random.Generator, out: np.ndarray) -> None:
+        """Fill ``out`` with ``out.size`` model evaluations.
+
+        Uses the vectorized model when available; either way consumes
+        exactly the same xi bit stream as ``out.size`` sequential draws.
+        """
+        take = out.size
+        if self.batch_model is not None:
+            xi = rng.standard_normal((take, self.dimension))
+            values = np.asarray(self.batch_model(xi), dtype=np.float64)
+            if values.shape != (take,):
+                raise StochasticError(
+                    f"batch model returned shape {values.shape} for an "
+                    f"({take}, {self.dimension}) input; expected ({take},)"
+                )
+            out[:] = values
+        else:
+            for j in range(take):
+                xi = rng.standard_normal(self.dimension)
+                out[j] = float(self.model(xi))
 
     def run(self, n_samples: int, seed: int | None = None,
-            progress: Callable[[int, int], None] | None = None
-            ) -> MonteCarloResult:
-        """Draw ``n_samples`` evaluations of the model."""
+            progress: Callable[[int, int], None] | None = None,
+            batch_size: int | None = None) -> MonteCarloResult:
+        """Draw ``n_samples`` evaluations of the model.
+
+        ``batch_size`` evaluates samples in stacked blocks through
+        ``batch_model`` (ignored when no batch model was provided);
+        results are bit-identical to the per-sample loop for a batch
+        model consistent with ``model``. ``progress`` counts samples in
+        both modes.
+        """
         if n_samples < 2:
             raise StochasticError(f"need >= 2 samples, got {n_samples}")
+        if batch_size is not None and batch_size < 1:
+            raise StochasticError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
         rng = np.random.default_rng(seed)
         values = np.empty(n_samples, dtype=np.float64)
-        for s in range(n_samples):
-            xi = rng.standard_normal(self.dimension)
-            values[s] = float(self.model(xi))
-            if progress is not None:
-                progress(s + 1, n_samples)
+        if batch_size is not None and self.batch_model is not None:
+            done = 0
+            while done < n_samples:
+                take = min(batch_size, n_samples - done)
+                self._eval_block(rng, values[done:done + take])
+                done += take
+                if progress is not None:
+                    progress(done, n_samples)
+        else:
+            for s in range(n_samples):
+                xi = rng.standard_normal(self.dimension)
+                values[s] = float(self.model(xi))
+                if progress is not None:
+                    progress(s + 1, n_samples)
         return MonteCarloResult(samples=values, seed=seed)
 
     def run_until(self, rel_stderr: float, batch: int = 32,
@@ -99,20 +206,34 @@ class MonteCarloEstimator:
 
         This is the "5000 samples for 1% convergence" cost the paper
         quotes for MC; the adaptive loop lets tests bound runtimes.
+        The final batch is clamped so the run never exceeds
+        ``max_samples``, and convergence is tracked with running
+        (Welford) moments — O(n) over the whole run. When a
+        ``batch_model`` is attached, each batch is evaluated as one
+        stacked block (same xi stream, bit-identical samples).
         """
         if rel_stderr <= 0.0:
             raise StochasticError(
                 f"rel_stderr must be positive, got {rel_stderr}"
             )
+        if batch < 1:
+            raise StochasticError(f"batch must be >= 1, got {batch}")
+        if max_samples < 2:
+            raise StochasticError(
+                f"max_samples must be >= 2, got {max_samples}"
+            )
         rng = np.random.default_rng(seed)
-        values: list[float] = []
-        while len(values) < max_samples:
-            for _ in range(batch):
-                xi = rng.standard_normal(self.dimension)
-                values.append(float(self.model(xi)))
-            arr = np.asarray(values)
-            mean = float(np.mean(arr))
-            stderr = float(np.std(arr, ddof=1) / np.sqrt(arr.size))
-            if mean != 0.0 and stderr / abs(mean) < rel_stderr:
-                break
-        return MonteCarloResult(samples=np.asarray(values), seed=seed)
+        values = np.empty(max_samples, dtype=np.float64)
+        moments = _RunningMoments()
+        count = 0
+        while count < max_samples:
+            take = min(batch, max_samples - count)
+            block = values[count:count + take]
+            self._eval_block(rng, block)
+            moments.push_block(block)
+            count += take
+            if count >= 2:
+                mean, stderr = moments.mean, moments.stderr
+                if mean != 0.0 and stderr / abs(mean) < rel_stderr:
+                    break
+        return MonteCarloResult(samples=values[:count].copy(), seed=seed)

@@ -123,6 +123,232 @@ def _subcell_offsets(q: int, spacing: float) -> tuple[np.ndarray, np.ndarray]:
     return u.ravel(), v.ravel()
 
 
+def assemble_medium_many(meshes: "Sequence[SurfaceMesh3D]", k: complex,
+                         options: AssemblyOptions | None = None,
+                         tables: "KernelTables | None" = None
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Assemble (D, S) for one medium across a stack of meshes.
+
+    All meshes must share the same grid (``n``, ``period``) — only the
+    heights differ, which is exactly the MC/SSCM sample structure. The
+    in-plane separations and near-pair sets are then shared across the
+    stack, and every kernel evaluation runs once on ``(B, N, N)`` arrays
+    instead of B times on ``(N, N)`` ones. Returns ``(B, N, N)`` matrix
+    stacks **bit-identical** to calling :func:`assemble_medium` per mesh
+    with the same ``tables``.
+
+    The vectorized path needs a shared :class:`KernelTables`; without
+    one (``tables=None``, e.g. the exact-Ewald validation path) each
+    mesh is assembled individually and the results stacked.
+    """
+    options = options or AssemblyOptions()
+    meshes = list(meshes)
+    if not meshes:
+        raise MeshError("assemble_medium_many needs at least one mesh")
+    base = meshes[0]
+    for mesh in meshes[1:]:
+        if mesh.n != base.n or mesh.period != base.period:
+            raise MeshError(
+                "batched assembly requires meshes sharing grid and period; "
+                f"got n={mesh.n} L={mesh.period} vs n={base.n} L={base.period}"
+            )
+    if tables is None:
+        pairs = [assemble_medium(mesh, k, options, tables=None)
+                 for mesh in meshes]
+        return (np.stack([d for d, _ in pairs]),
+                np.stack([s for _, s in pairs]))
+
+    n = base.size
+    d = base.spacing
+    area = base.cell_area
+    diag = np.arange(n)
+
+    # Shared in-plane separations (heights never enter x/y).
+    dx = _wrap(base.x[:, None] - base.x[None, :], base.period)
+    dy = _wrap(base.y[:, None] - base.y[None, :], base.period)
+    z = np.stack([mesh.z for mesh in meshes])        # (B, N)
+    fx = np.stack([mesh.fx for mesh in meshes])
+    fy = np.stack([mesh.fy for mesh in meshes])
+    jac = np.stack([mesh.jac for mesh in meshes])
+    dz = z[:, :, None] - z[:, None, :]               # (B, N, N)
+    np.fill_diagonal(dx, 0.25 * base.period)
+
+    g_reg, gx_reg, gy_reg, gz_reg = tables.green_and_gradient(dx, dy, dz)
+    g_reg0 = tables.regular_at_zero()
+
+    r = np.sqrt(dx * dx + dy * dy + dz * dz)
+    r[:, diag, diag] = 1.0
+    g0 = green3d(r, k)
+    dgdr = green3d_radial_derivative(r, k)
+    inv_r = 1.0 / r
+    g0x = dgdr * dx * inv_r
+    g0y = dgdr * dy * inv_r
+    g0z = dgdr * dz * inv_r
+    for arr in (g0, g0x, g0y, g0z):
+        arr[:, diag, diag] = 0.0
+
+    g_total = g_reg + g0
+    gx_total = gx_reg + g0x
+    gy_total = gy_reg + g0y
+    gz_total = gz_reg + g0z
+
+    # Near pairs depend only on the shared parameter grid.
+    rows, cols = _near_pairs(base, options.near_radius_cells)
+    if rows.size:
+        q = options.near_quadrature
+        du, dv = _subcell_offsets(q, d)
+        sx = dx[rows, cols][:, None] - du[None, :]   # (P, Q) shared
+        sy = dy[rows, cols][:, None] - dv[None, :]
+        sz = (dz[:, rows, cols][:, :, None]
+              - (fx[:, cols][:, :, None] * du[None, None, :]
+                 + fy[:, cols][:, :, None] * dv[None, None, :]))
+        rr = np.sqrt(sx * sx + sy * sy + sz * sz)    # (B, P, Q)
+        g0_sub = green3d(rr, k).mean(axis=-1)
+        dg_sub = green3d_radial_derivative(rr, k) / rr
+        g0x_sub = (dg_sub * sx).mean(axis=-1)
+        g0y_sub = (dg_sub * sy).mean(axis=-1)
+        g0z_sub = (dg_sub * sz).mean(axis=-1)
+        g_total[:, rows, cols] = g_reg[:, rows, cols] + g0_sub
+        gx_total[:, rows, cols] = gx_reg[:, rows, cols] + g0x_sub
+        gy_total[:, rows, cols] = gy_reg[:, rows, cols] + g0y_sub
+        gz_total[:, rows, cols] = gz_reg[:, rows, cols] + g0z_sub
+
+    s_mat = g_total * (jac[:, None, :] * area)
+    ds_true = jac * area
+    side_a = d * np.sqrt(1.0 + fx ** 2)
+    side_b = ds_true / side_a
+    i_rect = (2.0 * side_a * np.arcsinh(side_b / side_a)
+              + 2.0 * side_b * np.arcsinh(side_a / side_b))
+    s_mat[:, diag, diag] = (i_rect / (4.0 * math.pi)
+                            + (1j * k / (4.0 * math.pi)) * ds_true
+                            + g_reg0 * ds_true)
+
+    d_mat = (gx_total * fx[:, None, :]
+             + gy_total * fy[:, None, :]
+             - gz_total) * area
+    d_mat[:, diag, diag] = 0.0
+
+    return d_mat, s_mat
+
+
+def assemble_media_pair_many(meshes: "Sequence[SurfaceMesh3D]",
+                             k1: complex, tables1: "KernelTables",
+                             k2: complex, tables2: "KernelTables",
+                             options: AssemblyOptions | None = None):
+    """Assemble (D, S) for *both* media across a stack of meshes.
+
+    The batched hot path of the solver. On top of the sample-axis
+    vectorization of :func:`assemble_medium_many`, every k-independent
+    intermediate — wrapped separations, distances and their
+    reciprocals, interpolation gather weights, mode phases, near-pair
+    sub-cell geometry, free-space direction factors — is computed once
+    and shared between the two media (the per-medium reference path
+    recomputes all of it per medium on full-size arrays).
+
+    Returns ``((d1, s1), (d2, s2))`` as ``(B, N, N)`` stacks,
+    **bit-identical** to per-mesh :func:`assemble_medium` with the same
+    tables: every shared quantity is a deterministic recomputation of
+    what the per-medium path evaluates, and every per-medium expression
+    mirrors the reference entry for entry.
+    """
+    options = options or AssemblyOptions()
+    meshes = list(meshes)
+    if not meshes:
+        raise MeshError("assemble_media_pair_many needs at least one mesh")
+    base = meshes[0]
+    for mesh in meshes[1:]:
+        if mesh.n != base.n or mesh.period != base.period:
+            raise MeshError(
+                "batched assembly requires meshes sharing grid and period; "
+                f"got n={mesh.n} L={mesh.period} vs n={base.n} L={base.period}"
+            )
+
+    n = base.size
+    d = base.spacing
+    area = base.cell_area
+    diag = np.arange(n)
+
+    dx = _wrap(base.x[:, None] - base.x[None, :], base.period)
+    dy = _wrap(base.y[:, None] - base.y[None, :], base.period)
+    z = np.stack([mesh.z for mesh in meshes])
+    fx = np.stack([mesh.fx for mesh in meshes])
+    fy = np.stack([mesh.fy for mesh in meshes])
+    jac = np.stack([mesh.jac for mesh in meshes])
+    dz = z[:, :, None] - z[:, None, :]
+    np.fill_diagonal(dx, 0.25 * base.period)
+
+    regs = tables1.green_and_gradient_pair(tables2, dx, dy, dz)
+    reg0s = (tables1.regular_at_zero(), tables2.regular_at_zero())
+
+    # Free-space primary: shared distances/directions, per-medium phase.
+    # ``dgdr`` reproduces green3d_radial_derivative(r, k) bit for bit
+    # ((1j k - 1/r) * G with the same 1/r), reusing the one exp() pass.
+    r = np.sqrt(dx * dx + dy * dy + dz * dz)
+    r[:, diag, diag] = 1.0
+    inv_r = 1.0 / r
+
+    # Near-pair sub-cell geometry (k-independent, shared).
+    rows, cols = _near_pairs(base, options.near_radius_cells)
+    if rows.size:
+        q = options.near_quadrature
+        du, dv = _subcell_offsets(q, d)
+        sx = dx[rows, cols][:, None] - du[None, :]
+        sy = dy[rows, cols][:, None] - dv[None, :]
+        sz = (dz[:, rows, cols][:, :, None]
+              - (fx[:, cols][:, :, None] * du[None, None, :]
+                 + fy[:, cols][:, :, None] * dv[None, None, :]))
+        rr = np.sqrt(sx * sx + sy * sy + sz * sz)
+        inv_rr = 1.0 / rr
+
+    # Self-term geometry (k-independent, shared).
+    ds_true = jac * area
+    side_a = d * np.sqrt(1.0 + fx ** 2)
+    side_b = ds_true / side_a
+    i_rect = (2.0 * side_a * np.arcsinh(side_b / side_a)
+              + 2.0 * side_b * np.arcsinh(side_a / side_b))
+    jac_area = jac[:, None, :] * area
+
+    out = []
+    for k, (g_reg, gx_reg, gy_reg, gz_reg), g_reg0 in zip(
+            (k1, k2), regs, reg0s):
+        g0 = green3d(r, k)
+        dgdr = (1j * k - inv_r) * g0
+        g0x = dgdr * dx * inv_r
+        g0y = dgdr * dy * inv_r
+        g0z = dgdr * dz * inv_r
+        for arr in (g0, g0x, g0y, g0z):
+            arr[:, diag, diag] = 0.0
+
+        g_total = g_reg + g0
+        gx_total = gx_reg + g0x
+        gy_total = gy_reg + g0y
+        gz_total = gz_reg + g0z
+
+        if rows.size:
+            grr = green3d(rr, k)
+            g0_sub = grr.mean(axis=-1)
+            dg_sub = ((1j * k - inv_rr) * grr) / rr
+            g0x_sub = (dg_sub * sx).mean(axis=-1)
+            g0y_sub = (dg_sub * sy).mean(axis=-1)
+            g0z_sub = (dg_sub * sz).mean(axis=-1)
+            g_total[:, rows, cols] = g_reg[:, rows, cols] + g0_sub
+            gx_total[:, rows, cols] = gx_reg[:, rows, cols] + g0x_sub
+            gy_total[:, rows, cols] = gy_reg[:, rows, cols] + g0y_sub
+            gz_total[:, rows, cols] = gz_reg[:, rows, cols] + g0z_sub
+
+        s_mat = g_total * jac_area
+        s_mat[:, diag, diag] = (i_rect / (4.0 * math.pi)
+                                + (1j * k / (4.0 * math.pi)) * ds_true
+                                + g_reg0 * ds_true)
+
+        d_mat = (gx_total * fx[:, None, :]
+                 + gy_total * fy[:, None, :]
+                 - gz_total) * area
+        d_mat[:, diag, diag] = 0.0
+        out.append((d_mat, s_mat))
+    return tuple(out)
+
+
 def assemble_medium(mesh: SurfaceMesh3D, k: complex,
                     options: AssemblyOptions | None = None,
                     tables: "KernelTables | None" = None

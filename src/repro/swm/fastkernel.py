@@ -38,13 +38,32 @@ from ..greens.special import (
 )
 
 
+def _interp_weights(x0: float, inv_h: float, x: np.ndarray, size: int
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shared gather indices/weights for same-grid table lookups.
+
+    Every table interpolated at the same abscissas reuses one
+    ``(idx, idx + 1, frac, 1 - frac)`` tuple — the abscissa arithmetic
+    dominates a single lookup, so sharing it across the paired
+    value/derivative tables (and across all spectral tables, which share
+    the dz grid) nearly halves the interpolation cost without changing a
+    bit of the result.
+    """
+    t = (x - x0) * inv_h
+    idx = np.clip(t.astype(np.int64), 0, size - 2)
+    frac = t - idx
+    return idx, idx + 1, frac, 1.0 - frac
+
+
+def _interp_apply(table: np.ndarray, idx: np.ndarray, idx1: np.ndarray,
+                  frac: np.ndarray, omf: np.ndarray) -> np.ndarray:
+    return table[idx] * omf + table[idx1] * frac
+
+
 def _interp_uniform(table: np.ndarray, x0: float, inv_h: float,
                     x: np.ndarray) -> np.ndarray:
     """Linear interpolation on a uniform grid (complex-valued tables)."""
-    t = (x - x0) * inv_h
-    idx = np.clip(t.astype(np.int64), 0, table.size - 2)
-    frac = t - idx
-    return table[idx] * (1.0 - frac) + table[idx + 1] * frac
+    return _interp_apply(table, *_interp_weights(x0, inv_h, x, table.size))
 
 
 @dataclass(frozen=True)
@@ -85,26 +104,35 @@ class KernelTables:
         r_max = math.hypot(math.sqrt(2.0) * (nim + 0.5) * lat, z_max) * 1.001
 
         # --- spatial tables over R in [0, r_max] ---
+        # The evaluation-time terms are ``table / R``: the constant
+        # 1/(8 pi) is folded into the tables at build time so the hot
+        # loop never multiplies by it.
+        inv8pi = 1.0 / (8.0 * math.pi)
         r_grid = np.linspace(0.0, r_max, nr)
         bracket = erfc_scaled_pair(r_grid, k, e)
         dbracket = erfc_scaled_pair_derivative(r_grid, k, e)
         self._r0 = 0.0
         self._r_inv_h = (nr - 1) / r_max
-        self._bracket = bracket
-        self._dbracket = dbracket
+        self._bracket = bracket * inv8pi
+        self._dbracket = dbracket * inv8pi
         # Regularized primary numerator n(R) = bracket - 2 e^{jkR} and its
         # derivative (for the primary image with the free-space part
-        # removed: term = n(R) / (8 pi R)).
+        # removed: term = n(R) / (8 pi R)), same 1/(8 pi) folding.
         exp_jkr = np.exp(1j * k * r_grid)
-        self._numer = bracket - 2.0 * exp_jkr
-        self._dnumer = dbracket - 2j * k * exp_jkr
+        self._numer = (bracket - 2.0 * exp_jkr) * inv8pi
+        self._dnumer = (dbracket - 2j * k * exp_jkr) * inv8pi
         self._reg_limit = _primary_minus_free_limit(k, e)
 
         # --- spectral tables over dz in [-z_max, z_max] ---
+        # Each unique-gamma table is pre-multiplied by its mode
+        # coefficient ``coef = j / (4 L^2 gamma)`` (and the minus table
+        # additionally by ``j gamma``, its derivative factor), so the
+        # per-mode accumulation is a bare multiply-add.
         z_grid = np.linspace(-z_max, z_max, nz)
         self._z0 = -z_max
         self._z_inv_h = (nz - 1) / (2.0 * z_max)
         self._z_max = z_max
+        area = lat * lat
         tables: dict[int, _SpectralTable] = {}
         nmod = cfg.n_modes
         for m in range(-nmod, nmod + 1):
@@ -115,10 +143,14 @@ class KernelTables:
                 kx = 2.0 * math.pi * m / lat
                 ky = 2.0 * math.pi * n / lat
                 g = complex(_gamma_mn(k, np.array(kx), np.array(ky)))
+                coef = 1j / (4.0 * area * g)
                 tables[s] = _SpectralTable(
                     gamma=g,
-                    bracket=np.asarray(ewald_spectral_bracket(z_grid, g, e)),
-                    minus=np.asarray(ewald_spectral_bracket_minus(z_grid, g, e)),
+                    bracket=np.asarray(
+                        ewald_spectral_bracket(z_grid, g, e)) * coef,
+                    minus=np.asarray(
+                        ewald_spectral_bracket_minus(z_grid, g, e))
+                    * ((1j * g) * coef),
                 )
         self._spectral = tables
         self._modes = [(m, n) for m in range(-nmod, nmod + 1)
@@ -127,6 +159,16 @@ class KernelTables:
                         for q in range(-nim, nim + 1)]
 
     # ------------------------------------------------------------------
+
+    def covers(self, z_extent: float) -> bool:
+        """Whether the tabulated dz range covers ``±z_extent``.
+
+        Includes the same safety margin the solver's table cache uses to
+        decide reuse, so ``covers`` answers "can these tables serve a
+        mesh of this height range" without reaching into table
+        internals.
+        """
+        return self._z_max >= float(z_extent) * 1.0005 + 1e-12
 
     def regular_at_zero(self) -> complex:
         """``(G^pq - G_free)`` at zero separation (for diagonal self terms)."""
@@ -158,6 +200,10 @@ class KernelTables:
         as ``periodic_green(..., exclude_primary=True)``). Entries where
         ``skip_mask`` is True (e.g. the diagonal) are left as zero; the
         caller patches them from :meth:`regular_at_zero`.
+
+        The inputs broadcast against each other, so a batched assembly
+        can pass shared in-plane separations ``(N, N)`` with a stacked
+        ``(B, N, N)`` ``dz`` and get ``(B, N, N)`` outputs.
         """
         dx = np.asarray(dx, dtype=np.float64)
         dy = np.asarray(dy, dtype=np.float64)
@@ -168,60 +214,36 @@ class KernelTables:
                 "with a larger z_extent"
             )
         lat = self.period
-        g = np.zeros(dx.shape, dtype=np.complex128)
-        gx = np.zeros(dx.shape, dtype=np.complex128)
-        gy = np.zeros(dx.shape, dtype=np.complex128)
-        gz = np.zeros(dx.shape, dtype=np.complex128)
+        shape = np.broadcast_shapes(dx.shape, dy.shape, dz.shape)
+        g = np.zeros(shape, dtype=np.complex128)
+        gx = np.zeros(shape, dtype=np.complex128)
+        gy = np.zeros(shape, dtype=np.complex128)
+        gz = np.zeros(shape, dtype=np.complex128)
 
-        inv8pi = 1.0 / (8.0 * math.pi)
+        dz2 = dz * dz  # invariant across images; hoisted out of the loop
+        nr = self._bracket.size
         for (p, q) in self._images:
             rx = dx - p * lat
             ry = dy - q * lat
-            r2 = rx * rx + ry * ry + dz * dz
+            r2 = rx * rx + ry * ry + dz2
             r = np.sqrt(r2)
             primary = (p == 0 and q == 0)
-            if primary:
-                safe = np.maximum(r, 1e-300)
-                numer = _interp_uniform(self._numer, self._r0,
-                                        self._r_inv_h, r)
-                dnumer = _interp_uniform(self._dnumer, self._r0,
-                                         self._r_inv_h, r)
-                g += numer / safe * inv8pi
-                radial = (dnumer / safe - numer / (safe * safe)) * inv8pi
-            else:
-                safe = r
-                bracket = _interp_uniform(self._bracket, self._r0,
-                                          self._r_inv_h, r)
-                dbracket = _interp_uniform(self._dbracket, self._r0,
-                                           self._r_inv_h, r)
-                g += bracket / safe * inv8pi
-                radial = (dbracket / safe - bracket / (safe * safe)) * inv8pi
-            inv_r = 1.0 / np.maximum(safe, 1e-300)
-            gx += radial * rx * inv_r
-            gy += radial * ry * inv_r
-            gz += radial * dz * inv_r
+            safe = np.maximum(r, 1e-300) if primary else r
+            # The value and derivative tables share one abscissa array,
+            # so they share one set of gather weights.
+            idx, idx1, frac, omf = _interp_weights(self._r0, self._r_inv_h,
+                                                   r, nr)
+            inv_r = 1.0 / safe
+            safe2 = safe * safe
+            self._accumulate_image(primary, idx, idx1, frac, omf, safe,
+                                   safe2, rx * inv_r, ry * inv_r,
+                                   dz * inv_r, g, gx, gy, gz)
 
-        area = lat * lat
-        # Interpolate each unique-gamma table once.
-        binterp: dict[int, np.ndarray] = {}
-        minterp: dict[int, np.ndarray] = {}
-        for s, tab in self._spectral.items():
-            binterp[s] = _interp_uniform(tab.bracket, self._z0,
-                                         self._z_inv_h, dz)
-            minterp[s] = _interp_uniform(tab.minus, self._z0,
-                                         self._z_inv_h, dz)
-        for (m, n) in self._modes:
-            s = m * m + n * n
-            tab = self._spectral[s]
-            kx = 2.0 * math.pi * m / lat
-            ky = 2.0 * math.pi * n / lat
-            coef = 1j / (4.0 * area * tab.gamma)
-            phase = np.exp(1j * (kx * dx + ky * dy)) if (m or n) else 1.0
-            pb = phase * binterp[s]
-            g += pb * coef
-            gx += (1j * kx) * pb * coef
-            gy += (1j * ky) * pb * coef
-            gz += phase * minterp[s] * ((1j * tab.gamma) * coef)
+        # Interpolate each unique-gamma table once; all spectral tables
+        # share the dz grid, hence one shared set of gather weights.
+        zw = _interp_weights(self._z0, self._z_inv_h, dz,
+                             self._spectral[0].bracket.size)
+        self._accumulate_spectral(dx, dy, zw, g, gx, gy, gz)
 
         if skip_mask is not None:
             g[skip_mask] = 0.0
@@ -229,6 +251,147 @@ class KernelTables:
             gy[skip_mask] = 0.0
             gz[skip_mask] = 0.0
         return g, gx, gy, gz
+
+    def _accumulate_image(self, primary: bool, idx, idx1, frac, omf,
+                          safe, safe2, rxi, ryi, dzi, g, gx, gy, gz) -> None:
+        """Add one lattice image's contribution in place.
+
+        All k-independent inputs (gather weights, distances and the
+        direction cosines ``rxi = rx / r`` etc.) come from the caller so
+        a two-media evaluation can share them; the tables carry the
+        folded ``1/(8 pi)``.
+        """
+        if primary:
+            b = _interp_apply(self._numer, idx, idx1, frac, omf)
+            db = _interp_apply(self._dnumer, idx, idx1, frac, omf)
+        else:
+            b = _interp_apply(self._bracket, idx, idx1, frac, omf)
+            db = _interp_apply(self._dbracket, idx, idx1, frac, omf)
+        g += b / safe
+        radial = db / safe - b / safe2
+        gx += radial * rxi
+        gy += radial * ryi
+        gz += radial * dzi
+
+    def _spectral_interp(self, zw) -> tuple[dict, dict]:
+        """Interpolate every unique-gamma table at shared weights."""
+        binterp = {s: _interp_apply(tab.bracket, *zw)
+                   for s, tab in self._spectral.items()}
+        minterp = {s: _interp_apply(tab.minus, *zw)
+                   for s, tab in self._spectral.items()}
+        return binterp, minterp
+
+    def _accumulate_spectral(self, dx, dy, zw, g, gx, gy, gz) -> None:
+        """Add every spectral mode's contribution in place.
+
+        The tables carry the folded mode coefficients (and the minus
+        table its ``j gamma`` derivative factor), so each mode is one
+        phase multiply plus bare accumulations.
+        """
+        binterp, minterp = self._spectral_interp(zw)
+        self._accumulate_modes(dx, dy, binterp, minterp, g, gx, gy, gz)
+
+    def _accumulate_modes(self, dx, dy, binterp, minterp,
+                          g, gx, gy, gz,
+                          phases: dict | None = None) -> None:
+        """Mode-sum accumulation; ``phases`` lets two media share the
+        (k-independent) per-mode phase factors."""
+        lat = self.period
+        for (m, n) in self._modes:
+            s = m * m + n * n
+            if m or n:
+                kx = 2.0 * math.pi * m / lat
+                ky = 2.0 * math.pi * n / lat
+                if phases is None:
+                    phase = np.exp(1j * (kx * dx + ky * dy))
+                else:
+                    phase = phases.get((m, n))
+                    if phase is None:
+                        phase = np.exp(1j * (kx * dx + ky * dy))
+                        phases[(m, n)] = phase
+                pb = phase * binterp[s]
+                g += pb
+                gx += (1j * kx) * pb
+                gy += (1j * ky) * pb
+                gz += phase * minterp[s]
+            else:
+                # Specular mode: unit phase, no transverse gradient.
+                g += binterp[s]
+                gz += minterp[s]
+
+    def green_and_gradient_pair(self, other: "KernelTables",
+                                dx: np.ndarray, dy: np.ndarray,
+                                dz: np.ndarray):
+        """Two-media evaluation sharing all k-independent intermediates.
+
+        The wrapped distances, gather weights, reciprocal distances and
+        mode phases depend only on the geometry, not on the medium
+        wavenumber, yet per-medium evaluation recomputes them on
+        full-size arrays. For the batched assembly (``(B, N, N)``
+        separations) this fused variant computes them once and runs both
+        media's table lookups against them — **bit-identical** to
+        calling :meth:`green_and_gradient` on each table separately.
+
+        Returns ``((g, gx, gy, gz), (g2, gx2, gy2, gz2))`` for ``self``
+        and ``other``. Falls back to two independent evaluations when
+        the tables do not share grid geometry.
+        """
+        compatible = (
+            self.period == other.period
+            and self._r0 == other._r0
+            and self._r_inv_h == other._r_inv_h
+            and self._z0 == other._z0
+            and self._z_inv_h == other._z_inv_h
+            and self._bracket.size == other._bracket.size
+            and self._images == other._images
+            and self._modes == other._modes
+        )
+        if not compatible:
+            return (self.green_and_gradient(dx, dy, dz),
+                    other.green_and_gradient(dx, dy, dz))
+
+        dx = np.asarray(dx, dtype=np.float64)
+        dy = np.asarray(dy, dtype=np.float64)
+        dz = np.asarray(dz, dtype=np.float64)
+        if np.max(np.abs(dz)) > min(self._z_max, other._z_max):
+            raise ConfigurationError(
+                "dz exceeds the tabulated z range; rebuild KernelTables "
+                "with a larger z_extent"
+            )
+        lat = self.period
+        shape = np.broadcast_shapes(dx.shape, dy.shape, dz.shape)
+        outs = tuple(tuple(np.zeros(shape, dtype=np.complex128)
+                           for _ in range(4)) for _ in range(2))
+        tables = (self, other)
+
+        dz2 = dz * dz
+        nr = self._bracket.size
+        for (p, q) in self._images:
+            rx = dx - p * lat
+            ry = dy - q * lat
+            r2 = rx * rx + ry * ry + dz2
+            r = np.sqrt(r2)
+            primary = (p == 0 and q == 0)
+            safe = np.maximum(r, 1e-300) if primary else r
+            idx, idx1, frac, omf = _interp_weights(self._r0, self._r_inv_h,
+                                                   r, nr)
+            inv_r = 1.0 / safe
+            safe2 = safe * safe
+            rxi = rx * inv_r
+            ryi = ry * inv_r
+            dzi = dz * inv_r
+            for tab, (g, gx, gy, gz) in zip(tables, outs):
+                tab._accumulate_image(primary, idx, idx1, frac, omf, safe,
+                                      safe2, rxi, ryi, dzi, g, gx, gy, gz)
+
+        zw = _interp_weights(self._z0, self._z_inv_h, dz,
+                             self._spectral[0].bracket.size)
+        phases: dict = {}
+        for tab, (g, gx, gy, gz) in zip(tables, outs):
+            binterp, minterp = tab._spectral_interp(zw)
+            tab._accumulate_modes(dx, dy, binterp, minterp, g, gx, gy, gz,
+                                  phases=phases)
+        return outs
 
 
 def tables_for_mesh(k: complex, mesh: SurfaceMesh3D,

@@ -35,7 +35,12 @@ from scipy.linalg import lu_factor, lu_solve
 from ..constants import METER_TO_UM
 from ..errors import ConfigurationError, SolverError
 from ..materials import PAPER_SYSTEM, TwoMediumSystem
-from .assembly import AssemblyOptions, assemble_medium
+from .assembly import (
+    AssemblyOptions,
+    assemble_media_pair_many,
+    assemble_medium,
+    assemble_medium_many,
+)
 from .geometry import SurfaceMesh3D, build_mesh_3d
 
 
@@ -63,18 +68,55 @@ class SWMResult:
 
 @dataclass(frozen=True)
 class SWMOptions:
-    """Numerical options of the 3D solver."""
+    """Numerical options of the 3D solver.
+
+    ``batch_size`` bounds how many sample systems the batched solve path
+    (:meth:`SWMSolver3D.solve_many_um`) stacks at once, and is the
+    default sample-batch size for stochastic estimators running against
+    this solver (``None`` = per-sample solves). It is a pure performance
+    knob: batched results are bit-identical to per-sample solves, so it
+    is **excluded** from the content hash.
+    """
 
     assembly: AssemblyOptions = field(default_factory=AssemblyOptions)
     check_finite: bool = True
+    batch_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1 or None, got {self.batch_size}"
+            )
 
     def to_spec(self) -> dict:
         """Content-hashable dict (keys the engine's result cache).
         ``asdict`` recurses into :class:`AssemblyOptions` and picks up
-        any future field automatically."""
+        any future field automatically. ``batch_size`` is dropped: it
+        cannot change results (batched solves are bit-identical), so it
+        must not split cache entries."""
         import dataclasses
 
-        return dataclasses.asdict(self)
+        spec = dataclasses.asdict(self)
+        spec.pop("batch_size")
+        return spec
+
+
+#: Target bytes per stacked (B, N, N) assembly array. Measured optimum
+#: on current hardware: past ~0.6 MB per intermediate the batched
+#: kernel's working set falls out of cache and stacking *larger*
+#: batches gets slower, so the auto policy chunks to stay near it.
+_AUTO_STACK_BYTES = 600_000
+
+
+def _auto_stack(n_unknowns: int) -> int:
+    """Default sample-stack size for a mesh with ``n_unknowns`` points.
+
+    Chunking is invisible to results (each chunk is assembled and
+    factored exactly as a standalone batch), so this is purely a cache
+    heuristic; ``SWMOptions.batch_size`` overrides it.
+    """
+    per_sample = n_unknowns * n_unknowns * 16  # one complex128 matrix
+    return max(2, min(64, _AUTO_STACK_BYTES // max(per_sample, 1)))
 
 
 class SWMSolver3D:
@@ -122,7 +164,7 @@ class SWMSolver3D:
         key = (which, float(frequency_hz), float(mesh.period))
         z_extent = float(np.max(mesh.z) - np.min(mesh.z))
         cached = self._tables.get(key)
-        if cached is not None and cached._z_max >= z_extent * 1.0005 + 1e-12:
+        if cached is not None and cached.covers(z_extent):
             return cached
         cfg = self.options.assembly.ewald_config(mesh.period)
         tables = KernelTables(k, cfg, z_extent=max(z_extent * 1.5, 1e-6))
@@ -138,27 +180,78 @@ class SWMSolver3D:
         heights_um = np.asarray(heights_m, dtype=np.float64) * METER_TO_UM
         period_um = float(period_m) * METER_TO_UM
         mesh = build_mesh_3d(heights_um, period_um)
-        return self.solve_mesh(mesh, frequency_hz)
+        return self._solve_mesh(mesh, frequency_hz)
 
     def solve_um(self, heights_um: np.ndarray, period_um: float,
                  frequency_hz: float) -> SWMResult:
         """Same as :meth:`solve` with the geometry already in micrometers."""
         mesh = build_mesh_3d(np.asarray(heights_um, dtype=np.float64),
                              float(period_um))
-        return self.solve_mesh(mesh, frequency_hz)
+        return self._solve_mesh(mesh, frequency_hz)
 
     def solve_mesh(self, mesh: SurfaceMesh3D, frequency_hz: float) -> SWMResult:
         """Solve on a prebuilt (micrometer-unit) mesh."""
-        self._check_resolution(mesh.spacing, frequency_hz)
+        return self._solve_mesh(mesh, frequency_hz)
+
+    def _solve_mesh(self, mesh: SurfaceMesh3D, frequency_hz: float
+                    ) -> SWMResult:
+        # Every public single-solve entry point is exactly one frame
+        # above this, so stacklevel 4 attributes the resolution warning
+        # to the user's call site in all of them.
+        self._check_resolution(mesh.spacing, frequency_hz, stacklevel=4)
         psi, v = self._solve_fields(mesh, frequency_hz)
         return self._finish(mesh, frequency_hz, psi, v)
 
-    def _check_resolution(self, spacing_um: float, frequency_hz: float) -> None:
+    # ------------------------------------------------------------------
+    # Batched sample solves (the MC/SSCM hot path)
+    # ------------------------------------------------------------------
+
+    def solve_many(self, heights_m: np.ndarray, period_m: float,
+                   frequency_hz: float) -> list[SWMResult]:
+        """Batched :meth:`solve` for a ``(B, n, n)`` stack of height maps.
+
+        Results are bit-identical to calling :meth:`solve` per map with
+        this solver (same kernel-table reuse policy, same LAPACK
+        factorization), but the B dense systems are assembled with the
+        sample axis vectorized and factored as one stacked
+        ``(B, 2n, 2n)`` batch.
+        """
+        heights_um = np.asarray(heights_m, dtype=np.float64) * METER_TO_UM
+        return self._solve_many_um(heights_um, float(period_m) * METER_TO_UM,
+                                   frequency_hz, stacklevel=5)
+
+    def solve_many_um(self, heights_um: np.ndarray, period_um: float,
+                      frequency_hz: float) -> list[SWMResult]:
+        """Same as :meth:`solve_many` with geometry in micrometers."""
+        return self._solve_many_um(np.asarray(heights_um, dtype=np.float64),
+                                   float(period_um), frequency_hz,
+                                   stacklevel=5)
+
+    def solve_mesh_many(self, meshes: list[SurfaceMesh3D],
+                        frequency_hz: float) -> list[SWMResult]:
+        """Batched :meth:`solve_mesh` over prebuilt same-grid meshes."""
+        return self._solve_mesh_many(list(meshes), frequency_hz, stacklevel=4)
+
+    def _solve_many_um(self, heights_um: np.ndarray, period_um: float,
+                       frequency_hz: float, stacklevel: int
+                       ) -> list[SWMResult]:
+        if heights_um.ndim != 3:
+            raise ConfigurationError(
+                f"batched heights must be a (B, n, n) stack, got shape "
+                f"{heights_um.shape}"
+            )
+        meshes = [build_mesh_3d(h, period_um) for h in heights_um]
+        return self._solve_mesh_many(meshes, frequency_hz, stacklevel)
+
+    def _check_resolution(self, spacing_um: float, frequency_hz: float,
+                          stacklevel: int) -> None:
         """Warn when the mesh cannot resolve the skin depth.
 
         The paper meshes at delta/5 for the rapid field variation inside
         the conductor; results degrade (Pr/Ps can even dip below 1) once
-        the spacing exceeds ~1.5 skin depths.
+        the spacing exceeds ~1.5 skin depths. ``stacklevel`` is threaded
+        from the public entry point so the warning points at the *user's*
+        call site, not a solver-internal frame.
         """
         delta_um = self.system.delta(frequency_hz) * METER_TO_UM
         if spacing_um > 1.5 * delta_um:
@@ -168,7 +261,7 @@ class SWMSolver3D:
                 "the enhancement factor is discretization-limited here "
                 "(refine the grid or lower the frequency)",
                 RuntimeWarning,
-                stacklevel=3,
+                stacklevel=stacklevel,
             )
 
     # ------------------------------------------------------------------
@@ -216,6 +309,121 @@ class SWMSolver3D:
         psi = sol[:n]
         v = sol[n:] * scale_v
         return psi, v
+
+    def _solve_mesh_many(self, meshes: list[SurfaceMesh3D],
+                         frequency_hz: float, stacklevel: int
+                         ) -> list[SWMResult]:
+        if not meshes:
+            raise ConfigurationError("batched solve needs at least one mesh")
+        base = meshes[0]
+        for mesh in meshes[1:]:
+            if mesh.n != base.n or mesh.period != base.period:
+                raise ConfigurationError(
+                    "batched solve requires meshes sharing grid and period; "
+                    f"got n={mesh.n} L={mesh.period} vs n={base.n} "
+                    f"L={base.period}"
+                )
+        self._check_resolution(base.spacing, frequency_hz,
+                               stacklevel=stacklevel)
+
+        k1, k2 = self._wavenumbers_um(frequency_hz)
+        # Replay the per-sample kernel-table policy *in sample order* so
+        # the tables each sample is assembled against are the exact
+        # objects the sequential path would have used (tables rebuild
+        # when a sample's height range outgrows them, so the grouping
+        # below is what makes batched results bit-identical).
+        groups: list[tuple[object, object, list[int]]] = []
+        for i, mesh in enumerate(meshes):
+            t1 = self._get_tables(1, k1, frequency_hz, mesh)
+            t2 = self._get_tables(2, k2, frequency_hz, mesh)
+            if groups and groups[-1][0] is t1 and groups[-1][1] is t2:
+                groups[-1][2].append(i)
+            else:
+                groups.append((t1, t2, [i]))
+
+        max_stack = self.options.batch_size or _auto_stack(base.size)
+        results: list[SWMResult] = []
+        for t1, t2, indices in groups:
+            for lo in range(0, len(indices), max_stack):
+                chunk = indices[lo:lo + max_stack]
+                sub = [meshes[i] for i in chunk]
+                psi, v = self._solve_fields_many(sub, frequency_hz,
+                                                 k1, k2, t1, t2)
+                results.extend(self._finish_many(sub, frequency_hz, psi, v))
+        return results
+
+    def _solve_fields_many(self, meshes: list[SurfaceMesh3D],
+                           frequency_hz: float, k1: complex, k2: complex,
+                           t1, t2) -> tuple[np.ndarray, np.ndarray]:
+        """Assemble and factor a stack of sample systems at once.
+
+        Returns ``(psi, v)`` as ``(B, n)`` arrays. The block structure,
+        scaling and right-hand side mirror :meth:`_solve_fields` entry
+        for entry; the LAPACK ``gesv`` behind ``np.linalg.solve`` runs
+        the same ``getrf``/``getrs`` pair as the sequential scipy path,
+        so solutions are bit-identical.
+        """
+        beta = self.system.beta(frequency_hz)
+        nb = len(meshes)
+        n = meshes[0].size
+
+        if t1 is not None and t2 is not None:
+            # Fused hot path: both media assembled in one pass sharing
+            # every k-independent intermediate (bit-identical to the
+            # per-medium reference).
+            (d1, s1), (d2, s2) = assemble_media_pair_many(
+                meshes, k1, t1, k2, t2, self.options.assembly)
+        else:
+            d1, s1 = assemble_medium_many(meshes, k1, self.options.assembly,
+                                          tables=t1)
+            d2, s2 = assemble_medium_many(meshes, k2, self.options.assembly,
+                                          tables=t2)
+
+        half = 0.5 * np.eye(n)
+        scale_v = abs(k2)
+        a = np.empty((nb, 2 * n, 2 * n), dtype=np.complex128)
+        a[:, :n, :n] = half - d1
+        a[:, :n, n:] = beta * s1 * scale_v
+        a[:, n:, :n] = half + d2
+        a[:, n:, n:] = -s2 * scale_v
+
+        rhs = np.zeros((nb, 2 * n), dtype=np.complex128)
+        rhs[:, :n] = np.exp(-1j * k1 * np.stack([m.z for m in meshes]))
+
+        if self.options.check_finite and not np.all(np.isfinite(a)):
+            raise SolverError("assembled SWM matrix contains non-finite "
+                              "entries")
+        try:
+            sol = np.linalg.solve(a, rhs[:, :, None])[:, :, 0]
+        except np.linalg.LinAlgError as exc:
+            raise SolverError(f"batched dense solve failed: {exc}") from exc
+        if not np.all(np.isfinite(sol)):
+            raise SolverError("SWM solution contains non-finite entries "
+                              "(singular system?)")
+        psi = sol[:, :n]
+        v = sol[:, n:] * scale_v
+        return psi, v
+
+    def _finish_many(self, meshes: list[SurfaceMesh3D], frequency_hz: float,
+                     psi: np.ndarray, v: np.ndarray) -> list[SWMResult]:
+        """Vectorized power evaluation over the sample stack."""
+        areas = np.stack([m.true_areas() for m in meshes])
+        pr = 0.5 * np.sum(np.real(np.conj(psi) * v) * areas, axis=1)
+        ps = self.smooth_power(meshes[0].period, frequency_hz)
+        if ps <= 0.0:
+            raise SolverError("smooth-surface reference power is non-positive")
+        return [
+            SWMResult(
+                frequency_hz=float(frequency_hz),
+                enhancement=float(pr[i]) / ps,
+                absorbed_power=float(pr[i]),
+                smooth_power=ps,
+                psi=psi[i],
+                v=v[i],
+                mesh=mesh,
+            )
+            for i, mesh in enumerate(meshes)
+        ]
 
     def _finish(self, mesh: SurfaceMesh3D, frequency_hz: float,
                 psi: np.ndarray, v: np.ndarray) -> SWMResult:

@@ -26,7 +26,11 @@ from scipy.linalg import lu_factor, lu_solve
 from ..constants import METER_TO_UM
 from ..errors import ConfigurationError, SolverError
 from ..materials import PAPER_SYSTEM, TwoMediumSystem
-from .assembly2d import Assembly2DOptions, assemble_medium_2d
+from .assembly2d import (
+    Assembly2DOptions,
+    assemble_medium_2d,
+    assemble_medium_2d_many,
+)
 from .geometry import SurfaceMesh2D, build_mesh_2d
 
 
@@ -49,8 +53,33 @@ class SWM2DResult:
 
 @dataclass(frozen=True)
 class SWM2DOptions:
+    """Numerical options of the 2D solver.
+
+    ``batch_size`` bounds how many sample systems the batched solve path
+    (:meth:`SWMSolver2D.solve_many_um`) stacks at once, and is the
+    default sample-batch size for estimators running against this
+    solver. Perf-only (batched results are bit-identical), so it is
+    excluded from content hashes.
+    """
+
     assembly: Assembly2DOptions = field(default_factory=Assembly2DOptions)
     check_finite: bool = True
+    batch_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1 or None, got {self.batch_size}"
+            )
+
+    def to_spec(self) -> dict:
+        """Content-hashable dict; ``batch_size`` is dropped (it cannot
+        change results, so it must not split cache entries)."""
+        import dataclasses
+
+        spec = dataclasses.asdict(self)
+        spec.pop("batch_size")
+        return spec
 
 
 class SWMSolver2D:
@@ -119,6 +148,108 @@ class SWMSolver2D:
             v=v,
             mesh=mesh,
         )
+
+    # ------------------------------------------------------------------
+    # Batched sample solves (the 2D profile MC hot path)
+    # ------------------------------------------------------------------
+
+    def solve_many(self, profiles_m: np.ndarray, period_m: float,
+                   frequency_hz: float) -> list[SWM2DResult]:
+        """Batched :meth:`solve` for a ``(B, n)`` stack of profiles.
+
+        Bit-identical to per-profile :meth:`solve`; the B dense systems
+        are assembled with the sample axis vectorized and factored as
+        one stacked batch.
+        """
+        profiles_um = np.asarray(profiles_m, dtype=np.float64) * METER_TO_UM
+        return self.solve_many_um(profiles_um,
+                                  float(period_m) * METER_TO_UM,
+                                  frequency_hz)
+
+    def solve_many_um(self, profiles_um: np.ndarray, period_um: float,
+                      frequency_hz: float) -> list[SWM2DResult]:
+        """Same as :meth:`solve_many` with geometry in micrometers."""
+        profiles = np.asarray(profiles_um, dtype=np.float64)
+        if profiles.ndim != 2:
+            raise ConfigurationError(
+                f"batched profiles must be a (B, n) stack, got shape "
+                f"{profiles.shape}"
+            )
+        period = float(period_um)
+        meshes = [build_mesh_2d(p, period) for p in profiles]
+        return self.solve_mesh_many(meshes, frequency_hz)
+
+    def solve_mesh_many(self, meshes: list[SurfaceMesh2D],
+                        frequency_hz: float) -> list[SWM2DResult]:
+        """Batched :meth:`solve_mesh` over prebuilt same-grid meshes."""
+        meshes = list(meshes)
+        if not meshes:
+            raise ConfigurationError("batched solve needs at least one mesh")
+        base = meshes[0]
+        for mesh in meshes[1:]:
+            if mesh.n != base.n or mesh.period != base.period:
+                raise ConfigurationError(
+                    "batched solve requires meshes sharing grid and period; "
+                    f"got n={mesh.n} L={mesh.period} vs n={base.n} "
+                    f"L={base.period}"
+                )
+        from .solver import _auto_stack
+
+        max_stack = self.options.batch_size or _auto_stack(base.size)
+        results: list[SWM2DResult] = []
+        for lo in range(0, len(meshes), max_stack):
+            results.extend(self._solve_mesh_stack(meshes[lo:lo + max_stack],
+                                                  frequency_hz))
+        return results
+
+    def _solve_mesh_stack(self, meshes: list[SurfaceMesh2D],
+                          frequency_hz: float) -> list[SWM2DResult]:
+        k1 = self.system.k1(frequency_hz) / METER_TO_UM
+        k2 = self.system.k2(frequency_hz) / METER_TO_UM
+        beta = self.system.beta(frequency_hz)
+        nb = len(meshes)
+        n = meshes[0].size
+
+        d1, s1 = assemble_medium_2d_many(meshes, k1, self.options.assembly)
+        d2, s2 = assemble_medium_2d_many(meshes, k2, self.options.assembly)
+
+        half = 0.5 * np.eye(n)
+        scale_v = abs(k2)
+        a = np.empty((nb, 2 * n, 2 * n), dtype=np.complex128)
+        a[:, :n, :n] = half - d1
+        a[:, :n, n:] = beta * s1 * scale_v
+        a[:, n:, :n] = half + d2
+        a[:, n:, n:] = -s2 * scale_v
+
+        rhs = np.zeros((nb, 2 * n), dtype=np.complex128)
+        rhs[:, :n] = np.exp(-1j * k1 * np.stack([m.z for m in meshes]))
+
+        if self.options.check_finite and not np.all(np.isfinite(a)):
+            raise SolverError("assembled 2D SWM matrix contains non-finite "
+                              "entries")
+        try:
+            sol = np.linalg.solve(a, rhs[:, :, None])[:, :, 0]
+        except np.linalg.LinAlgError as exc:
+            raise SolverError(f"batched dense 2D solve failed: {exc}"
+                              ) from exc
+        psi = sol[:, :n]
+        v = sol[:, n:] * scale_v
+
+        lengths = np.stack([m.true_lengths() for m in meshes])
+        pr = 0.5 * np.sum(np.real(np.conj(psi) * v) * lengths, axis=1)
+        ps = self.smooth_power(meshes[0].period, frequency_hz)
+        return [
+            SWM2DResult(
+                frequency_hz=float(frequency_hz),
+                enhancement=float(pr[i]) / ps,
+                absorbed_power=float(pr[i]),
+                smooth_power=ps,
+                psi=psi[i],
+                v=v[i],
+                mesh=mesh,
+            )
+            for i, mesh in enumerate(meshes)
+        ]
 
     def smooth_power(self, period_um: float, frequency_hz: float) -> float:
         """Smooth-surface absorbed power per unit y-length."""

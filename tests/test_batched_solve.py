@@ -1,0 +1,362 @@
+"""Tests of the batched sample-solve path (solver, engine, hashes).
+
+The contract under test everywhere: batching is a *pure performance*
+knob — batched solves are bit-identical to the sequential per-sample
+path (same kernel-table reuse policy, same LAPACK factorizations, same
+seed stream), and ``batch_size`` never enters a content hash.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.constants import GHZ, UM
+from repro.core import StochasticLossConfig, StochasticLossModel
+from repro.engine.runtime import clear_memo, execute_job
+from repro.engine.spec import (
+    DeterministicScenario,
+    EstimatorSpec,
+    Job,
+    ProfileScenario,
+    StochasticScenario,
+)
+from repro.errors import ConfigurationError, MeshError
+from repro.surfaces import GaussianCorrelation
+from repro.swm.assembly import assemble_medium, assemble_medium_many
+from repro.swm.fastkernel import KernelTables
+from repro.swm.geometry import build_mesh_3d
+from repro.swm.solver import SWMOptions, SWMSolver3D
+from repro.swm.solver2d import SWM2DOptions, SWMSolver2D
+
+FREQ = 20 * GHZ
+
+
+def _random_heights(b: int, n: int, seed: int = 42,
+                    scale: float = 0.3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(0.0, scale, (b, n, n))
+
+
+class TestSolver3DBatchedParity:
+    def test_bit_identical_to_per_sample(self):
+        heights = _random_heights(6, 8)
+        heights[3] *= 4.0  # force a kernel-table rebuild mid-batch
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            ref = SWMSolver3D()
+            serial = [ref.solve_um(h, 5.0, FREQ) for h in heights]
+            bat = SWMSolver3D().solve_many_um(heights, 5.0, FREQ)
+        assert len(bat) == len(serial)
+        for a, b in zip(serial, bat):
+            assert a.enhancement == b.enhancement
+            np.testing.assert_array_equal(a.psi, b.psi)
+            np.testing.assert_array_equal(a.v, b.v)
+            assert a.absorbed_power == b.absorbed_power
+            assert a.smooth_power == b.smooth_power
+
+    def test_chunked_stacking_matches_full_batch(self):
+        heights = _random_heights(5, 8)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            full = SWMSolver3D().solve_many_um(heights, 5.0, FREQ)
+            chunked = SWMSolver3D(
+                options=SWMOptions(batch_size=2)
+            ).solve_many_um(heights, 5.0, FREQ)
+        for a, b in zip(full, chunked):
+            assert a.enhancement == b.enhancement
+
+    def test_solve_many_si_units(self):
+        heights = _random_heights(3, 8) * UM
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            solver = SWMSolver3D()
+            many = solver.solve_many(heights, 5 * UM, FREQ)
+            one = SWMSolver3D().solve(heights[0], 5 * UM, FREQ)
+        assert many[0].enhancement == one.enhancement
+
+    def test_single_sample_batch_matches_solve_um(self):
+        heights = _random_heights(1, 8)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            one = SWMSolver3D().solve_um(heights[0], 5.0, FREQ)
+            bat = SWMSolver3D().solve_many_um(heights, 5.0, FREQ)
+        assert bat[0].enhancement == one.enhancement
+
+    def test_validates_input_shape(self):
+        with pytest.raises(ConfigurationError):
+            SWMSolver3D().solve_many_um(np.zeros((8, 8)), 5.0, FREQ)
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ConfigurationError):
+            SWMSolver3D().solve_mesh_many([], FREQ)
+
+    def test_rejects_mismatched_grids(self):
+        m1 = build_mesh_3d(np.zeros((8, 8)), 5.0)
+        m2 = build_mesh_3d(np.zeros((12, 12)), 5.0)
+        with pytest.raises(ConfigurationError):
+            SWMSolver3D().solve_mesh_many([m1, m2], FREQ)
+
+
+class TestSolver2DBatchedParity:
+    def test_bit_identical_to_per_sample(self):
+        rng = np.random.default_rng(7)
+        profiles = rng.normal(0.0, 0.3, (6, 16))
+        solver = SWMSolver2D()
+        serial = [solver.solve_um(p, 5.0, FREQ) for p in profiles]
+        bat = solver.solve_many_um(profiles, 5.0, FREQ)
+        for a, b in zip(serial, bat):
+            assert a.enhancement == b.enhancement
+            np.testing.assert_array_equal(a.psi, b.psi)
+            np.testing.assert_array_equal(a.v, b.v)
+
+    def test_chunked_stacking_matches_full_batch(self):
+        rng = np.random.default_rng(8)
+        profiles = rng.normal(0.0, 0.3, (5, 16))
+        full = SWMSolver2D().solve_many_um(profiles, 5.0, FREQ)
+        chunked = SWMSolver2D(
+            options=SWM2DOptions(batch_size=2)
+        ).solve_many_um(profiles, 5.0, FREQ)
+        for a, b in zip(full, chunked):
+            assert a.enhancement == b.enhancement
+
+    def test_validates_input_shape(self):
+        with pytest.raises(ConfigurationError):
+            SWMSolver2D().solve_many_um(np.zeros(16), 5.0, FREQ)
+
+
+class TestBatchedAssembly:
+    def test_matches_per_mesh_assembly(self):
+        heights = _random_heights(3, 8)
+        meshes = [build_mesh_3d(h, 5.0) for h in heights]
+        solver = SWMSolver3D()
+        k1, _ = solver._wavenumbers_um(FREQ)
+        tables = solver._get_tables(1, k1, FREQ, meshes[0])
+        opts = solver.options.assembly
+        d_many, s_many = assemble_medium_many(meshes, k1, opts,
+                                              tables=tables)
+        for i, mesh in enumerate(meshes):
+            d_one, s_one = assemble_medium(mesh, k1, opts, tables=tables)
+            np.testing.assert_array_equal(d_many[i], d_one)
+            np.testing.assert_array_equal(s_many[i], s_one)
+
+    def test_rejects_mismatched_meshes(self):
+        m1 = build_mesh_3d(np.zeros((8, 8)), 5.0)
+        m2 = build_mesh_3d(np.zeros((8, 8)), 6.0)
+        with pytest.raises(MeshError):
+            assemble_medium_many([m1, m2], 1.0 + 0.1j)
+
+    def test_exact_path_falls_back_per_mesh(self):
+        from repro.swm.assembly import AssemblyOptions
+
+        heights = _random_heights(2, 8)
+        meshes = [build_mesh_3d(h, 5.0) for h in heights]
+        opts = AssemblyOptions(use_tables=False)
+        k = 0.5 + 0.3j
+        d_many, s_many = assemble_medium_many(meshes, k, opts, tables=None)
+        d_one, s_one = assemble_medium(meshes[1], k, opts, tables=None)
+        np.testing.assert_array_equal(d_many[1], d_one)
+        np.testing.assert_array_equal(s_many[1], s_one)
+
+
+class TestKernelTablesCovers:
+    def test_covers_reports_tabulated_range(self):
+        from repro.swm.assembly import AssemblyOptions
+
+        cfg = AssemblyOptions().ewald_config(5.0)
+        tables = KernelTables(0.5 + 0.2j, cfg, z_extent=2.0)
+        assert tables.covers(1.0)
+        assert tables.covers(2.0)
+        assert not tables.covers(3.0)
+
+    def test_solver_reuses_covering_tables(self):
+        solver = SWMSolver3D()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            heights = _random_heights(1, 8)[0]
+            solver.solve_um(heights, 5.0, FREQ)
+            tables = dict(solver._tables)
+            solver.solve_um(0.5 * heights, 5.0, FREQ)  # smaller extent
+        assert dict(solver._tables) == tables  # reused, not rebuilt
+
+
+class TestWarningAttribution:
+    """The skin-depth warning must point at the *user's* call site for
+    every public entry point (solve, solve_um, solve_mesh, and the
+    batched variants), not at a solver-internal frame."""
+
+    # 8 points over 5 um at 50 GHz: spacing 0.625 um >> 1.5 * delta.
+    FREQ_COARSE = 50 * GHZ
+
+    def _assert_warns_here(self, trigger):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            trigger()
+        rt = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert rt, "expected the skin-depth resolution warning"
+        assert rt[0].filename == __file__
+
+    def test_solve_points_at_caller(self):
+        solver = SWMSolver3D()
+        self._assert_warns_here(
+            lambda: solver.solve(np.zeros((8, 8)), 5 * UM, self.FREQ_COARSE))
+
+    def test_solve_um_points_at_caller(self):
+        solver = SWMSolver3D()
+        self._assert_warns_here(
+            lambda: solver.solve_um(np.zeros((8, 8)), 5.0, self.FREQ_COARSE))
+
+    def test_solve_mesh_points_at_caller(self):
+        solver = SWMSolver3D()
+        mesh = build_mesh_3d(np.zeros((8, 8)), 5.0)
+        self._assert_warns_here(
+            lambda: solver.solve_mesh(mesh, self.FREQ_COARSE))
+
+    def test_solve_many_um_points_at_caller(self):
+        solver = SWMSolver3D()
+        self._assert_warns_here(
+            lambda: solver.solve_many_um(np.zeros((2, 8, 8)), 5.0,
+                                         self.FREQ_COARSE))
+
+    def test_solve_many_points_at_caller(self):
+        solver = SWMSolver3D()
+        self._assert_warns_here(
+            lambda: solver.solve_many(np.zeros((2, 8, 8)) * UM, 5 * UM,
+                                      self.FREQ_COARSE))
+
+    def test_solve_mesh_many_points_at_caller(self):
+        solver = SWMSolver3D()
+        meshes = [build_mesh_3d(np.zeros((8, 8)), 5.0)]
+        self._assert_warns_here(
+            lambda: solver.solve_mesh_many(meshes, self.FREQ_COARSE))
+
+
+# ----------------------------------------------------------------------
+# Engine-level parity: every scenario kind, batched vs per-sample.
+# ----------------------------------------------------------------------
+
+CORR_3D = GaussianCorrelation(sigma=1 * UM, eta=1 * UM)
+CONFIG_3D = StochasticLossConfig(points_per_side=8, max_modes=4)
+CORR_2D = GaussianCorrelation(sigma=1.0, eta=1.0)  # profile scenarios: um
+
+
+def _run_job(scenario, estimator, frequency_hz=5 * GHZ):
+    clear_memo()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return execute_job(Job(scenario, frequency_hz, estimator, 0))
+
+
+class TestEngineBatchedParity:
+    def test_stochastic_montecarlo(self):
+        base = EstimatorSpec(kind="montecarlo", n_samples=10, seed=3)
+        for bs in (1, 4, 64):
+            scen = StochasticScenario("m", CORR_3D, CONFIG_3D)
+            a = _run_job(scen, base)
+            b = _run_job(StochasticScenario("m", CORR_3D, CONFIG_3D),
+                         EstimatorSpec(kind="montecarlo", n_samples=10,
+                                       seed=3, batch_size=bs))
+            np.testing.assert_array_equal(a["values"], b["values"])
+            assert a["mean"] == b["mean"] and a["std"] == b["std"]
+
+    def test_stochastic_sscm(self):
+        scen = StochasticScenario("m", CORR_3D, CONFIG_3D)
+        a = _run_job(scen, EstimatorSpec(kind="sscm", order=1))
+        b = _run_job(StochasticScenario("m", CORR_3D, CONFIG_3D),
+                     EstimatorSpec(kind="sscm", order=1, batch_size=4))
+        np.testing.assert_array_equal(a["values"], b["values"])
+
+    def test_profile_montecarlo(self):
+        scen = ProfileScenario("p", CORR_2D, period_um=5.0, n=16)
+        a = _run_job(scen, EstimatorSpec(kind="montecarlo", n_samples=9,
+                                         seed=1))
+        b = _run_job(ProfileScenario("p", CORR_2D, period_um=5.0, n=16),
+                     EstimatorSpec(kind="montecarlo", n_samples=9, seed=1,
+                                   batch_size=4))
+        np.testing.assert_array_equal(a["values"], b["values"])
+
+    def test_deterministic_matches_batched_solver(self):
+        heights = _random_heights(1, 8, seed=5)[0] * UM
+        scen = DeterministicScenario("d", heights, 5 * UM)
+        payload = _run_job(scen, None, frequency_hz=FREQ)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            batched = SWMSolver3D().solve_many(heights[None, :, :], 5 * UM,
+                                               FREQ)
+        assert payload["values"][0] == batched[0].enhancement
+
+    def test_options_batch_size_is_worker_default(self):
+        # batch_size via SWMOptions (no estimator knob) must hit the
+        # same bit-identical path.
+        opts = SWMOptions(batch_size=4)
+        a = _run_job(StochasticScenario("m", CORR_3D, CONFIG_3D),
+                     EstimatorSpec(kind="montecarlo", n_samples=8, seed=2))
+        b = _run_job(
+            StochasticScenario("m", CORR_3D, CONFIG_3D, options=opts),
+            EstimatorSpec(kind="montecarlo", n_samples=8, seed=2))
+        np.testing.assert_array_equal(a["values"], b["values"])
+
+    def test_pipeline_montecarlo_batch_size(self):
+        from repro.engine import ResultCache
+
+        # Fresh caches: the second run must *compute* through the
+        # batched path, not replay the first run's cache entry.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            model = StochasticLossModel(CORR_3D, CONFIG_3D)
+            a = model.montecarlo(5 * GHZ, 8, seed=11, cache=ResultCache())
+            model2 = StochasticLossModel(CORR_3D, CONFIG_3D)
+            b = model2.montecarlo(5 * GHZ, 8, seed=11, batch_size=3,
+                                  cache=ResultCache())
+        np.testing.assert_array_equal(a.samples, b.samples)
+
+
+class TestBatchSizeOutsideContentHash:
+    def test_estimator_spec_excludes_batch_size(self):
+        a = EstimatorSpec(kind="montecarlo", n_samples=10, seed=3)
+        b = EstimatorSpec(kind="montecarlo", n_samples=10, seed=3,
+                          batch_size=16)
+        assert a.to_spec() == b.to_spec()
+
+    def test_job_key_invariant(self):
+        scen = StochasticScenario("m", CORR_3D, CONFIG_3D)
+        j1 = Job(scen, 5 * GHZ, EstimatorSpec(kind="sscm", order=1), 0)
+        j2 = Job(scen, 5 * GHZ,
+                 EstimatorSpec(kind="sscm", order=1, batch_size=8), 0)
+        assert j1.key == j2.key
+
+    def test_swm_options_exclude_batch_size(self):
+        assert SWMOptions().to_spec() == SWMOptions(batch_size=16).to_spec()
+        assert (SWM2DOptions().to_spec()
+                == SWM2DOptions(batch_size=16).to_spec())
+
+    def test_scenario_key_invariant_under_options_batch_size(self):
+        s1 = StochasticScenario("m", CORR_3D, CONFIG_3D,
+                                options=SWMOptions())
+        s2 = StochasticScenario("m", CORR_3D, CONFIG_3D,
+                                options=SWMOptions(batch_size=16))
+        assert s1.key == s2.key
+        p1 = ProfileScenario("p", CORR_2D, period_um=5.0, n=16,
+                             options=SWM2DOptions())
+        p2 = ProfileScenario("p", CORR_2D, period_um=5.0, n=16,
+                             options=SWM2DOptions(batch_size=16))
+        assert p1.key == p2.key
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EstimatorSpec(kind="sscm", batch_size=0)
+        with pytest.raises(ConfigurationError):
+            SWMOptions(batch_size=0)
+        with pytest.raises(ConfigurationError):
+            SWM2DOptions(batch_size=-1)
+
+    def test_wire_round_trip_preserves_batch_size_and_hash(self):
+        from repro.service.wire import dumps, loads
+
+        scen = StochasticScenario("m", CORR_3D, CONFIG_3D)
+        job = Job(scen, 5 * GHZ,
+                  EstimatorSpec(kind="montecarlo", n_samples=10, seed=3,
+                                batch_size=8), 0)
+        back = loads(dumps(job))
+        assert back.estimator.batch_size == 8
+        assert back.key == job.key

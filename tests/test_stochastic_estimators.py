@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import StochasticError
-from repro.stochastic.montecarlo import MonteCarloEstimator
+from repro.stochastic.montecarlo import MonteCarloEstimator, MonteCarloResult
 from repro.stochastic.sscm import SSCMEstimator
 
 
@@ -12,6 +12,16 @@ def quadratic_model(xi: np.ndarray) -> float:
     """A model that is exactly order-2 chaos: SSCM(2) must be exact."""
     return (2.0 + 0.5 * xi[0] - 0.3 * xi[1] + 0.2 * (xi[0] ** 2 - 1)
             + 0.1 * xi[0] * xi[1])
+
+
+def quadratic_batch_model(xi: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`quadratic_model` over an (S, 2) block.
+
+    Written with the exact same per-element operations so batched values
+    are bit-identical to the scalar path.
+    """
+    return (2.0 + 0.5 * xi[:, 0] - 0.3 * xi[:, 1]
+            + 0.2 * (xi[:, 0] ** 2 - 1) + 0.1 * xi[:, 0] * xi[:, 1])
 
 
 QUAD_MEAN = 2.0
@@ -58,6 +68,156 @@ class TestMonteCarlo:
             est.run(100, seed=0).quantile(1.5)
         with pytest.raises(StochasticError):
             est.run_until(rel_stderr=-0.1)
+
+
+class TestMonteCarloResultValidation:
+    """`std`/`stderr` use ddof=1: below two samples they were silent
+    NaNs (e.g. a result rebuilt from a single-sample engine payload);
+    construction must reject that instead."""
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(StochasticError):
+            MonteCarloResult(samples=np.array([1.0]), seed=0)
+
+    def test_rejects_empty_and_non_1d(self):
+        with pytest.raises(StochasticError):
+            MonteCarloResult(samples=np.array([]), seed=0)
+        with pytest.raises(StochasticError):
+            MonteCarloResult(samples=np.zeros((4, 2)), seed=0)
+
+    def test_two_samples_have_finite_statistics(self):
+        res = MonteCarloResult(samples=np.array([1.0, 2.0]), seed=None)
+        assert np.isfinite(res.std) and np.isfinite(res.stderr)
+        lo, hi = res.confidence_interval()
+        assert np.isfinite(lo) and np.isfinite(hi)
+
+
+class TestMonteCarloBatched:
+    """The vectorized-model protocol: run(batch_size=...) through an
+    (S, M) -> (S,) callable is bit-identical to the per-sample loop
+    (same xi bit stream, same values)."""
+
+    def _estimator(self):
+        return MonteCarloEstimator(quadratic_model, 2,
+                                   batch_model=quadratic_batch_model)
+
+    def test_batched_bit_identical(self):
+        ref = MonteCarloEstimator(quadratic_model, 2).run(100, seed=9)
+        bat = self._estimator().run(100, seed=9, batch_size=16)
+        np.testing.assert_array_equal(ref.samples, bat.samples)
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 7, 100, 512])
+    def test_batch_size_edge_cases(self, batch_size):
+        """1, non-divisors of S, == S, and > S all chunk correctly."""
+        ref = MonteCarloEstimator(quadratic_model, 2).run(10, seed=4)
+        bat = self._estimator().run(10, seed=4, batch_size=batch_size)
+        np.testing.assert_array_equal(ref.samples, bat.samples)
+
+    def test_batch_size_without_batch_model_falls_back(self):
+        ref = MonteCarloEstimator(quadratic_model, 2).run(20, seed=5)
+        got = MonteCarloEstimator(quadratic_model, 2).run(20, seed=5,
+                                                          batch_size=8)
+        np.testing.assert_array_equal(ref.samples, got.samples)
+
+    def test_progress_counts_samples(self):
+        seen = []
+        self._estimator().run(10, seed=0, batch_size=4,
+                              progress=lambda d, t: seen.append((d, t)))
+        assert seen == [(4, 10), (8, 10), (10, 10)]
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(StochasticError):
+            self._estimator().run(10, seed=0, batch_size=0)
+
+    def test_bad_batch_model_shape_raises(self):
+        est = MonteCarloEstimator(quadratic_model, 2,
+                                  batch_model=lambda xi: np.zeros(3))
+        with pytest.raises(StochasticError):
+            est.run(10, seed=0, batch_size=5)
+
+
+class TestRunUntil:
+    """Regression tests: the adaptive loop must clamp the final batch to
+    max_samples (it used to overshoot by up to batch - 1) and track
+    convergence with running moments."""
+
+    def test_never_exceeds_max_samples(self):
+        calls = []
+
+        def model(xi):
+            calls.append(1)
+            return float(xi[0])  # zero-mean: never converges
+
+        res = MonteCarloEstimator(model, 1).run_until(
+            rel_stderr=1e-9, batch=32, max_samples=50, seed=0)
+        assert res.n_samples == 50
+        assert len(calls) == 50
+
+    def test_cap_not_multiple_of_batch(self):
+        res = MonteCarloEstimator(quadratic_model, 2).run_until(
+            rel_stderr=1e-12, batch=64, max_samples=100, seed=1)
+        assert res.n_samples == 100
+
+    def test_converged_run_unchanged_sample_stream(self):
+        """For runs that stop before the cap, the drawn xi stream (and
+        hence the samples) matches the per-sample reference draws."""
+        res = MonteCarloEstimator(quadratic_model, 2).run_until(
+            rel_stderr=0.05, batch=16, seed=7)
+        rng = np.random.default_rng(7)
+        ref = np.array([quadratic_model(rng.standard_normal(2))
+                        for _ in range(res.n_samples)])
+        np.testing.assert_array_equal(res.samples, ref)
+
+    def test_batched_run_until_bit_identical(self):
+        ref = MonteCarloEstimator(quadratic_model, 2).run_until(
+            rel_stderr=0.05, batch=16, seed=3)
+        bat = MonteCarloEstimator(
+            quadratic_model, 2,
+            batch_model=quadratic_batch_model).run_until(
+            rel_stderr=0.05, batch=16, seed=3)
+        np.testing.assert_array_equal(ref.samples, bat.samples)
+
+    def test_validation(self):
+        est = MonteCarloEstimator(quadratic_model, 2)
+        with pytest.raises(StochasticError):
+            est.run_until(rel_stderr=0.1, batch=0)
+        with pytest.raises(StochasticError):
+            est.run_until(rel_stderr=0.1, max_samples=1)
+
+
+class TestSSCMBatched:
+    def _estimator(self, order=2):
+        return SSCMEstimator(quadratic_model, 2, order=order,
+                             batch_model=quadratic_batch_model)
+
+    def test_batched_bit_identical(self):
+        ref = SSCMEstimator(quadratic_model, 2, order=2).run()
+        bat = self._estimator().run(batch_size=4)
+        np.testing.assert_array_equal(ref.node_values, bat.node_values)
+        np.testing.assert_array_equal(ref.coefficients, bat.coefficients)
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 1000])
+    def test_batch_size_edge_cases(self, batch_size):
+        ref = SSCMEstimator(quadratic_model, 2, order=1).run()
+        bat = self._estimator(order=1).run(batch_size=batch_size)
+        np.testing.assert_array_equal(ref.node_values, bat.node_values)
+
+    def test_progress_counts_nodes(self):
+        seen = []
+        self._estimator(order=1).run(batch_size=2,
+                                     progress=lambda d, t: seen.append(d))
+        assert seen[-1] == 5  # level-1 grid in 2D: 2M + 1 nodes
+        assert seen == sorted(seen)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(StochasticError):
+            self._estimator().run(batch_size=0)
+
+    def test_bad_batch_model_shape_raises(self):
+        est = SSCMEstimator(quadratic_model, 2, order=1,
+                            batch_model=lambda xi: np.zeros((2, 2)))
+        with pytest.raises(StochasticError):
+            est.run(batch_size=3)
 
 
 class TestSSCM:
