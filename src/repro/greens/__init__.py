@@ -23,6 +23,7 @@ from .periodic2d import (
     periodic_green2d,
     periodic_green2d_direct,
     periodic_green2d_gradient,
+    periodic_green2d_pair,
 )
 from .special import erfc_complex
 
@@ -41,4 +42,5 @@ __all__ = [
     "periodic_green2d",
     "periodic_green2d_direct",
     "periodic_green2d_gradient",
+    "periodic_green2d_pair",
 ]

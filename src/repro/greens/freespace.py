@@ -44,13 +44,24 @@ def green3d_gradient(dx: np.ndarray, dy: np.ndarray, dz: np.ndarray,
 def green2d(rho: np.ndarray, k: complex) -> np.ndarray:
     """2D scalar Green's function ``(j/4) H0^(1)(k rho)``."""
     rho = np.asarray(rho, dtype=np.float64)
-    return 0.25j * hankel1(0, k * rho)
+    # The Hankel result is bound to a name before the scalar multiply.
+    # A bare `0.25j * hankel1(...)` lets numpy elide the temporary and
+    # multiply in place, and the in-place inner loop can round a final
+    # ulp differently from the out-of-place one depending on buffer
+    # alignment — which made the same separations produce different
+    # bits in (N, N) per-sample and (B, N, N) batched assemblies.
+    h0 = hankel1(0, k * rho)
+    return 0.25j * h0
 
 
 def green2d_radial_derivative(rho: np.ndarray, k: complex) -> np.ndarray:
-    """d/d rho of the 2D Green's function: ``-(j k / 4) H1^(1)(k rho)``."""
+    """d/d rho of the 2D Green's function: ``-(j k / 4) H1^(1)(k rho)``.
+
+    See :func:`green2d` for why the Hankel factor is materialized.
+    """
     rho = np.asarray(rho, dtype=np.float64)
-    return -0.25j * k * hankel1(1, k * rho)
+    h1 = hankel1(1, k * rho)
+    return -0.25j * k * h1
 
 
 def green2d_gradient(dx: np.ndarray, dz: np.ndarray,

@@ -18,6 +18,15 @@ sum has the closed form::
 free-space ``-(1/2 pi) ln(rho)`` singularity, which is what the self-term
 regularization subtracts.
 
+The mode factors ``cos(k_m dx)`` / ``sin(k_m dx)`` are built by the
+Chebyshev angle-addition recurrence (one cos/sin pair of transcendental
+passes total, four multiply-adds per further mode), and
+:func:`periodic_green2d_pair` runs the whole mode loop *once* for the
+value, the gradient and any number of media, sharing every k-independent
+intermediate — the batched-assembly hot path of the 2D solver. The fused
+results are bit-identical to the per-call functions, which consume the
+same recurrence.
+
 Lengths are dimensionless (micrometers in practice).
 """
 
@@ -28,7 +37,7 @@ import math
 import numpy as np
 
 from ..errors import ConfigurationError
-from .freespace import green2d, green2d_gradient
+from .freespace import green2d, green2d_gradient, green2d_radial_derivative
 
 #: Euler-Mascheroni constant (for the small-argument Hankel expansion).
 EULER_GAMMA = 0.5772156649015329
@@ -39,6 +48,22 @@ def _gamma_m(k: complex, km: float) -> complex:
     if g.imag < 0.0:
         g = -g
     return g
+
+
+def _mode_seed(dx: np.ndarray, period: float
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """``(cos b, sin b)`` of the fundamental mode phase ``b = 2 pi dx / L``.
+
+    Seeds the angle-addition recurrence ``cos((m+1)b) = cos(mb) cos b -
+    sin(mb) sin b`` (and the sine analog): every further mode costs four
+    multiply-adds instead of a transcendental pass. The factors depend
+    only on ``dx`` — in the batched assembly that is the shared ``(N, N)``
+    x-grid while ``dz`` carries the ``(B, N, N)`` sample axis, so they
+    are also built B times less often than the per-mode ``cos``/``sin``
+    they replace.
+    """
+    b = 2.0 * math.pi * dx / period
+    return np.cos(b), np.sin(b)
 
 
 def periodic_green2d(dx: np.ndarray, dz: np.ndarray, k: complex,
@@ -56,28 +81,31 @@ def periodic_green2d(dx: np.ndarray, dz: np.ndarray, k: complex,
         raise ConfigurationError(f"m_max must be >= 1, got {m_max}")
     dx = np.asarray(dx, dtype=np.float64)
     dz = np.asarray(dz, dtype=np.float64)
-    dx, dz = np.broadcast_arrays(dx, dz)
     adz = np.abs(dz)
     lat = float(period)
 
-    # m = 0 mode plus Kummer-corrected m != 0 modes.
+    # m = 0 mode plus Kummer-corrected m != 0 modes; the cosine factors
+    # come from the shared angle-addition recurrence.
+    c1, s1 = _mode_seed(dx, lat)
     g0 = _gamma_m(k, 0.0)
     total = np.exp(1j * g0 * adz) / g0
+    c, s = c1, s1
     for m in range(1, m_max + 1):
         km = 2.0 * math.pi * m / lat
         gm = _gamma_m(k, km)
         propag = np.exp(1j * gm * adz) / gm
         asym = np.exp(-km * adz) / (1j * km)
         # +m and -m combine into a cosine in dx.
-        total = total + 2.0 * np.cos(km * dx) * (propag - asym)
+        total = total + (2.0 * c) * (propag - asym)
+        c, s = c * c1 - s * s1, s * c1 + c * s1
     total = total * (1j / (2.0 * lat))
 
     # Closed-form Kummer remainder:
     #   (j/2L) * sum_{m!=0} e^{j k_m dx} e^{-|k_m||dz|}/(j |k_m|)
     # = -(1/4pi) * ln(1 - 2 e^{-a} cos(b) + e^{-2a})
     a = 2.0 * math.pi * adz / lat
-    b = 2.0 * math.pi * dx / lat
-    d_arg = 1.0 - 2.0 * np.exp(-a) * np.cos(b) + np.exp(-2.0 * a)
+    ea = np.exp(-a)
+    d_arg = 1.0 - 2.0 * ea * c1 + ea * ea
 
     rho = np.sqrt(dx * dx + dz * dz)
     zero = rho == 0.0
@@ -116,38 +144,45 @@ def periodic_green2d_gradient(dx: np.ndarray, dz: np.ndarray, k: complex,
     """
     if period <= 0.0:
         raise ConfigurationError(f"period must be positive, got {period}")
+    if m_max < 1:
+        raise ConfigurationError(f"m_max must be >= 1, got {m_max}")
     dx = np.asarray(dx, dtype=np.float64)
     dz = np.asarray(dz, dtype=np.float64)
-    dx, dz = np.broadcast_arrays(dx, dz)
     adz = np.abs(dz)
     sgn = np.sign(dz)
     lat = float(period)
+    shape = np.broadcast_shapes(dx.shape, dz.shape)
 
+    c1, s1 = _mode_seed(dx, lat)
     g0 = _gamma_m(k, 0.0)
-    gx = np.zeros(dx.shape, dtype=np.complex128)
-    gz = sgn * 1j * np.exp(1j * g0 * adz)
+    gx = np.zeros(shape, dtype=np.complex128)
+    gz = np.zeros(shape, dtype=np.complex128)
+    gz += sgn * 1j * np.exp(1j * g0 * adz)
+    c, s = c1, s1
     for m in range(1, m_max + 1):
         km = 2.0 * math.pi * m / lat
         gm = _gamma_m(k, km)
-        propag = np.exp(1j * gm * adz) / gm
-        asym = np.exp(-km * adz) / (1j * km)
-        dpropag = 1j * np.exp(1j * gm * adz)
-        dasym = -km * np.exp(-km * adz) / (1j * km)
-        gx += -2.0 * km * np.sin(km * dx) * (propag - asym)
-        gz += 2.0 * np.cos(km * dx) * sgn * (dpropag - dasym)
+        egm = np.exp(1j * gm * adz)
+        em = np.exp(-km * adz)
+        propag = egm / gm
+        asym = em / (1j * km)
+        dpropag = 1j * egm
+        dasym = -km * em / (1j * km)
+        gx += (-2.0 * km) * s * (propag - asym)
+        gz += (2.0 * c) * sgn * (dpropag - dasym)
+        c, s = c * c1 - s * s1, s * c1 + c * s1
     gx = gx * (1j / (2.0 * lat))
     gz = gz * (1j / (2.0 * lat))
 
     a = 2.0 * math.pi * adz / lat
-    b = 2.0 * math.pi * dx / lat
     ea = np.exp(-a)
-    d_arg = 1.0 - 2.0 * ea * np.cos(b) + ea * ea
+    d_arg = 1.0 - 2.0 * ea * c1 + ea * ea
 
     rho = np.sqrt(dx * dx + dz * dz)
     zero = rho == 0.0
     safe_d = np.where(zero, 1.0, d_arg)
-    dd_db = 2.0 * ea * np.sin(b)
-    dd_da = 2.0 * ea * np.cos(b) - 2.0 * ea * ea
+    dd_db = 2.0 * ea * s1
+    dd_da = 2.0 * ea * c1 - 2.0 * ea * ea
     scale = 2.0 * math.pi / lat
     log_gx = -(dd_db * scale) / (4.0 * math.pi * safe_d)
     log_gz = -(dd_da * sgn * scale) / (4.0 * math.pi * safe_d)
@@ -167,6 +202,129 @@ def periodic_green2d_gradient(dx: np.ndarray, dz: np.ndarray, k: complex,
             "exclude_primary=True"
         )
     return gx, gz
+
+
+def periodic_green2d_pair(dx: np.ndarray, dz: np.ndarray,
+                          ks: "Sequence[complex]", period: float,
+                          m_max: int = 64, exclude_primary: bool = False
+                          ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Fused value + gradient of the periodic kernel for several media.
+
+    One pass of the Kummer mode loop serves every wavenumber in ``ks``
+    *and* both the Green's function and its gradient, sharing each
+    k-independent intermediate: the recurrence-built ``cos(k_m dx)`` /
+    ``sin(k_m dx)`` mode factors (evaluated on ``dx``'s own shape, not
+    the broadcast one — in the batched assembly ``dx`` is ``(N, N)``
+    while ``dz`` is ``(B, N, N)``), the quasi-static asymptotes
+    ``exp(-k_m |dz|)`` and their derivative factors, the closed-form
+    ``d_arg``/log remainder, ``rho`` and the zero-separation masks.
+
+    Returns a list of ``(g, gx, gz)`` triples aligned with ``ks``,
+    **bit-identical** to :func:`periodic_green2d` /
+    :func:`periodic_green2d_gradient` called per wavenumber: every
+    shared quantity is the exact expression the per-call path evaluates,
+    and the per-medium accumulations run in the same mode order.
+    """
+    if period <= 0.0:
+        raise ConfigurationError(f"period must be positive, got {period}")
+    if m_max < 1:
+        raise ConfigurationError(f"m_max must be >= 1, got {m_max}")
+    dx = np.asarray(dx, dtype=np.float64)
+    dz = np.asarray(dz, dtype=np.float64)
+    adz = np.abs(dz)
+    sgn = np.sign(dz)
+    lat = float(period)
+    # Wavenumbers pass through untouched so every per-medium expression
+    # sees exactly the operand the per-call path would.
+    ks = list(ks)
+    shape = np.broadcast_shapes(dx.shape, dz.shape)
+
+    c1, s1 = _mode_seed(dx, lat)
+
+    totals: list[np.ndarray] = []
+    gxs: list[np.ndarray] = []
+    gzs: list[np.ndarray] = []
+    for kk in ks:
+        g0 = _gamma_m(kk, 0.0)
+        eg0 = np.exp(1j * g0 * adz)
+        t = np.zeros(shape, dtype=np.complex128)
+        t += eg0 / g0
+        gx = np.zeros(shape, dtype=np.complex128)
+        gz = np.zeros(shape, dtype=np.complex128)
+        gz += sgn * 1j * eg0
+        totals.append(t)
+        gxs.append(gx)
+        gzs.append(gz)
+
+    c, s = c1, s1
+    for m in range(1, m_max + 1):
+        km = 2.0 * math.pi * m / lat
+        em = np.exp(-km * adz)
+        asym = em / (1j * km)
+        dasym = -km * em / (1j * km)
+        gc = 2.0 * c
+        ax = -2.0 * km * s
+        az = 2.0 * c * sgn
+        for kk, t, gx, gz in zip(ks, totals, gxs, gzs):
+            gm = _gamma_m(kk, km)
+            egm = np.exp(1j * gm * adz)
+            propag = egm / gm
+            dpropag = 1j * egm
+            diff = propag - asym
+            t += gc * diff
+            gx += ax * diff
+            gz += az * (dpropag - dasym)
+        c, s = c * c1 - s * s1, s * c1 + c * s1
+    scale_mode = 1j / (2.0 * lat)
+    for i in range(len(ks)):
+        totals[i] = totals[i] * scale_mode
+        gxs[i] = gxs[i] * scale_mode
+        gzs[i] = gzs[i] * scale_mode
+
+    # Closed-form Kummer remainder and masks (all k-independent).
+    a = 2.0 * math.pi * adz / lat
+    ea = np.exp(-a)
+    d_arg = 1.0 - 2.0 * ea * c1 + ea * ea
+    rho = np.sqrt(dx * dx + dz * dz)
+    zero = rho == 0.0
+    any_zero = bool(np.any(zero))
+    if any_zero and not exclude_primary:
+        raise ConfigurationError(
+            "periodic_green2d_pair called at zero separation without "
+            "exclude_primary=True"
+        )
+    safe_d = np.where(zero, 1.0, d_arg)
+    dd_db = 2.0 * ea * s1
+    dd_da = 2.0 * ea * c1 - 2.0 * ea * ea
+    scale = 2.0 * math.pi / lat
+    log_gx = -(dd_db * scale) / (4.0 * math.pi * safe_d)
+    log_gz = -(dd_da * sgn * scale) / (4.0 * math.pi * safe_d)
+    if exclude_primary:
+        log_term = -np.log(safe_d) / (4.0 * math.pi)
+        safe_rho = np.where(zero, 1.0, rho)
+        sdx = np.where(zero, 1.0, dx)
+        srho = np.sqrt(sdx * sdx + dz * dz)
+
+    results: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for kk, t, gx, gz in zip(ks, totals, gxs, gzs):
+        gx = gx + log_gx
+        gz = gz + log_gz
+        if exclude_primary:
+            g = t + log_term - green2d(safe_rho, kk)
+            if any_zero:
+                limit = (-math.log(2.0 * math.pi / lat) / (2.0 * math.pi)
+                         + (np.log(kk / 2.0) + EULER_GAMMA) / (2.0 * math.pi)
+                         - 0.25j)
+                g = np.where(zero, t + limit, g)
+            dgdr = green2d_radial_derivative(srho, kk)
+            fgx = np.where(zero, 0.0, dgdr * sdx / srho)
+            fgz = np.where(zero, 0.0, dgdr * dz / srho)
+            gx = np.where(zero, 0.0, gx - fgx)
+            gz = np.where(zero, 0.0, gz - fgz)
+        else:
+            g = t - np.log(d_arg) / (4.0 * math.pi)
+        results.append((g, gx, gz))
+    return results
 
 
 def _safe_free_gradient(dx: np.ndarray, dz: np.ndarray, k: complex,

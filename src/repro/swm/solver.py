@@ -91,13 +91,17 @@ class SWMOptions:
     def to_spec(self) -> dict:
         """Content-hashable dict (keys the engine's result cache).
         ``asdict`` recurses into :class:`AssemblyOptions` and picks up
-        any future field automatically. ``batch_size`` is dropped: it
-        cannot change results (batched solves are bit-identical), so it
-        must not split cache entries."""
+        any future field automatically. Knobs that cannot change
+        payloads are dropped so they never split cache entries:
+        ``batch_size`` (batched solves are bit-identical) and
+        ``check_finite`` (it only turns a non-finite assembly into a
+        clear error — every payload that *returns* is identical either
+        way)."""
         import dataclasses
 
         spec = dataclasses.asdict(self)
         spec.pop("batch_size")
+        spec.pop("check_finite")
         return spec
 
 

@@ -18,6 +18,7 @@ models underestimate the loss.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,8 +29,8 @@ from ..errors import ConfigurationError, SolverError
 from ..materials import PAPER_SYSTEM, TwoMediumSystem
 from .assembly2d import (
     Assembly2DOptions,
+    assemble_media_pair_2d_many,
     assemble_medium_2d,
-    assemble_medium_2d_many,
 )
 from .geometry import SurfaceMesh2D, build_mesh_2d
 
@@ -73,12 +74,17 @@ class SWM2DOptions:
             )
 
     def to_spec(self) -> dict:
-        """Content-hashable dict; ``batch_size`` is dropped (it cannot
-        change results, so it must not split cache entries)."""
+        """Content-hashable dict (keys the engine's result cache).
+        Knobs that cannot change payloads are dropped so they never
+        split cache entries: ``batch_size`` (batched solves are
+        bit-identical) and ``check_finite`` (it only turns a non-finite
+        assembly into a clear error — every payload that *returns* is
+        identical either way)."""
         import dataclasses
 
         spec = dataclasses.asdict(self)
         spec.pop("batch_size")
+        spec.pop("check_finite")
         return spec
 
 
@@ -94,18 +100,49 @@ class SWMSolver2D:
               frequency_hz: float) -> SWM2DResult:
         """Solve for a profile given in meters."""
         profile_um = np.asarray(profile_m, dtype=np.float64) * METER_TO_UM
-        return self.solve_um(profile_um, float(period_m) * METER_TO_UM,
-                             frequency_hz)
+        mesh = build_mesh_2d(profile_um, float(period_m) * METER_TO_UM)
+        return self._solve_mesh(mesh, frequency_hz)
 
     def solve_um(self, profile_um: np.ndarray, period_um: float,
                  frequency_hz: float) -> SWM2DResult:
         """Solve with geometry already in micrometers."""
         mesh = build_mesh_2d(np.asarray(profile_um, dtype=np.float64),
                              float(period_um))
-        return self.solve_mesh(mesh, frequency_hz)
+        return self._solve_mesh(mesh, frequency_hz)
 
     def solve_mesh(self, mesh: SurfaceMesh2D, frequency_hz: float
                    ) -> SWM2DResult:
+        """Solve on a prebuilt (micrometer-unit) mesh."""
+        return self._solve_mesh(mesh, frequency_hz)
+
+    def _check_resolution(self, spacing_um: float, frequency_hz: float,
+                          stacklevel: int) -> None:
+        """Warn when the profile mesh cannot resolve the skin depth.
+
+        Same criterion as ``SWMSolver3D._check_resolution`` (the 2D
+        field varies just as rapidly inside the conductor), with
+        ``stacklevel`` threaded from the public entry point so the
+        warning points at the *user's* call site, not a solver-internal
+        frame.
+        """
+        delta_um = self.system.delta(frequency_hz) * METER_TO_UM
+        if spacing_um > 1.5 * delta_um:
+            warnings.warn(
+                f"2D SWM mesh spacing {spacing_um:.3g} um exceeds 1.5x the "
+                f"skin depth {delta_um:.3g} um at "
+                f"{frequency_hz / 1e9:.3g} GHz; the enhancement factor is "
+                "discretization-limited here (refine the profile or lower "
+                "the frequency)",
+                RuntimeWarning,
+                stacklevel=stacklevel,
+            )
+
+    def _solve_mesh(self, mesh: SurfaceMesh2D, frequency_hz: float
+                    ) -> SWM2DResult:
+        # Every public single-solve entry point is exactly one frame
+        # above this, so stacklevel 4 attributes the resolution warning
+        # to the user's call site in all of them.
+        self._check_resolution(mesh.spacing, frequency_hz, stacklevel=4)
         k1 = self.system.k1(frequency_hz) / METER_TO_UM
         k2 = self.system.k2(frequency_hz) / METER_TO_UM
         beta = self.system.beta(frequency_hz)
@@ -158,31 +195,41 @@ class SWMSolver2D:
         """Batched :meth:`solve` for a ``(B, n)`` stack of profiles.
 
         Bit-identical to per-profile :meth:`solve`; the B dense systems
-        are assembled with the sample axis vectorized and factored as
-        one stacked batch.
+        are assembled with the sample axis vectorized (both media and
+        the green/gradient kernels fused into one mode-sum pass) and
+        factored as one stacked batch.
         """
         profiles_um = np.asarray(profiles_m, dtype=np.float64) * METER_TO_UM
-        return self.solve_many_um(profiles_um,
-                                  float(period_m) * METER_TO_UM,
-                                  frequency_hz)
+        return self._solve_many_um(profiles_um,
+                                   float(period_m) * METER_TO_UM,
+                                   frequency_hz, stacklevel=5)
 
     def solve_many_um(self, profiles_um: np.ndarray, period_um: float,
                       frequency_hz: float) -> list[SWM2DResult]:
         """Same as :meth:`solve_many` with geometry in micrometers."""
-        profiles = np.asarray(profiles_um, dtype=np.float64)
-        if profiles.ndim != 2:
-            raise ConfigurationError(
-                f"batched profiles must be a (B, n) stack, got shape "
-                f"{profiles.shape}"
-            )
-        period = float(period_um)
-        meshes = [build_mesh_2d(p, period) for p in profiles]
-        return self.solve_mesh_many(meshes, frequency_hz)
+        return self._solve_many_um(np.asarray(profiles_um, dtype=np.float64),
+                                   float(period_um), frequency_hz,
+                                   stacklevel=5)
 
     def solve_mesh_many(self, meshes: list[SurfaceMesh2D],
                         frequency_hz: float) -> list[SWM2DResult]:
         """Batched :meth:`solve_mesh` over prebuilt same-grid meshes."""
-        meshes = list(meshes)
+        return self._solve_mesh_many(list(meshes), frequency_hz, stacklevel=4)
+
+    def _solve_many_um(self, profiles_um: np.ndarray, period_um: float,
+                       frequency_hz: float, stacklevel: int
+                       ) -> list[SWM2DResult]:
+        if profiles_um.ndim != 2:
+            raise ConfigurationError(
+                f"batched profiles must be a (B, n) stack, got shape "
+                f"{profiles_um.shape}"
+            )
+        meshes = [build_mesh_2d(p, period_um) for p in profiles_um]
+        return self._solve_mesh_many(meshes, frequency_hz, stacklevel)
+
+    def _solve_mesh_many(self, meshes: list[SurfaceMesh2D],
+                         frequency_hz: float, stacklevel: int
+                         ) -> list[SWM2DResult]:
         if not meshes:
             raise ConfigurationError("batched solve needs at least one mesh")
         base = meshes[0]
@@ -193,6 +240,8 @@ class SWMSolver2D:
                     f"got n={mesh.n} L={mesh.period} vs n={base.n} "
                     f"L={base.period}"
                 )
+        self._check_resolution(base.spacing, frequency_hz,
+                               stacklevel=stacklevel)
         from .solver import _auto_stack
 
         max_stack = self.options.batch_size or _auto_stack(base.size)
@@ -210,8 +259,10 @@ class SWMSolver2D:
         nb = len(meshes)
         n = meshes[0].size
 
-        d1, s1 = assemble_medium_2d_many(meshes, k1, self.options.assembly)
-        d2, s2 = assemble_medium_2d_many(meshes, k2, self.options.assembly)
+        # Fused hot path: both media, green and gradient, one Kummer
+        # mode-sum pass (bit-identical to per-medium assembly).
+        (d1, s1), (d2, s2) = assemble_media_pair_2d_many(
+            meshes, k1, k2, self.options.assembly)
 
         half = 0.5 * np.eye(n)
         scale_v = abs(k2)

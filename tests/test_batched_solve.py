@@ -231,6 +231,58 @@ class TestWarningAttribution:
             lambda: solver.solve_mesh_many(meshes, self.FREQ_COARSE))
 
 
+class TestWarningAttribution2D(TestWarningAttribution):
+    """The 2D solver now carries the same skin-depth check as the 3D
+    one (it historically had none), with the same stacklevel threading:
+    every public entry point attributes the warning to the caller."""
+
+    def test_solve_points_at_caller(self):
+        solver = SWMSolver2D()
+        self._assert_warns_here(
+            lambda: solver.solve(np.zeros(8), 5 * UM, self.FREQ_COARSE))
+
+    def test_solve_um_points_at_caller(self):
+        solver = SWMSolver2D()
+        self._assert_warns_here(
+            lambda: solver.solve_um(np.zeros(8), 5.0, self.FREQ_COARSE))
+
+    def test_solve_mesh_points_at_caller(self):
+        from repro.swm.geometry import build_mesh_2d
+
+        solver = SWMSolver2D()
+        mesh = build_mesh_2d(np.zeros(8), 5.0)
+        self._assert_warns_here(
+            lambda: solver.solve_mesh(mesh, self.FREQ_COARSE))
+
+    def test_solve_many_um_points_at_caller(self):
+        solver = SWMSolver2D()
+        self._assert_warns_here(
+            lambda: solver.solve_many_um(np.zeros((2, 8)), 5.0,
+                                         self.FREQ_COARSE))
+
+    def test_solve_many_points_at_caller(self):
+        solver = SWMSolver2D()
+        self._assert_warns_here(
+            lambda: solver.solve_many(np.zeros((2, 8)) * UM, 5 * UM,
+                                      self.FREQ_COARSE))
+
+    def test_solve_mesh_many_points_at_caller(self):
+        from repro.swm.geometry import build_mesh_2d
+
+        solver = SWMSolver2D()
+        meshes = [build_mesh_2d(np.zeros(8), 5.0)]
+        self._assert_warns_here(
+            lambda: solver.solve_mesh_many(meshes, self.FREQ_COARSE))
+
+    def test_fine_mesh_does_not_warn(self):
+        solver = SWMSolver2D()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            solver.solve_um(np.zeros(96), 5.0, self.FREQ_COARSE)
+        assert not [w for w in caught
+                    if issubclass(w.category, RuntimeWarning)]
+
+
 # ----------------------------------------------------------------------
 # Engine-level parity: every scenario kind, batched vs per-sample.
 # ----------------------------------------------------------------------

@@ -122,6 +122,37 @@ class TestContentHash:
         b = DeterministicScenario("s", bump, 5 * UM)
         assert a.key != b.key
 
+    def test_check_finite_outside_content_hash(self):
+        """check_finite cannot change payloads (it only turns a
+        non-finite assembly into a clear error), so like batch_size it
+        must not split engine/service cache entries."""
+        from repro.swm.solver import SWMOptions
+        from repro.swm.solver2d import SWM2DOptions
+
+        assert (SWMOptions(check_finite=False).to_spec()
+                == SWMOptions().to_spec())
+        assert (SWM2DOptions(check_finite=False).to_spec()
+                == SWM2DOptions().to_spec())
+        s1 = StochasticScenario("m", GaussianCorrelation(1 * UM, 1 * UM),
+                                SMALL_CONFIG, options=SWMOptions())
+        s2 = StochasticScenario("m", GaussianCorrelation(1 * UM, 1 * UM),
+                                SMALL_CONFIG,
+                                options=SWMOptions(check_finite=False))
+        assert s1.key == s2.key
+        p1 = ProfileScenario("p", GaussianCorrelation(1.0, 1.0),
+                             period_um=5.0, n=16, options=SWM2DOptions())
+        p2 = ProfileScenario("p", GaussianCorrelation(1.0, 1.0),
+                             period_um=5.0, n=16,
+                             options=SWM2DOptions(check_finite=False))
+        assert p1.key == p2.key
+        # The numerics knobs still change the hash.
+        from repro.swm.assembly2d import Assembly2DOptions
+
+        p3 = ProfileScenario(
+            "p", GaussianCorrelation(1.0, 1.0), period_um=5.0, n=16,
+            options=SWM2DOptions(assembly=Assembly2DOptions(m_max=48)))
+        assert p1.key != p3.key
+
 
 class TestSweepSpec:
     def test_cartesian_product_order(self):

@@ -102,3 +102,15 @@ class TestStructure:
             periodic_green2d(z, z, K2, period=-1.0)
         with pytest.raises(ConfigurationError):
             periodic_green2d(z, z, K2, L, m_max=0)
+
+    def test_gradient_validates_m_max(self):
+        """Regression: the gradient used to accept m_max < 1 silently,
+        returning an asymptote-only (truncated) series where the value
+        function raised ConfigurationError."""
+        z = np.array([0.5])
+        with pytest.raises(ConfigurationError):
+            periodic_green2d_gradient(z, z, K2, L, m_max=0)
+        with pytest.raises(ConfigurationError):
+            periodic_green2d_gradient(z, z, K2, L, m_max=-3)
+        with pytest.raises(ConfigurationError):
+            periodic_green2d_gradient(z, z, K2, period=0.0)
