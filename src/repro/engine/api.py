@@ -19,12 +19,14 @@ the sweep that owns them.
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping, Sequence
 
+from .. import telemetry
 from ..errors import ConfigurationError
 from .cache import ResultCache
 from .executors import Executor, ParallelExecutor, ProgressFn, SerialExecutor
@@ -217,6 +219,14 @@ def run_batch(specs: Mapping[str, SweepSpec],
             committed[slot_idx] = True
             n_committed += 1
             job, targets = slots[slot_idx]
+            if (telemetry.enabled() and payload.get("spans")
+                    and payload.get("pid") != os.getpid()):
+                # Pool workers record spans into their own process;
+                # fold them into this process's aggregates so profile
+                # tables cover parallel runs. Same-pid payloads already
+                # aggregated locally — ingesting again would double
+                # count.
+                telemetry.ingest_spans(payload["spans"])
             if job.cacheable:
                 owner, _ = targets[0]
                 cache.put(job.key, payload, metadata={
@@ -269,6 +279,7 @@ def run_batch(specs: Mapping[str, SweepSpec],
                 wall_time_s=payload["wall_time_s"],
                 cache_hit=hits[name][i],
                 pid=payload.get("pid"),
+                spans=payload.get("spans"),
             ))
         results[name] = SweepResult(
             frequencies_hz=spec.frequencies_hz,

@@ -21,6 +21,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -32,8 +33,11 @@ import numpy as np
 from ..errors import ConfigurationError
 from .spec import ENGINE_VERSION
 
-#: Payload keys persisted as JSON scalars (everything but the array).
-_SCALAR_KEYS = ("mean", "std", "n_evals", "seed", "wall_time_s", "pid")
+#: Payload keys persisted as JSON (everything but the array). ``spans``
+#: is a list of JSON-ready telemetry span dicts — provenance of the
+#: original compute, replayed verbatim on a hit.
+_SCALAR_KEYS = ("mean", "std", "n_evals", "seed", "wall_time_s", "pid",
+                "spans")
 
 
 def _jsonable(obj):
@@ -49,13 +53,41 @@ def _jsonable(obj):
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one :class:`ResultCache` instance."""
+    """Hit/miss accounting for one :class:`ResultCache` instance.
+
+    Counters are bumped from every thread that touches the cache (the
+    service's ``ThreadingHTTPServer`` runs one thread per request), so
+    all mutation goes through :meth:`bump` under a lock — a bare
+    ``stats.misses += 1`` is a read-modify-write that can drop counts
+    under concurrency. Readers use :meth:`snapshot` for a consistent
+    view; monitoring endpoints must not sum fields read one by one.
+    """
 
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
     disk_evictions: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Atomically increment one counter field."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def snapshot(self) -> dict[str, int]:
+        """All counters (plus the ``hits`` total) in one atomic read."""
+        with self._lock:
+            return {
+                "memory_hits": self.memory_hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "disk_evictions": self.disk_evictions,
+                "hits": self.memory_hits + self.disk_hits,
+            }
 
     @property
     def hits(self) -> int:
@@ -141,7 +173,7 @@ class ResultCache:
         payload = self._memory.get(key)
         if payload is not None:
             self._memory.move_to_end(key)
-            self.stats.memory_hits += 1
+            self.stats.bump("memory_hits")
             if self.max_disk_bytes is not None and self.disk_dir is not None:
                 # Disk LRU eviction clocks on mtime; without this, a
                 # hot entry served from memory would look cold on disk
@@ -151,11 +183,11 @@ class ResultCache:
         if self.disk_dir is not None:
             payload = self._disk_get(key)
             if payload is not None:
-                self.stats.disk_hits += 1
+                self.stats.bump("disk_hits")
                 self._touch(key)
                 self._memory_put(key, payload)
                 return dict(payload)
-        self.stats.misses += 1
+        self.stats.bump("misses")
         return None
 
     def put(self, key: str, payload: dict,
@@ -168,7 +200,7 @@ class ResultCache:
         self._memory_put(key, payload)
         if self.disk_dir is not None:
             self._disk_put(key, payload, metadata or {})
-        self.stats.stores += 1
+        self.stats.bump("stores")
 
     def clear(self) -> None:
         """Drop the memory tier (the disk store is left intact)."""
@@ -294,7 +326,7 @@ class ResultCache:
                 os.remove(path)
             except OSError:
                 pass
-        self.stats.disk_evictions += 1
+        self.stats.bump("disk_evictions")
 
     def _enforce_disk_budget(self) -> None:
         entries = self._disk_entries()

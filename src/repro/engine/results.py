@@ -32,6 +32,9 @@ class PointResult:
     wall_time_s: float
     cache_hit: bool
     pid: int | None = None
+    #: Telemetry span dicts recorded while this point executed (None
+    #: unless :mod:`repro.telemetry` was enabled in the worker).
+    spans: tuple | list | None = None
 
 
 @dataclass(frozen=True)

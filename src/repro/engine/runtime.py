@@ -21,6 +21,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..telemetry import record_spans, span
 from .spec import (
     DeterministicScenario,
     Job,
@@ -136,8 +137,32 @@ def execute_job(job: Job) -> dict:
         seed           : RNG seed (None for deterministic/SSCM jobs)
         wall_time_s    : compute time in the executing process
         pid            : executing process id (provenance)
+        spans          : telemetry span dicts recorded during the solve
+                         (only when :mod:`repro.telemetry` is enabled in
+                         the executing process)
     """
     start = time.perf_counter()
+    with record_spans() as spans, span(
+            "job", scenario=job.scenario.name,
+            frequency_hz=float(job.frequency_hz),
+            estimator=job.estimator_label, key=job.key):
+        mean, std, values, n_evals, seed = _run_job(job)
+    payload = {
+        "mean": float(mean),
+        "std": float(std),
+        "values": values,
+        "n_evals": int(n_evals),
+        "seed": seed,
+        "wall_time_s": time.perf_counter() - start,
+        "pid": os.getpid(),
+    }
+    if spans:
+        payload["spans"] = spans
+    return payload
+
+
+def _run_job(job: Job) -> tuple:
+    """Dispatch one job to its scenario kind's solve path."""
     scenario = job.scenario
     if isinstance(scenario, DeterministicScenario):
         solver = _solver_for(scenario)
@@ -200,15 +225,7 @@ def execute_job(job: Job) -> dict:
             values = np.asarray(res.samples, dtype=np.float64)
             mean, std = res.mean, res.std
             n_evals, seed = res.n_samples, est.seed
-    return {
-        "mean": float(mean),
-        "std": float(std),
-        "values": values,
-        "n_evals": int(n_evals),
-        "seed": seed,
-        "wall_time_s": time.perf_counter() - start,
-        "pid": os.getpid(),
-    }
+    return mean, std, values, n_evals, seed
 
 
 def clear_memo() -> None:

@@ -77,6 +77,28 @@ def _serve_main(argv: list[str]) -> int:
         parser.error(str(exc))
 
 
+def _format_phase_table(stats: dict[str, dict]) -> str:
+    """Per-phase profile table from :func:`repro.telemetry.phase_stats`.
+
+    Sorted by total time so the dominant phase reads first; the share
+    column is of the *summed* span time (phases nest — ``job`` contains
+    ``assemble``/``factor`` — so shares can exceed 100 together).
+    """
+    if not stats:
+        return "[profile] no spans recorded"
+    rows = sorted(stats.items(), key=lambda kv: kv[1]["total_s"],
+                  reverse=True)
+    top = max(r["total_s"] for _, r in rows) or 1.0
+    lines = [f"{'phase':<16} {'calls':>8} {'total s':>10} "
+             f"{'mean ms':>10} {'share':>7}",
+             "-" * 55]
+    for name, r in rows:
+        lines.append(
+            f"{name:<16} {r['count']:>8d} {r['total_s']:>10.3f} "
+            f"{1e3 * r['mean_s']:>10.3f} {100.0 * r['total_s'] / top:>6.1f}%")
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -107,6 +129,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--output", default=None, metavar="DIR",
                         help="write one machine-readable <name>.json "
                              "per experiment into DIR")
+    parser.add_argument("--profile", action="store_true",
+                        help="enable telemetry and print a per-phase "
+                             "breakdown (assemble/factor/power/...) "
+                             "after the run")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="enable telemetry and write the run's "
+                             "spans as Chrome trace JSON "
+                             "(chrome://tracing, Perfetto)")
     args = parser.parse_args(argv)
 
     if args.list_:
@@ -139,7 +169,19 @@ def main(argv: list[str] | None = None) -> int:
         except OSError as exc:
             parser.error(f"--output: cannot create {output_dir}: {exc}")
 
-    from .. import api
+    from .. import api, telemetry
+
+    trace_out = None
+    if args.trace_out is not None:
+        trace_out = Path(args.trace_out)
+        if trace_out.parent and not trace_out.parent.is_dir():
+            try:
+                trace_out.parent.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                parser.error(f"--trace-out: cannot create "
+                             f"{trace_out.parent}: {exc}")
+    if args.profile or trace_out is not None:
+        telemetry.enable()
 
     # Repeated names on the command line would recompute nothing (the
     # engine dedups the jobs) but run_many rejects duplicates, so fold
@@ -166,6 +208,14 @@ def main(argv: list[str] | None = None) -> int:
         for name, result in results.items():
             (output_dir / f"{name}.json").write_text(result.to_json(),
                                                      encoding="utf-8")
+
+    if args.profile:
+        print()
+        print(_format_phase_table(telemetry.phase_stats()))
+    if trace_out is not None:
+        trace_out.write_text(json.dumps(telemetry.chrome_trace()),
+                             encoding="utf-8")
+        print(f"[trace] wrote {trace_out}", file=sys.stderr)
 
     failed = {name: result.failing_checks()
               for name, result in results.items()

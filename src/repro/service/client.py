@@ -120,6 +120,18 @@ class ServiceClient:
         """The server cache's stats/size snapshot."""
         return self._get("/v1/cache")
 
+    def metrics_text(self) -> str:
+        """The server's ``/v1/metrics`` Prometheus text document."""
+        req = urllib.request.Request(self.base_url + "/v1/metrics")
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.URLError as exc:
+            raise ServiceUnavailable(
+                f"cannot reach sweep service at {self.base_url}: "
+                f"{getattr(exc, 'reason', exc)}"
+            ) from exc
+
     def submit(self, spec: SweepSpec) -> str:
         """Submit a sweep; returns the ticket id immediately."""
         return self._post(

@@ -30,6 +30,7 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
+from .. import telemetry
 from ..errors import ConfigurationError
 from ..engine.api import cache_split
 from ..engine.cache import ResultCache
@@ -87,14 +88,42 @@ def _evals(job: Job) -> int:
     return 1 + 2 * dim * int(est.order)
 
 
-def estimate_job_cost(job: Job) -> float:
-    """Relative cost of a job: ``evals * N^3`` dense-LU work units.
+#: Relative weight of one 2D assembly (O(n^2) kernel-table work) in
+#: units of n^3 LU flops — assembly dominates small 2D solves, so a
+#: pure-LU cost form would undersell them badly at the profile sizes
+#: the experiments use (n ~ 30..100).
+_PROFILE_ASSEMBLY_WEIGHT = 200.0
 
-    ``N`` is the scenario's dense-system size (grid points of the
-    surface patch), resolved from the spec alone — no model is built.
-    The absolute scale is meaningless; the scheduler only sorts by it.
+
+def job_kind(job: Job) -> str:
+    """Coarse scenario kind used to bucket cost calibration."""
+    scenario = job.scenario
+    if isinstance(scenario, DeterministicScenario):
+        return "deterministic"
+    if isinstance(scenario, ProfileScenario):
+        return "profile"
+    return "stochastic"
+
+
+def estimate_job_cost(job: Job) -> float:
+    """Relative cost of a job in dense-LU work units.
+
+    3D scenarios solve N x N systems (N = grid points of the surface
+    patch): ``evals * N^3``. 2D profile scenarios solve ``2n x 2n``
+    systems (incident + scattered blocks), so their LU term is
+    ``(2n)^3 = 8 n^3``, plus an assembly term ``W n^2`` that dominates
+    at small n — without it, profile jobs sort (and calibrate) as if
+    they were nearly free. Everything is resolved from the spec alone —
+    no model is built. The absolute scale per kind is meaningless; the
+    scheduler sorts within a round by it and the
+    :class:`~repro.telemetry.CostCalibrator` regresses per-kind
+    wall-clock against it.
     """
-    return float(_evals(job)) * float(_unknowns(job)) ** 3
+    n = float(_unknowns(job))
+    if isinstance(job.scenario, ProfileScenario):
+        return float(_evals(job)) * (8.0 * n ** 3
+                                     + _PROFILE_ASSEMBLY_WEIGHT * n ** 2)
+    return float(_evals(job)) * n ** 3
 
 
 # ----------------------------------------------------------------------
@@ -135,6 +164,10 @@ class _Ticket:
     hits: list[bool]
     meta: dict[str, Any]
     created_unix: float
+    #: Per-job relative costs / scenario kinds, precomputed at admit so
+    #: ``status()`` can price the remaining work without touching specs.
+    costs: list[float] = field(default_factory=list)
+    kinds: list[str] = field(default_factory=list)
     done: int = 0
     state: str = PENDING
     error: str | None = None
@@ -154,6 +187,8 @@ class _Slot:
     cost: float
     waiters: list[tuple[str, int]]  # (ticket id, point index)
     queued: bool = True
+    #: Monotonic enqueue time — queue-wait telemetry clocks on it.
+    queued_monotonic: float = field(default_factory=time.monotonic)
 
 
 class SweepScheduler:
@@ -179,6 +214,33 @@ class SweepScheduler:
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache if cache is not None else ResultCache()
         self.max_finished_tickets = max_finished_tickets
+        #: Online per-kind cost->wall-clock regression behind ``eta_s``.
+        self.calibrator = telemetry.CostCalibrator()
+        # Instrument handles; every update is a no-op until
+        # telemetry.enable(). The registry dedupes by family name, so
+        # several schedulers in one process share these series.
+        self._m_jobs = telemetry.counter(
+            "repro_scheduler_jobs_total",
+            "Jobs resolved by the scheduler, by scenario kind and how "
+            "they resolved (computed/cached/failed).",
+            labels=("kind", "outcome"))
+        self._m_queue_depth = telemetry.gauge(
+            "repro_scheduler_queue_depth",
+            "Unique pending computations waiting for a dispatch round.")
+        self._m_in_flight = telemetry.gauge(
+            "repro_scheduler_jobs_in_flight",
+            "Unique computations dispatched to the executor and not yet "
+            "committed.")
+        self._m_round = telemetry.histogram(
+            "repro_scheduler_round_seconds",
+            "Dispatch-round latency (one executor batch).")
+        self._m_queue_wait = telemetry.histogram(
+            "repro_scheduler_queue_wait_seconds",
+            "Time a unique computation spent queued before dispatch.")
+        self._m_job_wall = telemetry.histogram(
+            "repro_scheduler_job_wall_seconds",
+            "Worker-reported wall time per computed job.",
+            labels=("kind",))
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)  # dispatcher waits
         self._changed = threading.Condition(self._lock)  # pollers wait
@@ -235,6 +297,15 @@ class SweepScheduler:
             # queued" — each unique content hash is computed exactly
             # once even under concurrent overlapping submissions.
             hits, _ = cache_split(jobs, self.cache)
+            # Cache hits replay the *original* compute's wall_time_s /
+            # spans; tag them so downstream consumers (the cost
+            # calibrator above all) never mistake a replay for a fresh
+            # measurement. cache.get returned per-call copies, so this
+            # never touches the cached entry itself.
+            for payload in hits.values():
+                payload["cached"] = True
+            kinds = [job_kind(job) for job in jobs]
+            costs = [estimate_job_cost(job) for job in jobs]
             ticket = _Ticket(
                 id=uuid.uuid4().hex[:16],
                 spec=spec,
@@ -243,8 +314,12 @@ class SweepScheduler:
                 hits=[i in hits for i in range(len(jobs))],
                 meta=dict(meta or {}),
                 created_unix=time.time(),
+                costs=costs,
+                kinds=kinds,
                 done=len(hits),
             )
+            for i in hits:
+                self._m_jobs.inc(kind=kinds[i], outcome="cached")
             self._tickets[ticket.id] = ticket
             self._prune_finished()
             n_new = 0
@@ -259,11 +334,12 @@ class SweepScheduler:
                 slot_id = (job.key if job.cacheable
                            else f"once-{next(self._uncacheable)}")
                 self._slots[slot_id] = _Slot(
-                    job=job, cost=estimate_job_cost(job),
+                    job=job, cost=costs[i],
                     waiters=[(ticket.id, i)])
                 if job.cacheable:
                     self._slot_by_key[job.key] = slot_id
                 n_new += 1
+            self._update_gauges()
             self._event(ticket, {
                 "event": "submitted",
                 "total": ticket.total,
@@ -283,6 +359,12 @@ class SweepScheduler:
     # Dispatch
     # ------------------------------------------------------------------
 
+    def _update_gauges(self) -> None:
+        """Refresh queue-depth / in-flight gauges (lock held)."""
+        queued = sum(1 for s in self._slots.values() if s.queued)
+        self._m_queue_depth.set(queued)
+        self._m_in_flight.set(len(self._slots) - queued)
+
     def _dispatch_loop(self) -> None:
         while True:
             with self._lock:
@@ -298,19 +380,27 @@ class SweepScheduler:
                 # short, not the n^3 monsters.
                 round_ids.sort(key=lambda sid: self._slots[sid].cost,
                                reverse=True)
+                now = time.monotonic()
                 for sid in round_ids:
-                    self._slots[sid].queued = False
+                    slot = self._slots[sid]
+                    slot.queued = False
+                    self._m_queue_wait.observe(now - slot.queued_monotonic)
+                self._update_gauges()
                 round_jobs = [self._slots[sid].job for sid in round_ids]
 
             def _commit(pos: int, payload: dict) -> None:
                 self._commit_slot(round_ids[pos], payload)
 
+            round_start = time.perf_counter()
             try:
-                computed = self.executor.run(_execute_safely, round_jobs,
-                                             on_result=_commit)
+                with telemetry.span("dispatch_round", jobs=len(round_jobs)):
+                    computed = self.executor.run(_execute_safely, round_jobs,
+                                                 on_result=_commit)
             except Exception as exc:  # noqa: BLE001 — executor-level error
+                self._m_round.observe(time.perf_counter() - round_start)
                 self._fail_round(round_ids, exc)
             else:
+                self._m_round.observe(time.perf_counter() - round_start)
                 # Custom executors that ignore on_result still commit.
                 for pos, payload in enumerate(computed):
                     self._commit_slot(round_ids[pos], payload)
@@ -321,13 +411,27 @@ class SweepScheduler:
             if slot is None:
                 return
             job = slot.job
+            kind = job_kind(job)
             error = payload.get(_JOB_ERROR)
             if error is not None:
                 if job.cacheable:
                     self._slot_by_key.pop(job.key, None)
+                self._m_jobs.inc(kind=kind, outcome="failed")
+                self._update_gauges()
                 self._fail_waiters(slot.waiters, error)
                 self._changed.notify_all()
                 return
+            self._m_jobs.inc(kind=kind, outcome="computed")
+            self._update_gauges()
+            wall = payload.get("wall_time_s")
+            # Committed payloads always come straight from the executor
+            # (cache hits never enter a slot), but guard on the
+            # ``cached`` tag anyway: a replayed wall time must never
+            # reach the calibrator.
+            if (not payload.get("cached") and isinstance(wall, (int, float))
+                    and wall > 0.0):
+                self.calibrator.observe(kind, slot.cost, float(wall))
+                self._m_job_wall.observe(float(wall), kind=kind)
             if job.cacheable:
                 self._slot_by_key.pop(job.key, None)
                 owner = slot.waiters[0][0]
@@ -358,6 +462,16 @@ class SweepScheduler:
                     "done": ticket.done,
                     "total": ticket.total,
                 })
+                if payload.get("spans"):
+                    # Worker-recorded solver/job spans ride the payload;
+                    # surfaced as their own event so the NDJSON stream
+                    # carries traces without bloating every "point".
+                    self._event(ticket, {
+                        "event": "trace",
+                        "key": job.key,
+                        "scenario": job.scenario.name,
+                        "spans": list(payload["spans"]),
+                    })
                 if ticket.done == ticket.total:
                     self._finish(ticket)
             self._changed.notify_all()
@@ -425,6 +539,29 @@ class SweepScheduler:
             raise KeyError(ticket_id)
         return ticket
 
+    def _eta_s(self, t: _Ticket) -> float | None:
+        """Predicted seconds until ``t`` completes (lock held).
+
+        Sums the calibrator's per-kind wall-clock predictions over the
+        still-undone points and divides by the executor's width (a
+        parallel backend retires that many at once, to first order).
+        ``0.0`` once the ticket is terminal; ``None`` while any pending
+        kind has no observations yet — an honest "unknown" beats a
+        made-up number.
+        """
+        if t.state in (COMPLETE, FAILED):
+            return 0.0
+        total = 0.0
+        for i in range(t.total):
+            if t.payloads[i] is not None:
+                continue
+            pred = self.calibrator.predict(t.kinds[i], t.costs[i])
+            if pred is None:
+                return None
+            total += pred
+        width = max(int(getattr(self.executor, "n_jobs", 1) or 1), 1)
+        return total / width
+
     def status(self, ticket_id: str) -> dict:
         """JSON-ready snapshot of one ticket's progress."""
         with self._lock:
@@ -449,6 +586,7 @@ class SweepScheduler:
                 "total": t.total,
                 "cache_hits": sum(t.hits),
                 "error": t.error,
+                "eta_s": self._eta_s(t),
                 "meta": dict(t.meta),
                 "created_unix": t.created_unix,
                 "finished_unix": t.finished_unix,
@@ -525,6 +663,7 @@ class SweepScheduler:
                     wall_time_s=payload["wall_time_s"],
                     cache_hit=hit,
                     pid=payload.get("pid"),
+                    spans=payload.get("spans"),
                 )
                 for job, payload, hit in zip(t.jobs, t.payloads, t.hits)
             )
@@ -561,6 +700,24 @@ class SweepScheduler:
                    for t in self._tickets.values()]
         out.sort(key=lambda d: d["created_unix"], reverse=True)
         return out
+
+    def telemetry_snapshot(self) -> dict:
+        """One atomic, JSON-ready view of queue health + calibration.
+
+        ``GET /v1/metrics`` refreshes its scheduler gauges from this
+        (lock-consistent, unlike reading the pieces one by one).
+        """
+        with self._lock:
+            queued = sum(1 for s in self._slots.values() if s.queued)
+            states: dict[str, int] = {}
+            for t in self._tickets.values():
+                states[t.state] = states.get(t.state, 0) + 1
+            return {
+                "queue_depth": queued,
+                "jobs_in_flight": len(self._slots) - queued,
+                "tickets": states,
+                "calibration": self.calibrator.snapshot(),
+            }
 
     # ------------------------------------------------------------------
 

@@ -26,6 +26,8 @@ Endpoints (all JSON unless noted):
 ``GET  /v1/jobs/<hash>``                  artifact-store read path
                                           over the disk cache tier
 ``GET  /v1/cache``                        cache stats + manifest size
+``GET  /v1/metrics``                      Prometheus text exposition
+                                          (``text/plain``)
 ``GET  /v1/healthz``                      liveness probe
 ========================================  =============================
 
@@ -38,12 +40,14 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import ReproError
 from ..engine.cache import ResultCache
 from ..engine.executors import Executor, ParallelExecutor, SerialExecutor
@@ -55,6 +59,32 @@ from . import wire
 
 #: Media type of the progress stream (one JSON event per line).
 NDJSON = "application/x-ndjson"
+
+#: Media type of the Prometheus text exposition format.
+PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+
+# HTTP-layer instruments (no-ops until telemetry is enabled). Routes
+# are normalized (`/v1/sweeps/*`) so per-ticket ids don't explode the
+# label space.
+_M_REQUESTS = telemetry.counter(
+    "repro_http_requests_total", "HTTP requests served.",
+    labels=("method", "route", "status"))
+_M_REQUEST_LATENCY = telemetry.histogram(
+    "repro_http_request_seconds", "Wall time per HTTP request.",
+    labels=("method", "route"))
+# Cache mirrors, refreshed from CacheStats.snapshot() at scrape time
+# (gauges, not counters: the source of truth lives in CacheStats).
+_M_CACHE_STATS = telemetry.gauge(
+    "repro_cache_stats",
+    "ResultCache counters mirrored at scrape time "
+    "(memory_hits/disk_hits/misses/stores/disk_evictions/hits).",
+    labels=("counter",))
+_M_CACHE_MEMORY = telemetry.gauge(
+    "repro_cache_memory_entries", "Entries in the in-memory LRU tier.")
+_M_CACHE_DISK_BYTES = telemetry.gauge(
+    "repro_cache_disk_bytes", "Bytes used by the on-disk tier.")
+_M_CACHE_ARTIFACTS = telemetry.gauge(
+    "repro_cache_artifacts", "Complete entries in the on-disk tier.")
 
 
 class ServiceError(ReproError):
@@ -242,7 +272,8 @@ class SweepService:
         return record
 
     def cache_info(self) -> dict:
-        stats = self.cache.stats
+        stats = self.cache.stats.snapshot()
+        stats.pop("hits", None)  # derived; keep the wire doc as before
         artifacts, disk_bytes = self.cache.disk_usage()
         return {
             "memory_entries": len(self.cache),
@@ -251,14 +282,27 @@ class SweepService:
             "disk_bytes": disk_bytes,
             "max_disk_bytes": self.cache.max_disk_bytes,
             "artifacts": artifacts,
-            "stats": {
-                "memory_hits": stats.memory_hits,
-                "disk_hits": stats.disk_hits,
-                "misses": stats.misses,
-                "stores": stats.stores,
-                "disk_evictions": stats.disk_evictions,
-            },
+            "stats": stats,
         }
+
+    def metrics_text(self) -> str:
+        """The ``/v1/metrics`` Prometheus document.
+
+        Pull-model metrics (queue health, cache counters, calibration
+        status) are mirrored into gauges at scrape time from their
+        lock-consistent snapshots; push-model series (request
+        latencies, job counters, histograms) render as accumulated.
+        """
+        snap = self.scheduler.telemetry_snapshot()
+        self.scheduler._m_queue_depth.set(snap["queue_depth"])
+        self.scheduler._m_in_flight.set(snap["jobs_in_flight"])
+        for counter, value in self.cache.stats.snapshot().items():
+            _M_CACHE_STATS.set(value, counter=counter)
+        artifacts, disk_bytes = self.cache.disk_usage()
+        _M_CACHE_MEMORY.set(len(self.cache))
+        _M_CACHE_DISK_BYTES.set(disk_bytes or 0)
+        _M_CACHE_ARTIFACTS.set(artifacts)
+        return telemetry.render_prometheus()
 
     def shutdown(self) -> None:
         self.scheduler.shutdown()
@@ -302,6 +346,10 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.quiet:
             super().log_message(format, *args)
 
+    def send_response(self, code: int, message: str | None = None) -> None:
+        self._status = code  # captured for the request counter's label
+        super().send_response(code, message)
+
     def _send_json(self, doc: Mapping, status: int = 200) -> None:
         data = json.dumps(doc, default=_json_default).encode("utf-8")
         self.send_response(status)
@@ -317,6 +365,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.close_connection = True
         self._send_json({"error": message}, status=status)
 
+    def _send_text(self, text: str, content_type: str = PROMETHEUS) -> None:
+        data = text.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def _body(self) -> bytes:
         length = int(self.headers.get("Content-Length") or 0)
         return self.rfile.read(length) if length else b""
@@ -331,8 +387,22 @@ class _Handler(BaseHTTPRequestHandler):
         from urllib.parse import parse_qsl
         return dict(parse_qsl(self.path.split("?", 1)[1]))
 
+    @staticmethod
+    def _normalize_route(parts: list[str]) -> str:
+        """Collapse path ids (`/v1/sweeps/<id>` -> `/v1/sweeps/*`) so
+        metric label cardinality stays bounded."""
+        out: list[str] = []
+        prev = None
+        for part in parts:
+            out.append("*" if prev in ("sweeps", "jobs", "experiments")
+                       else part)
+            prev = part
+        return "/" + "/".join(out)
+
     def _dispatch(self, method: str) -> None:
         parts = self._route()
+        self._status = 200
+        start = time.perf_counter()
         try:
             if not parts or parts[0] != "v1":
                 raise ServiceError(404, f"unknown path {self.path!r}")
@@ -345,6 +415,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(400, str(exc))
         except Exception as exc:  # noqa: BLE001 — last-resort 500
             self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+        finally:
+            if telemetry.enabled():
+                route = self._normalize_route(parts)
+                _M_REQUEST_LATENCY.observe(time.perf_counter() - start,
+                                           method=method, route=route)
+                _M_REQUESTS.inc(method=method, route=route,
+                                status=str(self._status))
 
     def _dispatch_v1(self, method: str, parts: list[str]) -> None:
         service = self.service
@@ -353,6 +430,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json({"ok": True})
             case ("GET", ["cache"]):
                 self._send_json(service.cache_info())
+            case ("GET", ["metrics"]):
+                self._send_text(service.metrics_text())
             case ("GET", ["experiments"]):
                 self._send_json(service.list_experiments())
             case ("POST", ["experiments", name, "run"]):
@@ -435,13 +514,18 @@ def make_server(host: str = "127.0.0.1", port: int = 8321,
                 service: SweepService | None = None,
                 executor: Executor | None = None,
                 cache: ResultCache | None = None,
-                quiet: bool = True) -> ThreadingHTTPServer:
+                quiet: bool = True,
+                enable_telemetry: bool = True) -> ThreadingHTTPServer:
     """A ready-to-serve threading HTTP server (not yet serving).
 
     ``port=0`` binds an ephemeral port (tests); read it back from
     ``server.server_address``. The server gets ``.service`` attached
-    for introspection and shutdown.
+    for introspection and shutdown. A service is exactly the long-lived
+    entry point telemetry exists for, so it is switched on here unless
+    ``enable_telemetry=False``.
     """
+    if enable_telemetry:
+        telemetry.enable()
     if service is None:
         service = SweepService(executor=executor, cache=cache)
     handler = type("BoundHandler", (_Handler,),

@@ -17,12 +17,15 @@ and decodes back to an equal object — in particular
 
 Documents are wrapped in a versioned envelope::
 
-    {"format": "repro-wire", "wire_version": 1, "engine_version": 1,
+    {"format": "repro-wire", "wire_version": 2, "engine_version": 1,
      "body": {...}}
 
 :func:`loads` rejects an envelope whose ``wire_version`` it does not
 speak (``engine_version`` travels for provenance/cache compatibility
-checks but does not gate decoding — hashes embed it anyway).
+checks but does not gate decoding — hashes embed it anyway). Version 2
+added the optional telemetry ``spans`` on :class:`PointResult`;
+version-1 documents still decode (the field defaults to ``None``), so
+both versions are accepted.
 
 Correlation functions are encoded by class name + public parameters
 (the same extraction :func:`repro.engine.correlation_spec` hashes) and
@@ -65,7 +68,12 @@ from ..engine.spec import (
 )
 
 #: Bump when the wire encoding itself changes incompatibly.
-WIRE_VERSION = 1
+#: v2: PointResult grew the optional telemetry ``spans`` field.
+WIRE_VERSION = 2
+
+#: Envelope versions this build can still decode. v1 lacks only
+#: additive fields, so it stays readable.
+COMPAT_WIRE_VERSIONS = frozenset({1, WIRE_VERSION})
 
 #: Envelope format marker.
 WIRE_FORMAT = "repro-wire"
@@ -270,6 +278,8 @@ def to_wire(obj: Any) -> dict:
             "wall_time_s": float(obj.wall_time_s),
             "cache_hit": bool(obj.cache_hit),
             "pid": None if obj.pid is None else int(obj.pid),
+            "spans": (None if obj.spans is None
+                      else [dict(s) for s in obj.spans]),
         }
     if isinstance(obj, np.ndarray):
         return _encode_array(obj)
@@ -502,10 +512,10 @@ def open_envelope(doc: Mapping) -> Any:
             f"'format': {WIRE_FORMAT!r} marker)"
         )
     version = doc.get("wire_version")
-    if version != WIRE_VERSION:
+    if version not in COMPAT_WIRE_VERSIONS:
         raise WireError(
             f"unsupported wire_version {version!r} "
-            f"(this build speaks {WIRE_VERSION})"
+            f"(this build speaks {sorted(COMPAT_WIRE_VERSIONS)})"
         )
     if "body" not in doc:
         raise WireError("wire envelope has no 'body'")

@@ -35,6 +35,7 @@ from scipy.linalg import lu_factor, lu_solve
 from ..constants import METER_TO_UM
 from ..errors import ConfigurationError, SolverError
 from ..materials import PAPER_SYSTEM, TwoMediumSystem
+from ..telemetry import span
 from .assembly import (
     AssemblyOptions,
     assemble_media_pair_many,
@@ -282,29 +283,33 @@ class SWMSolver3D:
         beta = self.system.beta(frequency_hz)
         n = mesh.size
 
-        t1 = self._get_tables(1, k1, frequency_hz, mesh)
-        t2 = self._get_tables(2, k2, frequency_hz, mesh)
-        d1, s1 = assemble_medium(mesh, k1, self.options.assembly, tables=t1)
-        d2, s2 = assemble_medium(mesh, k2, self.options.assembly, tables=t2)
+        with span("assemble", n=n):
+            t1 = self._get_tables(1, k1, frequency_hz, mesh)
+            t2 = self._get_tables(2, k2, frequency_hz, mesh)
+            d1, s1 = assemble_medium(mesh, k1, self.options.assembly,
+                                     tables=t1)
+            d2, s2 = assemble_medium(mesh, k2, self.options.assembly,
+                                     tables=t2)
 
-        half = 0.5 * np.eye(n)
-        # Column scaling: solve for v_hat = v / |k2| so both unknown
-        # blocks are O(1) (v ~ k2 * psi for a good conductor).
-        scale_v = abs(k2)
-        a = np.empty((2 * n, 2 * n), dtype=np.complex128)
-        a[:n, :n] = half - d1
-        a[:n, n:] = beta * s1 * scale_v
-        a[n:, :n] = half + d2
-        a[n:, n:] = -s2 * scale_v
+            half = 0.5 * np.eye(n)
+            # Column scaling: solve for v_hat = v / |k2| so both unknown
+            # blocks are O(1) (v ~ k2 * psi for a good conductor).
+            scale_v = abs(k2)
+            a = np.empty((2 * n, 2 * n), dtype=np.complex128)
+            a[:n, :n] = half - d1
+            a[:n, n:] = beta * s1 * scale_v
+            a[n:, :n] = half + d2
+            a[n:, n:] = -s2 * scale_v
 
-        rhs = np.zeros(2 * n, dtype=np.complex128)
-        rhs[:n] = np.exp(-1j * k1 * mesh.z)
+            rhs = np.zeros(2 * n, dtype=np.complex128)
+            rhs[:n] = np.exp(-1j * k1 * mesh.z)
 
         if self.options.check_finite and not np.all(np.isfinite(a)):
             raise SolverError("assembled SWM matrix contains non-finite entries")
         try:
-            lu, piv = lu_factor(a, check_finite=False)
-            sol = lu_solve((lu, piv), rhs, check_finite=False)
+            with span("factor", n=n):
+                lu, piv = lu_factor(a, check_finite=False)
+                sol = lu_solve((lu, piv), rhs, check_finite=False)
         except (ValueError, np.linalg.LinAlgError) as exc:
             raise SolverError(f"dense solve failed: {exc}") from exc
         if not np.all(np.isfinite(sol)):
@@ -371,34 +376,38 @@ class SWMSolver3D:
         nb = len(meshes)
         n = meshes[0].size
 
-        if t1 is not None and t2 is not None:
-            # Fused hot path: both media assembled in one pass sharing
-            # every k-independent intermediate (bit-identical to the
-            # per-medium reference).
-            (d1, s1), (d2, s2) = assemble_media_pair_many(
-                meshes, k1, t1, k2, t2, self.options.assembly)
-        else:
-            d1, s1 = assemble_medium_many(meshes, k1, self.options.assembly,
-                                          tables=t1)
-            d2, s2 = assemble_medium_many(meshes, k2, self.options.assembly,
-                                          tables=t2)
+        with span("assemble", n=n, batch=nb):
+            if t1 is not None and t2 is not None:
+                # Fused hot path: both media assembled in one pass sharing
+                # every k-independent intermediate (bit-identical to the
+                # per-medium reference).
+                (d1, s1), (d2, s2) = assemble_media_pair_many(
+                    meshes, k1, t1, k2, t2, self.options.assembly)
+            else:
+                d1, s1 = assemble_medium_many(meshes, k1,
+                                              self.options.assembly,
+                                              tables=t1)
+                d2, s2 = assemble_medium_many(meshes, k2,
+                                              self.options.assembly,
+                                              tables=t2)
 
-        half = 0.5 * np.eye(n)
-        scale_v = abs(k2)
-        a = np.empty((nb, 2 * n, 2 * n), dtype=np.complex128)
-        a[:, :n, :n] = half - d1
-        a[:, :n, n:] = beta * s1 * scale_v
-        a[:, n:, :n] = half + d2
-        a[:, n:, n:] = -s2 * scale_v
+            half = 0.5 * np.eye(n)
+            scale_v = abs(k2)
+            a = np.empty((nb, 2 * n, 2 * n), dtype=np.complex128)
+            a[:, :n, :n] = half - d1
+            a[:, :n, n:] = beta * s1 * scale_v
+            a[:, n:, :n] = half + d2
+            a[:, n:, n:] = -s2 * scale_v
 
-        rhs = np.zeros((nb, 2 * n), dtype=np.complex128)
-        rhs[:, :n] = np.exp(-1j * k1 * np.stack([m.z for m in meshes]))
+            rhs = np.zeros((nb, 2 * n), dtype=np.complex128)
+            rhs[:, :n] = np.exp(-1j * k1 * np.stack([m.z for m in meshes]))
 
         if self.options.check_finite and not np.all(np.isfinite(a)):
             raise SolverError("assembled SWM matrix contains non-finite "
                               "entries")
         try:
-            sol = np.linalg.solve(a, rhs[:, :, None])[:, :, 0]
+            with span("factor", n=n, batch=nb):
+                sol = np.linalg.solve(a, rhs[:, :, None])[:, :, 0]
         except np.linalg.LinAlgError as exc:
             raise SolverError(f"batched dense solve failed: {exc}") from exc
         if not np.all(np.isfinite(sol)):
@@ -411,9 +420,10 @@ class SWMSolver3D:
     def _finish_many(self, meshes: list[SurfaceMesh3D], frequency_hz: float,
                      psi: np.ndarray, v: np.ndarray) -> list[SWMResult]:
         """Vectorized power evaluation over the sample stack."""
-        areas = np.stack([m.true_areas() for m in meshes])
-        pr = 0.5 * np.sum(np.real(np.conj(psi) * v) * areas, axis=1)
-        ps = self.smooth_power(meshes[0].period, frequency_hz)
+        with span("power", batch=len(meshes)):
+            areas = np.stack([m.true_areas() for m in meshes])
+            pr = 0.5 * np.sum(np.real(np.conj(psi) * v) * areas, axis=1)
+            ps = self.smooth_power(meshes[0].period, frequency_hz)
         if ps <= 0.0:
             raise SolverError("smooth-surface reference power is non-positive")
         return [
@@ -431,9 +441,10 @@ class SWMSolver3D:
 
     def _finish(self, mesh: SurfaceMesh3D, frequency_hz: float,
                 psi: np.ndarray, v: np.ndarray) -> SWMResult:
-        areas = mesh.true_areas()
-        pr = float(0.5 * np.sum(np.real(np.conj(psi) * v) * areas))
-        ps = self.smooth_power(mesh.period, frequency_hz)
+        with span("power"):
+            areas = mesh.true_areas()
+            pr = float(0.5 * np.sum(np.real(np.conj(psi) * v) * areas))
+            ps = self.smooth_power(mesh.period, frequency_hz)
         if ps <= 0.0:
             raise SolverError("smooth-surface reference power is non-positive")
         return SWMResult(

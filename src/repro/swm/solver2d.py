@@ -27,6 +27,7 @@ from scipy.linalg import lu_factor, lu_solve
 from ..constants import METER_TO_UM
 from ..errors import ConfigurationError, SolverError
 from ..materials import PAPER_SYSTEM, TwoMediumSystem
+from ..telemetry import span
 from .assembly2d import (
     Assembly2DOptions,
     assemble_media_pair_2d_many,
@@ -148,34 +149,37 @@ class SWMSolver2D:
         beta = self.system.beta(frequency_hz)
         n = mesh.size
 
-        d1, s1 = assemble_medium_2d(mesh, k1, self.options.assembly)
-        d2, s2 = assemble_medium_2d(mesh, k2, self.options.assembly)
+        with span("assemble", n=n):
+            d1, s1 = assemble_medium_2d(mesh, k1, self.options.assembly)
+            d2, s2 = assemble_medium_2d(mesh, k2, self.options.assembly)
 
-        half = 0.5 * np.eye(n)
-        scale_v = abs(k2)
-        a = np.empty((2 * n, 2 * n), dtype=np.complex128)
-        a[:n, :n] = half - d1
-        a[:n, n:] = beta * s1 * scale_v
-        a[n:, :n] = half + d2
-        a[n:, n:] = -s2 * scale_v
+            half = 0.5 * np.eye(n)
+            scale_v = abs(k2)
+            a = np.empty((2 * n, 2 * n), dtype=np.complex128)
+            a[:n, :n] = half - d1
+            a[:n, n:] = beta * s1 * scale_v
+            a[n:, :n] = half + d2
+            a[n:, n:] = -s2 * scale_v
 
-        rhs = np.zeros(2 * n, dtype=np.complex128)
-        rhs[:n] = np.exp(-1j * k1 * mesh.z)
+            rhs = np.zeros(2 * n, dtype=np.complex128)
+            rhs[:n] = np.exp(-1j * k1 * mesh.z)
 
         if self.options.check_finite and not np.all(np.isfinite(a)):
             raise SolverError("assembled 2D SWM matrix contains non-finite "
                               "entries")
         try:
-            lu, piv = lu_factor(a, check_finite=False)
-            sol = lu_solve((lu, piv), rhs, check_finite=False)
+            with span("factor", n=n):
+                lu, piv = lu_factor(a, check_finite=False)
+                sol = lu_solve((lu, piv), rhs, check_finite=False)
         except (ValueError, np.linalg.LinAlgError) as exc:
             raise SolverError(f"dense 2D solve failed: {exc}") from exc
         psi = sol[:n]
         v = sol[n:] * scale_v
 
-        lengths = mesh.true_lengths()
-        pr = float(0.5 * np.sum(np.real(np.conj(psi) * v) * lengths))
-        ps = self.smooth_power(mesh.period, frequency_hz)
+        with span("power"):
+            lengths = mesh.true_lengths()
+            pr = float(0.5 * np.sum(np.real(np.conj(psi) * v) * lengths))
+            ps = self.smooth_power(mesh.period, frequency_hz)
         return SWM2DResult(
             frequency_hz=float(frequency_hz),
             enhancement=pr / ps,
@@ -259,36 +263,39 @@ class SWMSolver2D:
         nb = len(meshes)
         n = meshes[0].size
 
-        # Fused hot path: both media, green and gradient, one Kummer
-        # mode-sum pass (bit-identical to per-medium assembly).
-        (d1, s1), (d2, s2) = assemble_media_pair_2d_many(
-            meshes, k1, k2, self.options.assembly)
+        with span("assemble", n=n, batch=nb):
+            # Fused hot path: both media, green and gradient, one Kummer
+            # mode-sum pass (bit-identical to per-medium assembly).
+            (d1, s1), (d2, s2) = assemble_media_pair_2d_many(
+                meshes, k1, k2, self.options.assembly)
 
-        half = 0.5 * np.eye(n)
-        scale_v = abs(k2)
-        a = np.empty((nb, 2 * n, 2 * n), dtype=np.complex128)
-        a[:, :n, :n] = half - d1
-        a[:, :n, n:] = beta * s1 * scale_v
-        a[:, n:, :n] = half + d2
-        a[:, n:, n:] = -s2 * scale_v
+            half = 0.5 * np.eye(n)
+            scale_v = abs(k2)
+            a = np.empty((nb, 2 * n, 2 * n), dtype=np.complex128)
+            a[:, :n, :n] = half - d1
+            a[:, :n, n:] = beta * s1 * scale_v
+            a[:, n:, :n] = half + d2
+            a[:, n:, n:] = -s2 * scale_v
 
-        rhs = np.zeros((nb, 2 * n), dtype=np.complex128)
-        rhs[:, :n] = np.exp(-1j * k1 * np.stack([m.z for m in meshes]))
+            rhs = np.zeros((nb, 2 * n), dtype=np.complex128)
+            rhs[:, :n] = np.exp(-1j * k1 * np.stack([m.z for m in meshes]))
 
         if self.options.check_finite and not np.all(np.isfinite(a)):
             raise SolverError("assembled 2D SWM matrix contains non-finite "
                               "entries")
         try:
-            sol = np.linalg.solve(a, rhs[:, :, None])[:, :, 0]
+            with span("factor", n=n, batch=nb):
+                sol = np.linalg.solve(a, rhs[:, :, None])[:, :, 0]
         except np.linalg.LinAlgError as exc:
             raise SolverError(f"batched dense 2D solve failed: {exc}"
                               ) from exc
         psi = sol[:, :n]
         v = sol[:, n:] * scale_v
 
-        lengths = np.stack([m.true_lengths() for m in meshes])
-        pr = 0.5 * np.sum(np.real(np.conj(psi) * v) * lengths, axis=1)
-        ps = self.smooth_power(meshes[0].period, frequency_hz)
+        with span("power", batch=nb):
+            lengths = np.stack([m.true_lengths() for m in meshes])
+            pr = 0.5 * np.sum(np.real(np.conj(psi) * v) * lengths, axis=1)
+            ps = self.smooth_power(meshes[0].period, frequency_hz)
         return [
             SWM2DResult(
                 frequency_hz=float(frequency_hz),

@@ -1,0 +1,309 @@
+"""Thread-safe, label-aware metrics (counters, gauges, histograms).
+
+A deliberately small Prometheus-shaped subset, stdlib only:
+
+- metric *families* are registered once by name on a
+  :class:`MetricsRegistry` (re-registering the same name with the same
+  type/labels returns the existing family, so modules can declare their
+  metrics at import/construction time without coordinating);
+- a family with labels materializes one *series* per observed label
+  combination (``counter.inc(1, status="completed")``);
+- histograms use fixed bucket layouts chosen at registration
+  (cumulative ``le`` buckets, plus ``_sum``/``_count``), so two
+  processes scraping the same layout aggregate correctly;
+- every mutation is a no-op while :func:`repro.telemetry.enabled` is
+  false, and all reads (:meth:`MetricsRegistry.render` /
+  :meth:`MetricsRegistry.snapshot`) are atomic snapshots under the
+  registry lock.
+
+:meth:`MetricsRegistry.render` emits the Prometheus text exposition
+format (``GET /v1/metrics`` serves it verbatim).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterable, Mapping
+
+from ..errors import ConfigurationError
+from . import state
+
+#: Default histogram layout: latencies from 100 us to ~2 min (seconds).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+
+def _format_value(v: float) -> str:
+    if v == math.inf:
+        return "+Inf"
+    if float(v).is_integer() and abs(v) < 1e15:
+        return str(int(v))
+    return repr(float(v))
+
+
+def _escape_label(v: str) -> str:
+    return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _series_name(name: str, labels: tuple[str, ...],
+                 values: tuple[str, ...],
+                 extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [f'{k}="{_escape_label(v)}"' for k, v in zip(labels, values)]
+    pairs += [f'{k}="{_escape_label(v)}"' for k, v in extra]
+    return f"{name}{{{','.join(pairs)}}}" if pairs else name
+
+
+class _Family:
+    """Shared machinery of one named metric family."""
+
+    kind = "untyped"
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help: str,
+                 labels: tuple[str, ...]) -> None:
+        self.registry = registry
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._lock = registry._lock
+
+    def _key(self, label_values: Mapping[str, str]) -> tuple[str, ...]:
+        if set(label_values) != set(self.labels):
+            raise ConfigurationError(
+                f"metric {self.name!r} takes labels {list(self.labels)}, "
+                f"got {sorted(label_values)}"
+            )
+        return tuple(str(label_values[k]) for k in self.labels)
+
+
+class Counter(_Family):
+    """Monotonically increasing value (per label combination)."""
+
+    kind = "counter"
+
+    def __init__(self, registry, name, help, labels) -> None:
+        super().__init__(registry, name, help, labels)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if not state.enabled():
+            return
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def _render(self, out: list[str]) -> None:
+        for key in sorted(self._values):
+            out.append(f"{_series_name(self.name, self.labels, key)} "
+                       f"{_format_value(self._values[key])}")
+
+    def _snapshot(self) -> dict:
+        return {",".join(k) if k else "": v
+                for k, v in self._values.items()}
+
+
+class Gauge(_Family):
+    """Point-in-time value; supports set/inc/dec."""
+
+    kind = "gauge"
+
+    def __init__(self, registry, name, help, labels) -> None:
+        super().__init__(registry, name, help, labels)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        if not state.enabled():
+            return
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if not state.enabled():
+            return
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    _render = Counter._render
+    _snapshot = Counter._snapshot
+
+
+class Histogram(_Family):
+    """Fixed-bucket distribution (cumulative ``le`` buckets)."""
+
+    kind = "histogram"
+
+    def __init__(self, registry, name, help, labels,
+                 buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(registry, name, help, labels)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ConfigurationError(
+                f"histogram {self.name!r} needs at least one bucket"
+            )
+        self.buckets = bounds
+        # per series: [counts per bucket..., +Inf count], sum
+        self._series: dict[tuple[str, ...], tuple[list[int], float]] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        if not state.enabled():
+            return
+        key = self._key(labels)
+        value = float(value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = ([0] * (len(self.buckets) + 1), 0.0)
+            counts, total = series
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+            self._series[key] = (counts, total + value)
+
+    def count(self, **labels: str) -> int:
+        with self._lock:
+            series = self._series.get(self._key(labels))
+            return sum(series[0]) if series is not None else 0
+
+    def sum(self, **labels: str) -> float:
+        with self._lock:
+            series = self._series.get(self._key(labels))
+            return series[1] if series is not None else 0.0
+
+    def _render(self, out: list[str]) -> None:
+        for key in sorted(self._series):
+            counts, total = self._series[key]
+            cumulative = 0
+            for bound, n in zip(self.buckets, counts):
+                cumulative += n
+                out.append(
+                    f"{_series_name(self.name + '_bucket', self.labels, key, (('le', _format_value(bound)),))} "
+                    f"{cumulative}")
+            cumulative += counts[-1]
+            out.append(
+                f"{_series_name(self.name + '_bucket', self.labels, key, (('le', '+Inf'),))} "
+                f"{cumulative}")
+            out.append(f"{_series_name(self.name + '_sum', self.labels, key)}"
+                       f" {_format_value(total)}")
+            out.append(f"{_series_name(self.name + '_count', self.labels, key)}"
+                       f" {cumulative}")
+
+    def _snapshot(self) -> dict:
+        return {
+            ",".join(k) if k else "": {
+                "count": sum(counts),
+                "sum": total,
+                "buckets": dict(zip(
+                    [_format_value(b) for b in self.buckets] + ["+Inf"],
+                    counts)),
+            }
+            for k, (counts, total) in self._series.items()
+        }
+
+
+class MetricsRegistry:
+    """A named collection of metric families with one shared lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: dict[str, _Family] = {}
+
+    def _register(self, cls, name: str, help: str,
+                  labels: tuple[str, ...], **kwargs) -> _Family:
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.labels != labels:
+                    raise ConfigurationError(
+                        f"metric {name!r} is already registered as a "
+                        f"{existing.kind} with labels "
+                        f"{list(existing.labels)}"
+                    )
+                return existing
+            family = cls(self, name, help, labels, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "",
+                labels: Iterable[str] = ()) -> Counter:
+        return self._register(Counter, name, help, tuple(labels))
+
+    def gauge(self, name: str, help: str = "",
+              labels: Iterable[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help, tuple(labels))
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Iterable[str] = (),
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._register(Histogram, name, help, tuple(labels),
+                              buckets=buckets)
+
+    def render(self) -> str:
+        """The Prometheus text exposition format, one atomic snapshot."""
+        out: list[str] = []
+        with self._lock:
+            for name in sorted(self._families):
+                family = self._families[name]
+                if family.help:
+                    out.append(f"# HELP {name} {family.help}")
+                out.append(f"# TYPE {name} {family.kind}")
+                family._render(out)
+        return "\n".join(out) + "\n"
+
+    def snapshot(self) -> dict:
+        """Plain-dict snapshot (tests, JSON endpoints)."""
+        with self._lock:
+            return {name: {"type": fam.kind, "series": fam._snapshot()}
+                    for name, fam in self._families.items()}
+
+    def reset(self) -> None:
+        """Drop every family (tests; fresh processes keep declarations)."""
+        with self._lock:
+            self._families.clear()
+
+
+#: Process-wide default registry (what ``GET /v1/metrics`` serves).
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, help: str = "",
+            labels: Iterable[str] = ()) -> Counter:
+    """Register (or fetch) a counter on the default registry."""
+    return REGISTRY.counter(name, help, labels)
+
+
+def gauge(name: str, help: str = "", labels: Iterable[str] = ()) -> Gauge:
+    """Register (or fetch) a gauge on the default registry."""
+    return REGISTRY.gauge(name, help, labels)
+
+
+def histogram(name: str, help: str = "", labels: Iterable[str] = (),
+              buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+    """Register (or fetch) a histogram on the default registry."""
+    return REGISTRY.histogram(name, help, labels, buckets)
+
+
+def render_prometheus() -> str:
+    """Render the default registry in Prometheus text format."""
+    return REGISTRY.render()

@@ -17,6 +17,7 @@ Four layers, four test groups:
 import json
 import threading
 import time
+import urllib.request
 import warnings
 
 import numpy as np
@@ -40,9 +41,14 @@ from repro.engine import (
 from repro.engine.results import PointResult, SweepResult
 from repro.errors import ConfigurationError
 from repro.experiments.presets import PAPER, QUICK
+from repro import telemetry
 from repro.service import wire
 from repro.service.client import RemoteExecutor, ServiceClient
-from repro.service.scheduler import SweepScheduler, estimate_job_cost
+from repro.service.scheduler import (
+    SweepScheduler,
+    estimate_job_cost,
+    job_kind,
+)
 from repro.service.server import make_server
 from repro.surfaces import (
     ExtractedCorrelation,
@@ -71,6 +77,14 @@ def _quiet():
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", RuntimeWarning)
         yield
+
+
+@pytest.fixture(autouse=True)
+def _restore_telemetry():
+    """make_server enables telemetry process-wide; don't leak it."""
+    was = telemetry.enabled()
+    yield
+    (telemetry.enable if was else telemetry.disable)()
 
 
 # ----------------------------------------------------------------------
@@ -646,3 +660,242 @@ def test_service_smoke_fig3_http_matches_inprocess(tmp_path):
     for a, b in zip(reference.points, remote.points):
         assert np.array_equal(np.asarray(a.values), np.asarray(b.values))
     assert elapsed < 60.0, f"warm HTTP replay took {elapsed:.1f}s"
+
+
+# ----------------------------------------------------------------------
+# Telemetry across the service stack (PR 6)
+# ----------------------------------------------------------------------
+
+def _profile_spec(freqs=(1.0,), n=12, name="p"):
+    return SweepSpec(
+        scenarios=ProfileScenario(name, GaussianCorrelation(1.0, 1.0),
+                                  period_um=20.0, n=n),
+        frequencies_hz=[f * GHZ for f in freqs],
+        estimators=EstimatorSpec(kind="sscm", order=1))
+
+
+class TestPerKindCostModel:
+    def test_job_kind_mapping(self):
+        assert job_kind(_tiny_spec().jobs()[0]) == "stochastic"
+        assert job_kind(_profile_spec().jobs()[0]) == "profile"
+        det = SweepSpec(
+            scenarios=DeterministicScenario("s", np.zeros((8, 8)),
+                                            period_m=5e-6),
+            frequencies_hz=[1 * GHZ]).jobs()[0]
+        assert job_kind(det) == "deterministic"
+
+    def test_profile_jobs_have_their_own_cost_form(self):
+        """2D jobs solve 2n x 2n systems with O(n^2) assembly on top —
+        the naive ``evals * n^3`` form would undersell them badly."""
+        n = 16
+        job = _profile_spec(n=n).jobs()[0]
+        evals = 1 + 2 * n  # sscm order 1 in dimension n
+        naive = float(evals) * float(n) ** 3
+        cost = estimate_job_cost(job)
+        assert cost > naive  # never cheaper than the naive LU count
+        assert cost >= float(evals) * 8.0 * float(n) ** 3  # (2n)^3 LU
+
+    def test_profile_cost_still_orders_by_size(self):
+        small = estimate_job_cost(_profile_spec(n=8).jobs()[0])
+        big = estimate_job_cost(_profile_spec(n=32).jobs()[0])
+        assert big > small
+
+
+class TestWireV2:
+    def test_point_result_spans_round_trip(self):
+        spans = [{"name": "factor", "start_unix": 1.5,
+                  "duration_s": 0.25, "pid": 7, "tid": 1,
+                  "meta": {"n": 64}}]
+        point = PointResult(
+            scenario="m", frequency_hz=1e9, estimator="sscm(order=1)",
+            key="k", mean=1.0, std=0.0, values=np.arange(3.0),
+            n_evals=3, seed=None, wall_time_s=0.3, cache_hit=False,
+            pid=7, spans=spans)
+        restored = wire.from_wire(wire.to_wire(point))
+        assert restored.spans == spans
+        bare = PointResult(
+            scenario="m", frequency_hz=1e9, estimator="sscm(order=1)",
+            key="k", mean=1.0, std=0.0, values=np.arange(3.0),
+            n_evals=3, seed=None, wall_time_s=0.3, cache_hit=True)
+        assert wire.from_wire(wire.to_wire(bare)).spans is None
+
+    def test_v1_envelopes_still_decode(self):
+        """v2 only *added* an optional field; v1 documents (no spans
+        anywhere) must keep decoding."""
+        doc = json.loads(wire.dumps(_tiny_spec()))
+        assert doc["wire_version"] == wire.WIRE_VERSION == 2
+        doc["wire_version"] = 1
+        restored = wire.loads(json.dumps(doc))
+        assert restored.key == _tiny_spec().key
+        # v1 PointResult documents lack the spans key entirely
+        point_doc = wire.to_wire(PointResult(
+            scenario="m", frequency_hz=1e9, estimator="e", key="k",
+            mean=1.0, std=0.0, values=np.zeros(1), n_evals=1,
+            seed=None, wall_time_s=0.1, cache_hit=False))
+        del point_doc["spans"]
+        assert wire.from_wire(point_doc).spans is None
+
+
+class _GatedExecutor(SerialExecutor):
+    """Blocks each dispatch round until released (ETA-while-pending)."""
+
+    def __init__(self):
+        super().__init__()
+        self.release = threading.Event()
+        self.started = threading.Event()
+
+    def run(self, fn, items, progress=None, on_result=None):
+        self.started.set()
+        assert self.release.wait(timeout=60)
+        with _quiet():
+            return super().run(fn, items, progress=progress,
+                               on_result=on_result)
+
+
+class TestSchedulerTelemetry:
+    def test_cache_hits_are_tagged_and_never_calibrated(self):
+        """Satellite 1: replayed payloads carry ``cached: True`` and
+        their (original) wall times never reach the calibrator."""
+        spec = _tiny_spec()
+        scheduler = SweepScheduler(cache=ResultCache())
+        try:
+            with _quiet():
+                cold = scheduler.submit_jobs(spec.jobs())
+                assert scheduler.wait(cold, timeout=120)
+            kind = job_kind(spec.jobs()[0])
+            n_obs = scheduler.calibrator.observations(kind)
+            assert n_obs == spec.n_jobs
+            assert not any(p.get("cached")
+                           for p in scheduler.payloads(cold))
+            warm = scheduler.submit_jobs(spec.jobs())
+            assert scheduler.wait(warm, timeout=10)
+            replayed = scheduler.payloads(warm)
+            assert all(p.get("cached") is True for p in replayed)
+            # warm replay contributed zero observations
+            assert scheduler.calibrator.observations(kind) == n_obs
+        finally:
+            scheduler.shutdown()
+
+    def test_eta_is_none_then_finite_then_zero(self):
+        executor = _GatedExecutor()
+        scheduler = SweepScheduler(executor=executor, cache=ResultCache())
+        spec = _tiny_spec()
+        try:
+            ticket = scheduler.submit(spec)
+            assert executor.started.wait(timeout=30)
+            # No observations of this kind yet: an honest None.
+            assert scheduler.status(ticket)["eta_s"] is None
+            job = spec.jobs()[0]
+            scheduler.calibrator.observe(job_kind(job),
+                                         estimate_job_cost(job), 0.5)
+            eta = scheduler.status(ticket)["eta_s"]
+            assert eta == pytest.approx(spec.n_jobs * 0.5)
+            executor.release.set()
+            assert scheduler.wait(ticket, timeout=120)
+            assert scheduler.status(ticket)["eta_s"] == 0.0
+        finally:
+            executor.release.set()
+            scheduler.shutdown()
+
+    def test_calibrator_learns_from_committed_jobs(self):
+        scheduler = SweepScheduler(cache=ResultCache())
+        try:
+            with _quiet():
+                ticket = scheduler.submit(_tiny_spec())
+                assert scheduler.wait(ticket, timeout=120)
+            snap = scheduler.telemetry_snapshot()
+            fit = snap["calibration"]["stochastic"]
+            assert fit["n"] == 2
+            assert fit["mean_wall_s"] > 0.0
+            # A same-kind prediction is now finite and positive.
+            job = _tiny_spec(freqs=(7.0,)).jobs()[0]
+            pred = scheduler.calibrator.predict(
+                "stochastic", estimate_job_cost(job))
+            assert pred is not None and pred > 0.0
+        finally:
+            scheduler.shutdown()
+
+
+class TestServiceTelemetryHTTP:
+    def _submit_and_wait(self, service_url, spec):
+        client = ServiceClient(service_url, poll_interval=0.02)
+        with _quiet():
+            ticket = client.submit(spec)
+            client.wait(ticket, timeout=180)
+        return client, ticket
+
+    @staticmethod
+    def _series(text, prefix):
+        """Value of the first sample line starting with ``prefix``."""
+        for line in text.splitlines():
+            if line.startswith(prefix):
+                return float(line.rsplit(" ", 1)[1])
+        raise AssertionError(f"no series {prefix!r} in scrape")
+
+    def test_metrics_endpoint_is_prometheus_text(self, service_url):
+        client, _ = self._submit_and_wait(service_url, _tiny_spec())
+        text = client.metrics_text()
+        assert "# TYPE repro_scheduler_jobs_total counter" in text
+        # the registry is process-global, so earlier tests may have
+        # contributed — assert at least this sweep's two solves
+        assert self._series(
+            text, 'repro_scheduler_jobs_total{kind="stochastic",'
+                  'outcome="computed"}') >= 2
+        assert "# TYPE repro_cache_stats gauge" in text
+        assert 'repro_cache_stats{counter="misses"}' in text
+        assert "# TYPE repro_scheduler_round_seconds histogram" in text
+        assert 'repro_scheduler_round_seconds_bucket{le="+Inf"}' in text
+        assert "repro_scheduler_queue_wait_seconds_count" in text
+        assert "repro_scheduler_queue_depth 0" in text
+        assert "repro_scheduler_jobs_in_flight 0" in text
+        # request latencies label by normalized route, not ticket id
+        assert ('repro_http_request_seconds_count{method="GET",'
+                'route="/v1/sweeps/*"}') in text
+        assert "# TYPE repro_http_requests_total counter" in text
+
+    def test_trace_events_interleave_with_points(self, service_url):
+        client, ticket = self._submit_and_wait(service_url, _tiny_spec())
+        events = client.events(ticket)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "submitted" and kinds[-1] == "complete"
+        assert kinds.count("point") == 2
+        assert kinds.count("trace") == 2
+        # each trace directly follows its point, carrying solver spans
+        for i, event in enumerate(events):
+            if event["event"] != "trace":
+                continue
+            assert kinds[i - 1] == "point"
+            assert events[i - 1]["key"] == event["key"]
+            names = {s["name"] for s in event["spans"]}
+            assert {"job", "assemble", "factor"} <= names
+
+    def test_no_event_loss_between_since_cursors(self, service_url):
+        """Satellite 4: a slow consumer resuming from any ``since``
+        cursor sees exactly the events it missed, in order."""
+        client, ticket = self._submit_and_wait(service_url, _tiny_spec())
+        full = client.events(ticket)
+        assert [e["seq"] for e in full] == list(range(len(full)))
+
+        def fetch(since):
+            url = (f"{service_url}/v1/sweeps/{ticket}/events"
+                   f"?since={since}")
+            with urllib.request.urlopen(url) as resp:
+                return [json.loads(line)
+                        for line in resp.read().decode().splitlines()
+                        if line.strip()]
+
+        # Resume from every cursor position, as a consumer that
+        # disconnects and reconnects mid-stream would.
+        for since in range(len(full) + 1):
+            tail = fetch(since)
+            assert tail == full[since:], f"cursor {since} lost events"
+
+    def test_status_eta_over_http(self, service_url):
+        client, ticket = self._submit_and_wait(service_url, _tiny_spec())
+        status = client.status(ticket)
+        assert status["eta_s"] == 0.0  # terminal
+        # a second, colder sweep of the same kind now predicts finite
+        with _quiet():
+            t2 = client.submit(_tiny_spec(freqs=(5.0, 9.0)))
+            final = client.wait(t2, timeout=180)
+        assert final["eta_s"] == 0.0
