@@ -1,0 +1,262 @@
+"""Pluggable artifact stores — the persistent tier behind the cache.
+
+:class:`~repro.engine.cache.ResultCache` historically wrote its disk
+tier inline (``<hash>.json`` + ``<hash>.npz`` per job). The fleet
+(ROADMAP item 1: N service replicas + M pull workers sharing one result
+universe) needs that tier swappable for a shared backend, so the raw
+byte-level operations now live behind :class:`ArtifactStore`:
+
+- an **entry** is one content hash (the job key) owning a small set of
+  named byte **blobs** (``"json"`` for the record, ``"npz"`` for the
+  array payload);
+- stores only move bytes — (de)serialization, engine-version checks and
+  LRU/stats policy stay in :class:`~repro.engine.cache.ResultCache`, so
+  every backend inherits identical cache semantics;
+- :meth:`ArtifactStore.list`/:meth:`~ArtifactStore.touch` expose the
+  recency clock the cache's disk-LRU eviction and ``purge`` run on.
+
+:class:`LocalDirStore` is the default and keeps the exact historical
+on-disk layout (suffix-per-blob files, pid-tagged temp files +
+``os.replace`` for torn-write safety), so existing cache directories —
+and every existing cache test — work unchanged. An S3/GCS-style object
+store is the intended follow-up: implement the six methods and hand it
+to ``ResultCache(store=...)``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ArtifactEntry:
+    """One stored entry's accounting view: size and recency."""
+
+    key: str
+    bytes: int
+    mtime_unix: float
+
+
+class ArtifactStore(ABC):
+    """Named-blob storage keyed by content hash.
+
+    The contract is deliberately byte-oriented and small:
+
+    ======================  ==========================================
+    ``put(key, blobs)``     store all blobs of one entry (overwrite)
+    ``get(key, names)``     read blobs back, ``None`` if incomplete
+    ``has(key)``            cheap existence probe
+    ``delete(key)``         drop an entry (idempotent)
+    ``list()``              accounting entries, least-recent first
+    ``size()``              ``(entries, total_bytes)`` in one pass
+    ======================  ==========================================
+
+    plus :meth:`touch`, the recency bump that makes ``list()`` an LRU
+    order. Concurrent writers racing on one key must never expose a
+    torn blob; content addressing makes their payloads identical, so
+    last-write-wins is sufficient.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def put(self, key: str, blobs: Mapping[str, bytes]) -> None:
+        """Store every named blob of ``key`` (atomic per blob)."""
+
+    @abstractmethod
+    def get(self, key: str, names: Sequence[str] | None = None
+            ) -> dict[str, bytes] | None:
+        """Read the named blobs (default: all known names) of ``key``.
+
+        Returns ``None`` when any requested blob is missing or
+        unreadable — a partial entry is treated as absent.
+        """
+
+    @abstractmethod
+    def has(self, key: str) -> bool:
+        """True if the entry exists (its primary blob is present)."""
+
+    @abstractmethod
+    def delete(self, key: str) -> bool:
+        """Remove the entry; True if anything was deleted."""
+
+    @abstractmethod
+    def list(self) -> list[ArtifactEntry]:
+        """All entries, least-recently-used first."""
+
+    @abstractmethod
+    def size(self) -> tuple[int, int]:
+        """``(entries, total_bytes)`` of the store."""
+
+    def touch(self, key: str) -> None:
+        """Refresh the entry's recency clock (best-effort no-op)."""
+
+
+#: Blob names the result cache stores, in primary-first order: the
+#: ``json`` record is the entry's existence marker.
+BLOB_NAMES = ("json", "npz")
+
+
+class LocalDirStore(ArtifactStore):
+    """Directory-backed store with the historical cache layout.
+
+    One file per blob, named ``<key>.<blob-name>`` — byte-compatible
+    with every cache directory written before the store abstraction
+    existed. Writes go through a pid-tagged temp file +
+    :func:`os.replace` so concurrent writers (replicas and workers
+    sharing one volume) can never expose a torn file; recency is the
+    filesystem mtime, refreshed by :meth:`touch`.
+    """
+
+    name = "local-dir"
+
+    def __init__(self, root: str | os.PathLike,
+                 blob_names: Sequence[str] = BLOB_NAMES) -> None:
+        if not blob_names:
+            raise ConfigurationError("LocalDirStore needs >= 1 blob name")
+        self.root = Path(root)
+        self.blob_names = tuple(blob_names)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot use {self.root} as an artifact store: {exc}"
+            ) from exc
+
+    def _path(self, key: str, name: str) -> Path:
+        return self.root / f"{key}.{name}"
+
+    def put(self, key: str, blobs: Mapping[str, bytes]) -> None:
+        for name, data in blobs.items():
+            path = self._path(key, name)
+            tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+            with open(tmp, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+
+    def get(self, key: str, names: Sequence[str] | None = None
+            ) -> dict[str, bytes] | None:
+        out: dict[str, bytes] = {}
+        for name in (self.blob_names if names is None else names):
+            try:
+                out[name] = self._path(key, name).read_bytes()
+            except OSError:
+                return None
+        return out
+
+    def has(self, key: str) -> bool:
+        return self._path(key, self.blob_names[0]).exists()
+
+    def delete(self, key: str) -> bool:
+        removed = False
+        for name in self.blob_names:
+            try:
+                os.remove(self._path(key, name))
+                removed = True
+            except OSError:
+                pass
+        return removed
+
+    def touch(self, key: str) -> None:
+        for name in self.blob_names:
+            try:
+                os.utime(self._path(key, name))
+            except OSError:
+                pass  # concurrently evicted/purged — the read still won
+
+    def list(self) -> list[ArtifactEntry]:
+        """``ArtifactEntry`` per complete entry, oldest mtime first.
+
+        Orphaned halves (torn by an eviction race) count toward the
+        entry they belong to; missing halves contribute zero.
+        """
+        entries = []
+        primary = self.blob_names[0]
+        for marker in self.root.glob(f"*.{primary}"):
+            key = marker.stem
+            size = 0
+            mtime = 0.0
+            for name in self.blob_names:
+                try:
+                    st = self._path(key, name).stat()
+                except OSError:
+                    continue
+                size += st.st_size
+                mtime = max(mtime, st.st_mtime)
+            entries.append(ArtifactEntry(key=key, bytes=size,
+                                         mtime_unix=mtime))
+        entries.sort(key=lambda e: (e.mtime_unix, e.key))
+        return entries
+
+    def size(self) -> tuple[int, int]:
+        entries = self.list()
+        return len(entries), sum(e.bytes for e in entries)
+
+    def __repr__(self) -> str:
+        return f"LocalDirStore({str(self.root)!r})"
+
+
+class MemoryStore(ArtifactStore):
+    """In-process dict-backed store (tests; ephemeral replicas).
+
+    Implements the full contract — including the recency clock — with
+    no filesystem, which is what makes the cache's LRU/purge semantics
+    testable against a second backend and proves the interface carries
+    every policy the disk tier needs.
+    """
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, dict[str, bytes]] = {}
+        self._mtime: dict[str, float] = {}
+
+    def put(self, key: str, blobs: Mapping[str, bytes]) -> None:
+        self._blobs.setdefault(key, {}).update(
+            {name: bytes(data) for name, data in blobs.items()})
+        self._mtime[key] = time.time()
+
+    def get(self, key: str, names: Sequence[str] | None = None
+            ) -> dict[str, bytes] | None:
+        entry = self._blobs.get(key)
+        if entry is None:
+            return None
+        wanted = tuple(entry) if names is None else tuple(names)
+        if any(name not in entry for name in wanted):
+            return None
+        return {name: entry[name] for name in wanted}
+
+    def has(self, key: str) -> bool:
+        return key in self._blobs
+
+    def delete(self, key: str) -> bool:
+        self._mtime.pop(key, None)
+        return self._blobs.pop(key, None) is not None
+
+    def touch(self, key: str) -> None:
+        if key in self._mtime:
+            self._mtime[key] = time.time()
+
+    def list(self) -> list[ArtifactEntry]:
+        entries = [
+            ArtifactEntry(key=key,
+                          bytes=sum(len(b) for b in blobs.values()),
+                          mtime_unix=self._mtime.get(key, 0.0))
+            for key, blobs in self._blobs.items()
+        ]
+        entries.sort(key=lambda e: (e.mtime_unix, e.key))
+        return entries
+
+    def size(self) -> tuple[int, int]:
+        entries = self.list()
+        return len(entries), sum(e.bytes for e in entries)
+
+    def __repr__(self) -> str:
+        return f"MemoryStore(entries={len(self._blobs)})"

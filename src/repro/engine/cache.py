@@ -1,9 +1,10 @@
 """Two-tier content-addressed result cache.
 
-Tier 1 is a bounded in-memory LRU (dict of payloads); tier 2 is an
-optional on-disk store with one ``<hash>.npz`` (array payload) plus one
-``<hash>.json`` (scalar payload + human-readable provenance metadata)
-per job. Keys are the :class:`~repro.engine.spec.Job` content hashes, so
+Tier 1 is a bounded in-memory LRU (dict of payloads); tier 2 is a
+pluggable :class:`~repro.engine.artifacts.ArtifactStore` holding one
+``npz`` blob (array payload) plus one ``json`` blob (scalar payload +
+human-readable provenance metadata) per job. Keys are the
+:class:`~repro.engine.spec.Job` content hashes, so
 
 - a repeated sweep against a warm store performs **zero** SWM solves;
 - interrupted sweeps resume from whatever finished (each job commits
@@ -11,9 +12,13 @@ per job. Keys are the :class:`~repro.engine.spec.Job` content hashes, so
 - stores are shareable between machines — the hash pins every physics
   input, and tags/annotations are deliberately excluded from it.
 
-Disk writes go through a temp file + :func:`os.replace` so concurrent
-writers (parallel sweeps sharing a store) can never expose a torn file;
-two writers racing on one key write byte-identical content anyway.
+The default store is :class:`~repro.engine.artifacts.LocalDirStore`
+(``disk_dir=`` builds one), which keeps the historical
+``<hash>.json``/``<hash>.npz`` directory layout and its atomic-replace
+write discipline; two writers racing on one key write byte-identical
+content anyway. All LRU-eviction, purge and stats policy lives here —
+above the store — so a shared object-store backend inherits it
+unchanged.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from typing import Any, Mapping
 import numpy as np
 
 from ..errors import ConfigurationError
+from .artifacts import ArtifactStore, LocalDirStore
 from .spec import ENGINE_VERSION
 
 #: Payload keys persisted as JSON (everything but the array). ``spans``
@@ -96,28 +102,35 @@ class CacheStats:
 
 @dataclass
 class ResultCache:
-    """In-memory LRU over an optional on-disk NPZ/JSON store.
+    """In-memory LRU over an optional persistent artifact store.
 
     Parameters
     ----------
     max_memory_entries:
         LRU capacity; 0 disables the memory tier (useful to force the
-        disk path or to disable caching entirely when ``disk_dir`` is
-        also ``None``).
+        persistent path or to disable caching entirely when no store is
+        configured).
     disk_dir:
-        Directory of the persistent tier; created on first use. ``None``
-        keeps the cache memory-only.
+        Directory of the persistent tier; created on first use and
+        wrapped in a :class:`~repro.engine.artifacts.LocalDirStore`.
+        ``None`` keeps the cache memory-only (unless ``store`` is set).
     max_disk_bytes:
-        Disk-tier budget. After every store, least-recently-used
-        entries (by mtime — disk hits refresh it) are evicted until the
-        tier fits, so a long-running service cannot fill the volume.
-        ``None`` (default) disables eviction.
+        Persistent-tier budget. After every store, least-recently-used
+        entries (by the store's recency clock — hits refresh it) are
+        evicted until the tier fits, so a long-running service cannot
+        fill the volume. ``None`` (default) disables eviction.
+    store:
+        An explicit :class:`~repro.engine.artifacts.ArtifactStore`
+        backend for the persistent tier (mutually exclusive with
+        ``disk_dir``). Eviction, purge and stats behave identically on
+        any backend.
     """
 
     max_memory_entries: int = 256
     disk_dir: str | os.PathLike | None = None
     max_disk_bytes: int | None = None
     stats: CacheStats = field(default_factory=CacheStats)
+    store: ArtifactStore | None = None
 
     def __post_init__(self) -> None:
         if self.max_memory_entries < 0:
@@ -129,21 +142,30 @@ class ResultCache:
             raise ConfigurationError(
                 f"max_disk_bytes must be positive, got {self.max_disk_bytes}"
             )
+        if self.store is not None and self.disk_dir is not None:
+            raise ConfigurationError(
+                "pass either disk_dir or store, not both"
+            )
         self._memory: OrderedDict[str, dict] = OrderedDict()
-        # Running disk-tier byte total (None = not yet scanned). Kept
-        # incrementally so enforcing max_disk_bytes is O(1) per store;
-        # the full directory scan only runs on first use and when the
+        # Running persistent-tier byte total (None = not yet scanned).
+        # Kept incrementally so enforcing max_disk_bytes is O(1) per
+        # store; the full scan only runs on first use and when the
         # budget is actually exceeded (eviction re-synchronizes it).
         self._disk_total: int | None = None
         if self.disk_dir is not None:
             self.disk_dir = Path(self.disk_dir)
             try:
-                self.disk_dir.mkdir(parents=True, exist_ok=True)
-            except OSError as exc:
+                self.store = LocalDirStore(self.disk_dir)
+            except ConfigurationError as exc:
                 raise ConfigurationError(
                     f"cannot use {self.disk_dir} as a cache directory: "
                     f"{exc}"
                 ) from exc
+        elif isinstance(self.store, LocalDirStore):
+            # Keep the introspection attribute meaningful for stores
+            # that do live in a directory (monitoring endpoints print
+            # it); non-directory backends leave it None.
+            self.disk_dir = self.store.root
 
     # ------------------------------------------------------------------
 
@@ -153,18 +175,18 @@ class ResultCache:
     def __contains__(self, key: str) -> bool:
         if key in self._memory:
             return True
-        return (self.disk_dir is not None
-                and self._disk_paths(key)[0].exists())
+        return self.store is not None and self.store.has(key)
 
     def _disk_paths(self, key: str) -> tuple[Path, Path]:
-        assert self.disk_dir is not None
-        return (Path(self.disk_dir) / f"{key}.json",
-                Path(self.disk_dir) / f"{key}.npz")
+        """The directory-backed store's file pair for ``key`` (tests
+        and tooling age entries through it)."""
+        assert isinstance(self.store, LocalDirStore)
+        return (self.store._path(key, "json"), self.store._path(key, "npz"))
 
     # ------------------------------------------------------------------
 
     def get(self, key: str) -> dict | None:
-        """Look up a payload, promoting disk hits into memory.
+        """Look up a payload, promoting store hits into memory.
 
         The returned dict is a per-call copy and its ``values`` array is
         read-only: callers mutating a result must not be able to corrupt
@@ -174,17 +196,17 @@ class ResultCache:
         if payload is not None:
             self._memory.move_to_end(key)
             self.stats.bump("memory_hits")
-            if self.max_disk_bytes is not None and self.disk_dir is not None:
-                # Disk LRU eviction clocks on mtime; without this, a
-                # hot entry served from memory would look cold on disk
-                # and be the first one evicted.
-                self._touch(key)
+            if self.max_disk_bytes is not None and self.store is not None:
+                # Store LRU eviction clocks on the recency stamp;
+                # without this, a hot entry served from memory would
+                # look cold in the store and be the first one evicted.
+                self.store.touch(key)
             return dict(payload)
-        if self.disk_dir is not None:
+        if self.store is not None:
             payload = self._disk_get(key)
             if payload is not None:
                 self.stats.bump("disk_hits")
-                self._touch(key)
+                self.store.touch(key)
                 self._memory_put(key, payload)
                 return dict(payload)
         self.stats.bump("misses")
@@ -198,12 +220,12 @@ class ResultCache:
         values.flags.writeable = False
         payload["values"] = values
         self._memory_put(key, payload)
-        if self.disk_dir is not None:
+        if self.store is not None:
             self._disk_put(key, payload, metadata or {})
         self.stats.bump("stores")
 
     def clear(self) -> None:
-        """Drop the memory tier (the disk store is left intact)."""
+        """Drop the memory tier (the persistent store is left intact)."""
         self._memory.clear()
 
     # ------------------------------------------------------------------
@@ -217,15 +239,17 @@ class ResultCache:
             self._memory.popitem(last=False)
 
     def _disk_get(self, key: str) -> dict | None:
-        json_path, npz_path = self._disk_paths(key)
+        blobs = self.store.get(key)
+        if blobs is None:
+            return None
         try:
-            with open(json_path, "r", encoding="utf-8") as fh:
-                record = json.load(fh)
-            with np.load(npz_path) as npz:
+            record = json.loads(blobs["json"])
+            with np.load(io.BytesIO(blobs["npz"])) as npz:
                 values = np.asarray(npz["values"])
         except (OSError, ValueError, KeyError, json.JSONDecodeError):
             return None
-        if record.get("engine_version") != ENGINE_VERSION:
+        if not isinstance(record, dict) \
+                or record.get("engine_version") != ENGINE_VERSION:
             return None
         values.flags.writeable = False
         payload = dict(record["payload"])
@@ -234,7 +258,6 @@ class ResultCache:
 
     def _disk_put(self, key: str, payload: dict,
                   metadata: Mapping[str, Any]) -> None:
-        json_path, npz_path = self._disk_paths(key)
         record = {
             "engine_version": ENGINE_VERSION,
             "key": key,
@@ -244,88 +267,52 @@ class ResultCache:
         }
         buf = io.BytesIO()
         np.savez_compressed(buf, values=np.asarray(payload["values"]))
-        self._atomic_write(npz_path, buf.getvalue())
-        self._atomic_write(
-            json_path,
-            json.dumps(record, sort_keys=True, indent=1,
-                       default=_jsonable).encode("utf-8"))
+        blobs = {
+            "npz": buf.getvalue(),
+            "json": json.dumps(record, sort_keys=True, indent=1,
+                               default=_jsonable).encode("utf-8"),
+        }
+        self.store.put(key, blobs)
         if self.max_disk_bytes is not None:
             if self._disk_total is None:
                 self._disk_total = sum(
                     size for _, size, _ in self._disk_entries())
             else:
-                for path in (json_path, npz_path):
-                    try:
-                        self._disk_total += path.stat().st_size
-                    except OSError:
-                        pass
+                self._disk_total += sum(len(b) for b in blobs.values())
             if self._disk_total > self.max_disk_bytes:
                 self._enforce_disk_budget()
 
-    @staticmethod
-    def _atomic_write(path: Path, data: bytes) -> None:
-        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
-        with open(tmp, "wb") as fh:
-            fh.write(data)
-        os.replace(tmp, path)
-
     # ------------------------------------------------------------------
-    # Disk-tier introspection and GC (the service's artifact store).
+    # Persistent-tier introspection and GC (the fleet's shared result
+    # universe — policy lives here, bytes live in the ArtifactStore).
     # ------------------------------------------------------------------
-
-    def _touch(self, key: str) -> None:
-        """Refresh both files' mtime: the disk tier's LRU clock."""
-        for path in self._disk_paths(key):
-            try:
-                os.utime(path)
-            except OSError:
-                pass  # concurrently evicted/purged — the read still won
 
     def _disk_entries(self) -> list[tuple[float, int, str]]:
-        """``(mtime, bytes, key)`` per complete on-disk entry, oldest
-        first. Orphaned halves (torn by an eviction race) count toward
-        the pair they belong to; missing halves contribute zero."""
-        assert self.disk_dir is not None
-        entries = []
-        for json_path in Path(self.disk_dir).glob("*.json"):
-            key = json_path.stem
-            size = 0
-            mtime = 0.0
-            for path in self._disk_paths(key):
-                try:
-                    st = path.stat()
-                except OSError:
-                    continue
-                size += st.st_size
-                mtime = max(mtime, st.st_mtime)
-            entries.append((mtime, size, key))
-        entries.sort()
-        return entries
+        """``(mtime, bytes, key)`` per complete stored entry, oldest
+        first."""
+        assert self.store is not None
+        return [(e.mtime_unix, e.bytes, e.key) for e in self.store.list()]
 
     def disk_size_bytes(self) -> int:
-        """Total bytes of the disk tier (0 when memory-only)."""
+        """Total bytes of the persistent tier (0 when memory-only)."""
         return self.disk_usage()[1]
 
     def disk_usage(self) -> tuple[int, int]:
-        """``(entries, bytes)`` of the disk tier in one directory scan
-        (stat only — no record is opened; cheap enough for monitoring
-        endpoints to poll)."""
-        if self.disk_dir is None:
+        """``(entries, bytes)`` of the persistent tier in one store
+        scan (accounting only — no record is opened; cheap enough for
+        monitoring endpoints to poll)."""
+        if self.store is None:
             return 0, 0
-        entries = self._disk_entries()
-        total = sum(size for _, size, _ in entries)
+        n_entries, total = self.store.size()
         self._disk_total = total
-        return len(entries), total
+        return n_entries, total
 
     def _evict(self, key: str) -> None:
-        # Disk-tier only: the memory LRU is bounded independently, and
-        # a content-addressed payload can never go stale, so a still-hot
-        # memory copy stays servable after its disk artifact is evicted.
-        for path in self._disk_paths(key):
-            try:
-                os.remove(path)
-            except OSError:
-                pass
+        # Persistent tier only: the memory LRU is bounded independently,
+        # and a content-addressed payload can never go stale, so a
+        # still-hot memory copy stays servable after its artifact is
+        # evicted.
+        self.store.delete(key)
         self.stats.bump("disk_evictions")
 
     def _enforce_disk_budget(self) -> None:
@@ -339,14 +326,14 @@ class ResultCache:
         self._disk_total = total  # re-synchronized by the full scan
 
     def purge(self, older_than_s: float) -> int:
-        """Delete disk entries idle for more than ``older_than_s``
-        seconds (mtime-based, so recently *hit* entries survive).
+        """Delete stored entries idle for more than ``older_than_s``
+        seconds (recency-based, so recently *hit* entries survive).
         Returns the number of entries removed."""
         if older_than_s < 0:
             raise ConfigurationError(
                 f"older_than_s must be >= 0, got {older_than_s}"
             )
-        if self.disk_dir is None:
+        if self.store is None:
             return 0
         cutoff = time.time() - older_than_s
         purged = 0
@@ -366,21 +353,23 @@ class ResultCache:
         and creation time the disk tier records. Memory-only caches
         synthesize a metadata-free record from the hot tier.
         """
-        if self.disk_dir is not None:
-            json_path, npz_path = self._disk_paths(key)
-            try:
-                with open(json_path, "r", encoding="utf-8") as fh:
-                    record = json.load(fh)
-                with np.load(npz_path) as npz:
-                    values = np.asarray(npz["values"])
-            except (OSError, ValueError, KeyError, json.JSONDecodeError):
-                record = None
-            else:
-                if record.get("engine_version") == ENGINE_VERSION:
-                    values.flags.writeable = False
-                    record["payload"] = dict(record["payload"])
-                    record["payload"]["values"] = values
-                    return record
+        if self.store is not None:
+            blobs = self.store.get(key)
+            record = None
+            if blobs is not None:
+                try:
+                    record = json.loads(blobs["json"])
+                    with np.load(io.BytesIO(blobs["npz"])) as npz:
+                        values = np.asarray(npz["values"])
+                except (OSError, ValueError, KeyError,
+                        json.JSONDecodeError):
+                    record = None
+            if (isinstance(record, dict)
+                    and record.get("engine_version") == ENGINE_VERSION):
+                values.flags.writeable = False
+                record["payload"] = dict(record["payload"])
+                record["payload"]["values"] = values
+                return record
         payload = self._memory.get(key)
         if payload is None:
             return None
@@ -389,22 +378,25 @@ class ResultCache:
                 "metadata": {}}
 
     def manifest(self) -> list[dict]:
-        """One provenance entry per disk-tier artifact, oldest first.
+        """One provenance entry per stored artifact, oldest first.
 
         Each entry carries ``key``, ``bytes``, ``mtime_unix``,
         ``created_unix`` and the stored ``metadata`` (scenario,
         frequency, estimator, tags). An unreadable record (torn by a
         concurrent eviction) is skipped rather than failing the listing.
         """
-        if self.disk_dir is None:
+        if self.store is None:
             return []
         out = []
         for mtime, size, key in self._disk_entries():
-            json_path, _ = self._disk_paths(key)
+            blobs = self.store.get(key, names=("json",))
+            if blobs is None:
+                continue
             try:
-                with open(json_path, "r", encoding="utf-8") as fh:
-                    record = json.load(fh)
-            except (OSError, ValueError, json.JSONDecodeError):
+                record = json.loads(blobs["json"])
+            except (ValueError, json.JSONDecodeError):
+                continue
+            if not isinstance(record, dict):
                 continue
             out.append({
                 "key": key,

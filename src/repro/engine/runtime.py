@@ -7,15 +7,22 @@ reference to it, and it returns a plain payload dict (scalars + one
 float array) so results cross process boundaries and serialize to the
 cache without custom reducers.
 
-Models are memoized per process keyed by the scenario's content hash:
+Models are memoized per *thread* keyed by the scenario's content hash:
 a sweep with F frequencies per scenario pays the KL eigendecomposition
-once per worker, not once per job. The memo is bounded (LRU) so long
-multi-scenario sweeps cannot grow worker memory without limit.
+once per worker thread, not once per job. The memo must not be shared
+across threads — solvers carry adaptive kernel tables that each job
+resets, and two jobs of one scenario solving concurrently (the fleet
+worker runs claims on a thread pool) would race on that shared state
+and perturb each other's results at interpolation accuracy, breaking
+the content-addressed cache's purity contract. The memo is bounded
+(LRU) so long multi-scenario sweeps cannot grow worker memory without
+limit.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import OrderedDict
 
@@ -29,20 +36,28 @@ from .spec import (
     StochasticScenario,
 )
 
-#: Models/solvers kept alive per process (LRU on scenario hash).
+#: Models/solvers kept alive per thread (LRU on scenario hash).
 _MEMO_MAX = 8
-_memo: OrderedDict[str, object] = OrderedDict()
+_memo_local = threading.local()
+
+
+def _thread_memo() -> OrderedDict:
+    memo = getattr(_memo_local, "memo", None)
+    if memo is None:
+        memo = _memo_local.memo = OrderedDict()
+    return memo
 
 
 def _memoized(key: str, build):
-    cached = _memo.get(key)
+    memo = _thread_memo()
+    cached = memo.get(key)
     if cached is not None:
-        _memo.move_to_end(key)
+        memo.move_to_end(key)
         return cached
     obj = build()
-    _memo[key] = obj
-    while len(_memo) > _MEMO_MAX:
-        _memo.popitem(last=False)
+    memo[key] = obj
+    while len(memo) > _MEMO_MAX:
+        memo.popitem(last=False)
     return obj
 
 
@@ -50,10 +65,12 @@ def seed_model(scenario: StochasticScenario, model: object) -> None:
     """Pre-register an already-built model for a scenario.
 
     Lets the pipeline hand its own :class:`StochasticLossModel` to
-    same-process execution (serial, or forked workers inheriting the
-    memo) instead of paying the KL eigendecomposition a second time.
-    Job purity is unaffected: :func:`execute_job` resets the solver's
-    kernel tables regardless of where the model came from.
+    same-thread execution (serial, or forked workers inheriting the
+    forking thread's memo) instead of paying the KL eigendecomposition
+    a second time. Other threads rebuild their own — sharing would
+    race on the solver's adaptive kernel tables. Job purity is
+    unaffected: :func:`execute_job` resets the solver's kernel tables
+    regardless of where the model came from.
     """
     _memoized(scenario.key, lambda: model)
 
@@ -229,5 +246,6 @@ def _run_job(job: Job) -> tuple:
 
 
 def clear_memo() -> None:
-    """Drop memoized models (tests; long-lived servers between sweeps)."""
-    _memo.clear()
+    """Drop the calling thread's memoized models (tests; long-lived
+    servers between sweeps)."""
+    _thread_memo().clear()

@@ -9,6 +9,7 @@ Usage::
     python -m repro.experiments.runner --jobs 4 --cache-dir ./sweep-cache
     python -m repro.experiments.runner --format json --output results/
     python -m repro.experiments.runner serve --port 8321 --jobs 4
+    python -m repro.experiments.runner worker --server http://host:8321
 
 A thin argument-parsing layer over :mod:`repro.api`: the selected
 experiments execute as **one merged engine batch**
@@ -24,6 +25,9 @@ The ``serve`` subcommand runs the async sweep service instead
 (:mod:`repro.service`): a long-lived HTTP server that accepts wire
 ``SweepSpec`` documents, answers cached points immediately, and
 streams NDJSON progress — see the README's "Running as a service".
+With ``--fleet`` the server stops executing jobs itself and only hands
+them out as leases; the ``worker`` subcommand (:mod:`repro.fleet`)
+runs the matching pull worker — see "Scaling out with workers".
 """
 
 from __future__ import annotations
@@ -60,6 +64,14 @@ def _serve_main(argv: list[str]) -> int:
                         metavar="B",
                         help="disk-cache budget; least-recently-used "
                              "artifacts are evicted beyond it")
+    parser.add_argument("--fleet", action="store_true",
+                        help="do not execute jobs in-process; only hand "
+                             "them out as leases to pull workers "
+                             "('repro-experiments worker')")
+    parser.add_argument("--token", default=None, metavar="TOKEN",
+                        help="require this bearer token on mutating "
+                             "endpoints (default: $REPRO_SERVICE_TOKEN "
+                             "if set)")
     parser.add_argument("--verbose", action="store_true",
                         help="log every HTTP request to stderr")
     args = parser.parse_args(argv)
@@ -72,9 +84,69 @@ def _serve_main(argv: list[str]) -> int:
         return serve(host=args.host, port=args.port, jobs=args.jobs,
                      cache_dir=args.cache_dir,
                      max_disk_bytes=args.max_disk_bytes,
-                     quiet=not args.verbose)
+                     quiet=not args.verbose, fleet=args.fleet,
+                     token=args.token)
     except ConfigurationError as exc:
         parser.error(str(exc))
+
+
+def _worker_main(argv: list[str]) -> int:
+    """``repro-experiments worker ...`` — run a fleet pull worker."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments worker",
+        description="Pull-based fleet worker: claim leased jobs from a "
+                    "sweep service, execute them locally, upload the "
+                    "results. SIGTERM/SIGINT drain gracefully.")
+    parser.add_argument("--server", required=True, metavar="URL",
+                        help="sweep-service base URL, e.g. "
+                             "http://127.0.0.1:8321")
+    parser.add_argument("--concurrency", type=int, default=1, metavar="N",
+                        help="jobs executed at once (default: 1)")
+    parser.add_argument("--worker-id", default=None, metavar="ID",
+                        help="stable worker id (default: host-pid-rand)")
+    parser.add_argument("--lease-s", type=float, default=30.0, metavar="S",
+                        help="lease duration per claim (default: 30)")
+    parser.add_argument("--token", default=None, metavar="TOKEN",
+                        help="bearer token for the server (default: "
+                             "$REPRO_SERVICE_TOKEN if set)")
+    parser.add_argument("--exit-when-idle", action="store_true",
+                        help="exit once the queue is drained instead of "
+                             "polling forever")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-claim progress on stderr")
+    args = parser.parse_args(argv)
+    if args.concurrency < 1:
+        parser.error(f"--concurrency must be >= 1, got {args.concurrency}")
+    if args.lease_s <= 0:
+        parser.error(f"--lease-s must be > 0, got {args.lease_s}")
+
+    import signal
+
+    from .. import telemetry
+    from ..fleet import FleetWorker
+    from ..service.client import ServiceClient
+
+    # Workers record solver spans so traces ride the uploaded payloads
+    # back to the server's NDJSON stream.
+    telemetry.enable()
+    try:
+        worker = FleetWorker(
+            ServiceClient(args.server, token=args.token),
+            worker_id=args.worker_id, concurrency=args.concurrency,
+            lease_s=args.lease_s, exit_when_idle=args.exit_when_idle,
+            quiet=args.quiet)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+
+    def _drain(signum, frame):  # noqa: ARG001 — signal API
+        worker.stop()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    stats = worker.run()
+    print(f"[worker {worker.worker_id}] "
+          + ", ".join(f"{k}={v}" for k, v in stats.items()))
+    return 0
 
 
 def _format_phase_table(stats: dict[str, dict]) -> str:
@@ -104,6 +176,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "worker":
+        return _worker_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
         description="Regenerate the paper's tables and figures "

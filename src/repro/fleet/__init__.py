@@ -1,0 +1,55 @@
+"""Pull-based worker fleet over the sweep service's job leases.
+
+:mod:`repro.service` made the engine a shared server; this package
+makes it *horizontally scalable*. The scheduler's global deduplicating
+queue is claimable over HTTP (``POST /v1/workers/claim`` leases jobs,
+heartbeats keep them, ``POST /v1/workers/result`` commits), and
+:class:`FleetWorker` is the pull loop that lives on the other end:
+claim a batch, execute each job via :func:`repro.engine.execute_job`
+on a local thread pool (the solver's LAPACK calls release the GIL),
+upload the payloads, repeat until drained or told to stop.
+
+The protocol is crash-safe by leasing, not by trust: a worker that
+dies silently simply stops heartbeating, its leases expire, and the
+scheduler re-queues the jobs for the next claimant — with a rotated
+lease token, so if the "dead" worker comes back and uploads late, the
+stale commit is recognized and dropped. Content hashes ride every
+lease and are verified on commit, results flow through the exact same
+commit path as in-process execution, and the jobs themselves are
+deterministic — so a fleet-executed sweep is bit-identical to a local
+one no matter how many workers died along the way.
+
+Run a fleet from the CLI::
+
+    repro-experiments serve --fleet --port 8321 --cache-dir ./cache
+    repro-experiments worker --server http://host:8321 --concurrency 4
+    repro-experiments worker --server http://host:8321 --concurrency 4
+
+Set ``REPRO_SERVICE_TOKEN`` on both ends to require bearer auth on
+every mutating endpoint.
+
+Artifact persistence is pluggable on the server side: the result
+cache's disk tier speaks :class:`repro.engine.ArtifactStore`
+(:class:`~repro.engine.LocalDirStore` by default), so pointing the
+fleet's shared cache at a different backend is one constructor
+argument, not a cache rewrite.
+"""
+
+from ..engine.artifacts import (
+    ArtifactEntry,
+    ArtifactStore,
+    LocalDirStore,
+    MemoryStore,
+)
+from ..service.wire import WorkerClaim, WorkerResult
+from .worker import FleetWorker
+
+__all__ = [
+    "ArtifactEntry",
+    "ArtifactStore",
+    "FleetWorker",
+    "LocalDirStore",
+    "MemoryStore",
+    "WorkerClaim",
+    "WorkerResult",
+]

@@ -1,0 +1,245 @@
+"""The fleet's pull worker: claim, execute, upload, repeat.
+
+One :class:`FleetWorker` is one process's worth of fleet capacity. A
+single control loop owns all HTTP traffic (claims, heartbeats,
+uploads) while a :class:`~concurrent.futures.ThreadPoolExecutor` of
+``concurrency`` threads runs the solves — dense LAPACK factorizations
+release the GIL, so threads scale the same way the engine's in-process
+``ParallelExecutor`` does, without a second process tree on the worker
+host.
+
+Failure handling mirrors the lease protocol's guarantees:
+
+- transport errors on claim/upload back off exponentially with jitter
+  (capped), so a recovering server is not stampeded;
+- a heartbeat answered ``False`` means the lease was reclaimed — the
+  job is abandoned locally and its result never uploaded (the re-lease
+  owns it now);
+- ``stop()`` (the CLI wires it to SIGTERM/SIGINT) drains gracefully:
+  no new claims, in-flight jobs finish and upload, then ``run()``
+  returns its counters.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import socket
+import sys
+import threading
+import time
+import uuid
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
+
+from ..errors import ConfigurationError
+from ..engine.runtime import execute_job
+from ..service.client import ServiceClient, ServiceUnavailable
+from ..service.wire import WorkerClaim, WorkerResult
+
+
+def default_worker_id() -> str:
+    """``host-pid-suffix`` — unique per process, readable in snapshots."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+class FleetWorker:
+    """Pull loop against one sweep service.
+
+    Parameters
+    ----------
+    server:
+        Base URL, or a configured :class:`ServiceClient` (the way to
+        pass a bearer token or custom retry policy).
+    concurrency:
+        Jobs executed at once on the local thread pool; claims are
+        sized to keep the pool full.
+    lease_s:
+        Lease duration requested per claim; heartbeats go out at a
+        third of it.
+    exit_when_idle:
+        Return from :meth:`run` once a claim comes back empty with
+        nothing in flight (batch mode / tests); default is to keep
+        polling forever.
+    """
+
+    def __init__(self, server: str | ServiceClient,
+                 worker_id: str | None = None,
+                 concurrency: int = 1,
+                 lease_s: float = 30.0,
+                 idle_poll_s: float = 0.5,
+                 backoff_base_s: float = 0.5,
+                 backoff_cap_s: float = 30.0,
+                 max_upload_retries: int = 5,
+                 exit_when_idle: bool = False,
+                 quiet: bool = True) -> None:
+        if concurrency < 1:
+            raise ConfigurationError(
+                f"concurrency must be >= 1, got {concurrency}")
+        if lease_s <= 0:
+            raise ConfigurationError(f"lease_s must be > 0, got {lease_s}")
+        self.client = (server if isinstance(server, ServiceClient)
+                       else ServiceClient(server))
+        self.worker_id = worker_id or default_worker_id()
+        self.concurrency = int(concurrency)
+        self.lease_s = float(lease_s)
+        self.idle_poll_s = float(idle_poll_s)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.max_upload_retries = int(max_upload_retries)
+        self.exit_when_idle = bool(exit_when_idle)
+        self.quiet = bool(quiet)
+        self._stop = threading.Event()
+        #: Lifetime counters, also returned by :meth:`run`.
+        self.stats = {"claimed": 0, "completed": 0, "failed": 0,
+                      "stale": 0, "abandoned": 0}
+
+    # ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Request a graceful drain (thread/signal-handler safe)."""
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def _log(self, message: str) -> None:
+        if not self.quiet:
+            print(f"[worker {self.worker_id}] {message}", file=sys.stderr)
+
+    def _sleep_backoff(self, attempt: int) -> None:
+        """Jittered, capped exponential backoff (interruptible by
+        :meth:`stop`, so a drain never waits out a long retry)."""
+        delay = min(self.backoff_cap_s,
+                    self.backoff_base_s * (2.0 ** (attempt - 1)))
+        self._stop.wait(delay * random.uniform(0.5, 1.0))
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _execute(claim: WorkerClaim) -> tuple[dict | None, str | None]:
+        """Run one leased job; ``(payload, None)`` or ``(None, error)``.
+
+        Job failures are data, not worker crashes — they upload as
+        ``WorkerResult.error`` and fail only the tickets waiting on
+        this job, exactly like the scheduler's in-process capture.
+        """
+        try:
+            return execute_job(claim.job), None
+        except Exception as exc:  # noqa: BLE001 — reported to the server
+            return None, f"{type(exc).__name__}: {exc}"
+
+    def _push(self, claim: WorkerClaim, payload: dict | None,
+              error: str | None) -> str:
+        """Upload one result; 'committed', 'stale', or 'abandoned'.
+
+        Transport errors retry with backoff; past the budget the job is
+        abandoned — safe, because the unrenewed lease expires and the
+        scheduler re-queues the work.
+        """
+        result = WorkerResult(slot=claim.slot, token=claim.token,
+                              worker=self.worker_id, key=claim.key,
+                              payload=payload, error=error)
+        encoded = None
+        for attempt in range(1, self.max_upload_retries + 2):
+            try:
+                return self.client.push_result(result)
+            except ServiceUnavailable as exc:
+                encoded = exc
+                if attempt > self.max_upload_retries:
+                    break
+                self._log(f"upload retry {attempt} for {claim.slot[:8]}: "
+                          f"{exc}")
+                self._sleep_backoff(attempt)
+        self._log(f"abandoning {claim.slot[:8]} after "
+                  f"{self.max_upload_retries} upload retries: {encoded}")
+        return "abandoned"
+
+    def _count_push(self, status: str, error: str | None) -> None:
+        if status == "committed":
+            self.stats["failed" if error is not None else "completed"] += 1
+        elif status == "stale":
+            self.stats["stale"] += 1
+        else:
+            self.stats["abandoned"] += 1
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> dict:
+        """Pull until stopped (or idle, with ``exit_when_idle``).
+
+        Returns the lifetime counters: claimed / completed / failed /
+        stale / abandoned.
+        """
+        heartbeat_every = max(self.lease_s / 3.0, 0.05)
+        next_heartbeat = time.monotonic() + heartbeat_every
+        claim_failures = 0
+        self._log(f"pulling from {self.client.base_url} "
+                  f"(concurrency={self.concurrency}, "
+                  f"lease_s={self.lease_s})")
+        with ThreadPoolExecutor(max_workers=self.concurrency,
+                                thread_name_prefix="fleet-job") as pool:
+            inflight: dict[Future, WorkerClaim] = {}
+            abandoned: set[str] = set()  # leases lost to reclaim
+            while True:
+                draining = self._stop.is_set()
+                queue_drained = False
+                free = self.concurrency - len(inflight)
+                if not draining and free > 0:
+                    try:
+                        claims = self.client.claim_jobs(
+                            self.worker_id, max_jobs=free,
+                            lease_s=self.lease_s)
+                        claim_failures = 0
+                        queue_drained = not claims
+                    except ServiceUnavailable as exc:
+                        claims = []
+                        claim_failures += 1
+                        self._log(f"claim retry {claim_failures}: {exc}")
+                        self._sleep_backoff(claim_failures)
+                    for claim in claims:
+                        inflight[pool.submit(self._execute, claim)] = claim
+                        self.stats["claimed"] += 1
+                    if claims:
+                        self._log(f"claimed {len(claims)} job(s), "
+                                  f"{len(inflight)} in flight")
+                if not inflight:
+                    if draining:
+                        break
+                    if self.exit_when_idle and queue_drained:
+                        break
+                    self._stop.wait(self.idle_poll_s)
+                    continue
+                # Wait for completions, but wake in time to heartbeat.
+                budget = max(next_heartbeat - time.monotonic(), 0.05)
+                done, _ = futures_wait(list(inflight), timeout=budget,
+                                       return_when=FIRST_COMPLETED)
+                for future in done:
+                    claim = inflight.pop(future)
+                    payload, error = future.result()
+                    if claim.slot in abandoned:
+                        abandoned.discard(claim.slot)
+                        self.stats["abandoned"] += 1
+                        continue
+                    status = self._push(claim, payload, error)
+                    self._count_push(status, error)
+                if inflight and time.monotonic() >= next_heartbeat:
+                    slots = {c.slot: c.token for c in inflight.values()
+                             if c.slot not in abandoned}
+                    try:
+                        alive = self.client.heartbeat(
+                            self.worker_id, slots, lease_s=self.lease_s)
+                    except (ServiceUnavailable, ConfigurationError) as exc:
+                        # Missed heartbeats only shorten the lease; the
+                        # upload's own retry path owns recovery.
+                        self._log(f"heartbeat failed: {exc}")
+                        alive = {}
+                    for slot_id, ok in alive.items():
+                        if not ok:
+                            self._log(f"lease lost for {slot_id[:8]}; "
+                                      "abandoning")
+                            abandoned.add(slot_id)
+                    next_heartbeat = time.monotonic() + heartbeat_every
+        self._log(f"done: {self.stats}")
+        return dict(self.stats)

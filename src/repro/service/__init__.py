@@ -25,6 +25,11 @@ single process:
   ``engine_session(executor=RemoteExecutor(url))`` routes every sweep
   in scope to the server.
 
+The scheduler's queue is also *claimable* over ``/v1/workers/*`` —
+pull workers (:mod:`repro.fleet`) lease jobs, heartbeat, and upload
+results, scaling one server across machines; ``serve --fleet`` turns
+off in-process dispatch entirely.
+
 Quickstart::
 
     # server: repro-experiments serve --port 8321 --jobs 4 \\
@@ -39,7 +44,13 @@ Quickstart::
 from .client import RemoteExecutor, ServiceClient, ServiceUnavailable
 from .scheduler import SweepScheduler, estimate_job_cost
 from .server import ServiceError, SweepService, make_server, serve
-from .wire import WIRE_VERSION, WireError, register_correlation
+from .wire import (
+    WIRE_VERSION,
+    WireError,
+    WorkerClaim,
+    WorkerResult,
+    register_correlation,
+)
 
 __all__ = [
     "WIRE_VERSION",
@@ -50,6 +61,8 @@ __all__ = [
     "SweepScheduler",
     "SweepService",
     "WireError",
+    "WorkerClaim",
+    "WorkerResult",
     "estimate_job_cost",
     "make_server",
     "register_correlation",

@@ -27,10 +27,12 @@ server message).
 from __future__ import annotations
 
 import json
+import os
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from ..errors import ConfigurationError, ReproError
 from ..engine.executors import Executor, ProgressFn, ResultFn
@@ -40,6 +42,9 @@ from . import wire
 
 #: ``progress(done, total)`` — same shape the engine uses.
 Progress = ProgressFn
+
+#: HTTP statuses treated as transient on idempotent requests.
+_TRANSIENT_HTTP = frozenset({500, 502, 503, 504})
 
 
 class ServiceUnavailable(ReproError):
@@ -57,43 +62,91 @@ class ServiceClient:
         Per-request socket timeout in seconds.
     poll_interval:
         Sleep between status polls when not streaming events.
+    token:
+        Bearer token sent on every request; defaults from
+        ``REPRO_SERVICE_TOKEN`` (the variable the server arms its auth
+        from), so a matched client/server pair needs no wiring.
+    max_retries:
+        Extra attempts for **idempotent GETs** that hit a transport
+        error or transient HTTP status (500/502/503/504), with capped
+        exponential backoff + jitter. POSTs never retry here — the
+        fleet worker owns its own (lease-aware) retry policy.
     """
 
     def __init__(self, base_url: str, timeout: float = 30.0,
-                 poll_interval: float = 0.25) -> None:
+                 poll_interval: float = 0.25,
+                 token: str | None = None,
+                 max_retries: int = 3,
+                 backoff_base_s: float = 0.2,
+                 backoff_cap_s: float = 5.0) -> None:
         if "://" not in base_url:
             base_url = "http://" + base_url
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.poll_interval = poll_interval
+        if token is None:
+            token = os.environ.get("REPRO_SERVICE_TOKEN") or None
+        self.token = token or None
+        self.max_retries = max(int(max_retries), 0)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
 
+    def _headers(self, body: bytes | None,
+                 content_type: str = "application/json") -> dict[str, str]:
+        headers: dict[str, str] = {}
+        if body:
+            headers["Content-Type"] = content_type
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        return headers
+
+    def _backoff(self, attempt: int) -> None:
+        """Sleep before retry ``attempt`` (1-based): capped exponential
+        with multiplicative jitter, so a worker fleet hammering one
+        recovering server naturally de-synchronizes."""
+        delay = min(self.backoff_cap_s,
+                    self.backoff_base_s * (2.0 ** (attempt - 1)))
+        time.sleep(delay * random.uniform(0.5, 1.0))
+
     def _request(self, method: str, path: str,
                  body: bytes | None = None,
                  content_type: str = "application/json") -> dict:
-        req = urllib.request.Request(
-            self.base_url + path, data=body, method=method,
-            headers={"Content-Type": content_type} if body else {})
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                return json.loads(resp.read())
-        except urllib.error.HTTPError as exc:
-            detail = exc.read()
+        headers = self._headers(body, content_type)
+        attempts = 1 + (self.max_retries if method == "GET" else 0)
+        for attempt in range(1, attempts + 1):
+            req = urllib.request.Request(
+                self.base_url + path, data=body, method=method,
+                headers=headers)
             try:
-                message = json.loads(detail).get("error", detail.decode())
-            except (ValueError, AttributeError):
-                message = detail.decode("utf-8", "replace")
-            raise ConfigurationError(
-                f"{method} {path} -> HTTP {exc.code}: {message}"
-            ) from exc
-        except urllib.error.URLError as exc:
-            raise ServiceUnavailable(
-                f"cannot reach sweep service at {self.base_url}: "
-                f"{exc.reason}"
-            ) from exc
+                with urllib.request.urlopen(req,
+                                            timeout=self.timeout) as resp:
+                    return json.loads(resp.read())
+            except urllib.error.HTTPError as exc:
+                detail = exc.read()
+                try:
+                    message = json.loads(detail).get("error",
+                                                     detail.decode())
+                except (ValueError, AttributeError):
+                    message = detail.decode("utf-8", "replace")
+                if exc.code in _TRANSIENT_HTTP and attempt < attempts:
+                    self._backoff(attempt)
+                    continue
+                raise ConfigurationError(
+                    f"{method} {path} -> HTTP {exc.code}: {message}"
+                ) from exc
+            except urllib.error.URLError as exc:
+                if attempt < attempts:
+                    self._backoff(attempt)
+                    continue
+                raise ServiceUnavailable(
+                    f"cannot reach sweep service at {self.base_url}: "
+                    f"{exc.reason}"
+                ) from exc
+        raise AssertionError("unreachable")  # loop always returns/raises
 
     def _get(self, path: str) -> dict:
         return self._request("GET", path)
@@ -122,7 +175,8 @@ class ServiceClient:
 
     def metrics_text(self) -> str:
         """The server's ``/v1/metrics`` Prometheus text document."""
-        req = urllib.request.Request(self.base_url + "/v1/metrics")
+        req = urllib.request.Request(self.base_url + "/v1/metrics",
+                                     headers=self._headers(None))
         try:
             with urllib.request.urlopen(req, timeout=self.timeout) as resp:
                 return resp.read().decode("utf-8")
@@ -263,6 +317,43 @@ class ServiceClient:
         record = self._get(f"/v1/jobs/{key}")
         record["payload"] = wire.decode_payload(record["payload"])
         return record
+
+    # ------------------------------------------------------------------
+    # Fleet worker protocol
+    # ------------------------------------------------------------------
+
+    def claim_jobs(self, worker: str, max_jobs: int = 1,
+                   lease_s: float = 30.0) -> list[wire.WorkerClaim]:
+        """Lease up to ``max_jobs`` queued jobs; empty list = drained."""
+        doc = self._post("/v1/workers/claim", json.dumps({
+            "worker": worker, "max_jobs": max_jobs, "lease_s": lease_s,
+        }).encode("utf-8"))
+        claims = wire.from_wire(wire.open_envelope(doc))
+        if (not isinstance(claims, list)
+                or not all(isinstance(c, wire.WorkerClaim)
+                           for c in claims)):
+            raise ConfigurationError(
+                "claim response is not a wire WorkerClaim list")
+        return claims
+
+    def heartbeat(self, worker: str, slots: Mapping[str, str],
+                  lease_s: float = 30.0) -> dict[str, bool]:
+        """Extend leases; maps slot id -> still-alive."""
+        doc = self._post("/v1/workers/heartbeat", json.dumps({
+            "worker": worker, "slots": dict(slots), "lease_s": lease_s,
+        }).encode("utf-8"))
+        return {str(k): bool(v)
+                for k, v in (doc.get("alive") or {}).items()}
+
+    def push_result(self, result: wire.WorkerResult) -> str:
+        """Upload one job's result; returns 'committed' or 'stale'."""
+        doc = self._post("/v1/workers/result",
+                         wire.dumps(result).encode("utf-8"))
+        return str(doc.get("status", ""))
+
+    def workers(self) -> dict:
+        """The server's fleet snapshot (``GET /v1/workers``)."""
+        return self._get("/v1/workers")
 
 
 class RemoteExecutor(Executor):

@@ -19,6 +19,23 @@ Every mutation appends a JSON-ready event to the owning ticket
 (``submitted``/``point``/``complete``/``failed``); pollers and the
 HTTP layer's NDJSON stream read those via :meth:`SweepScheduler.events`
 which supports long-polling on the scheduler's condition variable.
+
+**Worker fleet (lease protocol).** The queue is also *claimable*: an
+external pull worker calls :meth:`SweepScheduler.claim_jobs` to lease
+up to ``n`` queued computations (longest-first, same cost order as the
+dispatcher), :meth:`~SweepScheduler.heartbeat` to keep its leases
+alive, and :meth:`~SweepScheduler.complete_lease` /
+:meth:`~SweepScheduler.fail_lease` to commit. A lease that misses its
+deadline is reclaimed and re-queued (lazily, on the next lease-path
+call — no extra thread), and every re-lease rotates the lease token,
+so a worker that went silent and commits late is detected and its
+stale upload dropped. Dedup is untouched: a slot is handed out at most
+once at a time, cache hits never enter the queue, and lease commits go
+through the same ``_commit_slot`` path the dispatcher uses — waiter
+fan-out, NDJSON events, telemetry, the cost calibrator and the result
+cache all behave identically whether a job ran in-process or on a
+worker across the network. ``local_dispatch=False`` turns the internal
+dispatcher off entirely, making the scheduler a pure fleet queue.
 """
 
 from __future__ import annotations
@@ -45,6 +62,7 @@ from ..engine.spec import (
     StochasticScenario,
     SweepSpec,
 )
+from .wire import WorkerClaim
 
 
 # ----------------------------------------------------------------------
@@ -189,6 +207,25 @@ class _Slot:
     queued: bool = True
     #: Monotonic enqueue time — queue-wait telemetry clocks on it.
     queued_monotonic: float = field(default_factory=time.monotonic)
+    # ---- lease state (fleet protocol); None while not leased --------
+    leased_to: str | None = None
+    lease_token: str | None = None
+    lease_deadline: float | None = None  # monotonic
+    lease_attempts: int = 0
+
+
+@dataclass
+class _WorkerInfo:
+    """One pull worker's registration and counters."""
+
+    id: str
+    first_seen_unix: float
+    last_seen_unix: float
+    last_seen_monotonic: float
+    claimed: int = 0
+    completed: int = 0
+    failed: int = 0
+    expired: int = 0
 
 
 class SweepScheduler:
@@ -201,15 +238,38 @@ class SweepScheduler:
     cache:
         Result cache shared by the split and the commits (default: a
         fresh in-memory :class:`~repro.engine.ResultCache`).
+    local_dispatch:
+        When False the internal dispatcher thread is never started and
+        queued work is only retired by fleet workers claiming it — the
+        pure pull-queue mode behind ``repro-experiments serve --fleet``.
+    max_lease_attempts:
+        A slot whose lease expires is re-queued at most this many times
+        before its waiters are failed (guards against a job that kills
+        every worker that touches it).
+    worker_ttl_s:
+        A worker that holds no lease and has not been heard from for
+        this long is dropped from the registry (and from the
+        ``workers_active`` health count).
     """
 
     def __init__(self, executor: Executor | None = None,
                  cache: ResultCache | None = None,
-                 max_finished_tickets: int = 256) -> None:
+                 max_finished_tickets: int = 256,
+                 local_dispatch: bool = True,
+                 max_lease_attempts: int = 5,
+                 worker_ttl_s: float = 60.0) -> None:
         if max_finished_tickets < 1:
             raise ConfigurationError(
                 f"max_finished_tickets must be >= 1, "
                 f"got {max_finished_tickets}"
+            )
+        if max_lease_attempts < 1:
+            raise ConfigurationError(
+                f"max_lease_attempts must be >= 1, got {max_lease_attempts}"
+            )
+        if worker_ttl_s <= 0:
+            raise ConfigurationError(
+                f"worker_ttl_s must be > 0, got {worker_ttl_s}"
             )
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache if cache is not None else ResultCache()
@@ -241,6 +301,17 @@ class SweepScheduler:
             "repro_scheduler_job_wall_seconds",
             "Worker-reported wall time per computed job.",
             labels=("kind",))
+        self._m_leases = telemetry.counter(
+            "repro_fleet_leases_total",
+            "Fleet lease transitions by outcome "
+            "(claimed/committed/failed/expired/stale).",
+            labels=("outcome",))
+        self._m_workers_active = telemetry.gauge(
+            "repro_fleet_workers_active",
+            "Workers holding a lease or heard from within the TTL.")
+        self._m_leases_active = telemetry.gauge(
+            "repro_fleet_leases_active",
+            "Slots currently leased to a fleet worker.")
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)  # dispatcher waits
         self._changed = threading.Condition(self._lock)  # pollers wait
@@ -249,9 +320,17 @@ class SweepScheduler:
         self._slot_by_key: dict[str, str] = {}  # cacheable hash -> slot id
         self._uncacheable = itertools.count()
         self._closed = False
-        self._thread = threading.Thread(target=self._dispatch_loop,
-                                        name="sweep-scheduler", daemon=True)
-        self._thread.start()
+        self.local_dispatch = bool(local_dispatch)
+        self.max_lease_attempts = int(max_lease_attempts)
+        self.worker_ttl_s = float(worker_ttl_s)
+        self._workers: dict[str, _WorkerInfo] = {}
+        self._expired_total = 0
+        self._thread: threading.Thread | None = None
+        if self.local_dispatch:
+            self._thread = threading.Thread(target=self._dispatch_loop,
+                                            name="sweep-scheduler",
+                                            daemon=True)
+            self._thread.start()
 
     # ------------------------------------------------------------------
     # Submission
@@ -360,10 +439,14 @@ class SweepScheduler:
     # ------------------------------------------------------------------
 
     def _update_gauges(self) -> None:
-        """Refresh queue-depth / in-flight gauges (lock held)."""
+        """Refresh queue-depth / in-flight / fleet gauges (lock held)."""
         queued = sum(1 for s in self._slots.values() if s.queued)
         self._m_queue_depth.set(queued)
         self._m_in_flight.set(len(self._slots) - queued)
+        self._m_leases_active.set(sum(
+            1 for s in self._slots.values()
+            if not s.queued and s.leased_to is not None))
+        self._m_workers_active.set(self._active_workers_locked())
 
     def _dispatch_loop(self) -> None:
         while True:
@@ -407,74 +490,84 @@ class SweepScheduler:
 
     def _commit_slot(self, slot_id: str, payload: dict) -> None:
         with self._lock:
-            slot = self._slots.pop(slot_id, None)
-            if slot is None:
-                return
-            job = slot.job
-            kind = job_kind(job)
-            error = payload.get(_JOB_ERROR)
-            if error is not None:
-                if job.cacheable:
-                    self._slot_by_key.pop(job.key, None)
-                self._m_jobs.inc(kind=kind, outcome="failed")
-                self._update_gauges()
-                self._fail_waiters(slot.waiters, error)
-                self._changed.notify_all()
-                return
-            self._m_jobs.inc(kind=kind, outcome="computed")
-            self._update_gauges()
-            wall = payload.get("wall_time_s")
-            # Committed payloads always come straight from the executor
-            # (cache hits never enter a slot), but guard on the
-            # ``cached`` tag anyway: a replayed wall time must never
-            # reach the calibrator.
-            if (not payload.get("cached") and isinstance(wall, (int, float))
-                    and wall > 0.0):
-                self.calibrator.observe(kind, slot.cost, float(wall))
-                self._m_job_wall.observe(float(wall), kind=kind)
+            self._commit_slot_locked(slot_id, payload)
+
+    def _commit_slot_locked(self, slot_id: str, payload: dict) -> None:
+        """Commit one computed payload to its slot's waiters (lock held).
+
+        The single funnel every execution path ends in — the local
+        dispatcher's ``on_result`` callback and fleet lease commits
+        alike — so caching, calibration, events and fan-out cannot
+        diverge between in-process and networked execution.
+        """
+        slot = self._slots.pop(slot_id, None)
+        if slot is None:
+            return
+        job = slot.job
+        kind = job_kind(job)
+        error = payload.get(_JOB_ERROR)
+        if error is not None:
             if job.cacheable:
                 self._slot_by_key.pop(job.key, None)
-                owner = slot.waiters[0][0]
-                meta = self._tickets[owner].meta if owner in self._tickets \
-                    else {}
-                tags = (dict(self._tickets[owner].spec.tags)
-                        if owner in self._tickets
-                        and self._tickets[owner].spec is not None else {})
-                self.cache.put(job.key, payload, metadata={
-                    "scenario": job.scenario.name,
-                    "frequency_hz": float(job.frequency_hz),
-                    "estimator": job.estimator_label,
-                    "tags": tags or dict(meta),
-                })
-            for ticket_id, index in slot.waiters:
-                ticket = self._tickets.get(ticket_id)
-                if ticket is None or ticket.payloads[index] is not None:
-                    continue
-                ticket.payloads[index] = payload
-                ticket.done += 1
-                self._event(ticket, {
-                    "event": "point",
-                    "scenario": job.scenario.name,
-                    "frequency_hz": float(job.frequency_hz),
-                    "estimator": job.estimator_label,
-                    "key": job.key,
-                    "mean": payload["mean"],
-                    "done": ticket.done,
-                    "total": ticket.total,
-                })
-                if payload.get("spans"):
-                    # Worker-recorded solver/job spans ride the payload;
-                    # surfaced as their own event so the NDJSON stream
-                    # carries traces without bloating every "point".
-                    self._event(ticket, {
-                        "event": "trace",
-                        "key": job.key,
-                        "scenario": job.scenario.name,
-                        "spans": list(payload["spans"]),
-                    })
-                if ticket.done == ticket.total:
-                    self._finish(ticket)
+            self._m_jobs.inc(kind=kind, outcome="failed")
+            self._update_gauges()
+            self._fail_waiters(slot.waiters, error)
             self._changed.notify_all()
+            return
+        self._m_jobs.inc(kind=kind, outcome="computed")
+        self._update_gauges()
+        wall = payload.get("wall_time_s")
+        # Committed payloads always come straight from the executor
+        # (cache hits never enter a slot), but guard on the
+        # ``cached`` tag anyway: a replayed wall time must never
+        # reach the calibrator.
+        if (not payload.get("cached") and isinstance(wall, (int, float))
+                and wall > 0.0):
+            self.calibrator.observe(kind, slot.cost, float(wall))
+            self._m_job_wall.observe(float(wall), kind=kind)
+        if job.cacheable:
+            self._slot_by_key.pop(job.key, None)
+            owner = slot.waiters[0][0]
+            meta = self._tickets[owner].meta if owner in self._tickets \
+                else {}
+            tags = (dict(self._tickets[owner].spec.tags)
+                    if owner in self._tickets
+                    and self._tickets[owner].spec is not None else {})
+            self.cache.put(job.key, payload, metadata={
+                "scenario": job.scenario.name,
+                "frequency_hz": float(job.frequency_hz),
+                "estimator": job.estimator_label,
+                "tags": tags or dict(meta),
+            })
+        for ticket_id, index in slot.waiters:
+            ticket = self._tickets.get(ticket_id)
+            if ticket is None or ticket.payloads[index] is not None:
+                continue
+            ticket.payloads[index] = payload
+            ticket.done += 1
+            self._event(ticket, {
+                "event": "point",
+                "scenario": job.scenario.name,
+                "frequency_hz": float(job.frequency_hz),
+                "estimator": job.estimator_label,
+                "key": job.key,
+                "mean": payload["mean"],
+                "done": ticket.done,
+                "total": ticket.total,
+            })
+            if payload.get("spans"):
+                # Worker-recorded solver/job spans ride the payload;
+                # surfaced as their own event so the NDJSON stream
+                # carries traces without bloating every "point".
+                self._event(ticket, {
+                    "event": "trace",
+                    "key": job.key,
+                    "scenario": job.scenario.name,
+                    "spans": list(payload["spans"]),
+                })
+            if ticket.done == ticket.total:
+                self._finish(ticket)
+        self._changed.notify_all()
 
     def _fail_waiters(self, waiters: list[tuple[str, int]],
                       message: str) -> None:
@@ -528,6 +621,253 @@ class SweepScheduler:
         event["seq"] = len(ticket.events)
         event["time_unix"] = time.time()
         ticket.events.append(event)
+
+    # ------------------------------------------------------------------
+    # Fleet lease protocol
+    # ------------------------------------------------------------------
+
+    def _touch_worker_locked(self, worker_id: str) -> _WorkerInfo:
+        info = self._workers.get(worker_id)
+        now_unix, now_mono = time.time(), time.monotonic()
+        if info is None:
+            info = _WorkerInfo(id=worker_id, first_seen_unix=now_unix,
+                               last_seen_unix=now_unix,
+                               last_seen_monotonic=now_mono)
+            self._workers[worker_id] = info
+        else:
+            info.last_seen_unix = now_unix
+            info.last_seen_monotonic = now_mono
+        return info
+
+    def _active_workers_locked(self) -> int:
+        """Workers holding a lease or heard from within the TTL."""
+        leased = {s.leased_to for s in self._slots.values()
+                  if s.leased_to is not None and not s.queued}
+        now = time.monotonic()
+        return sum(1 for w in self._workers.values()
+                   if w.id in leased
+                   or now - w.last_seen_monotonic <= self.worker_ttl_s)
+
+    def _reclaim_expired_locked(self) -> int:
+        """Re-queue every slot whose lease deadline passed (lock held).
+
+        Each reclaim rotates the slot's token (so the late worker's
+        eventual upload is recognized as stale and dropped) and, past
+        ``max_lease_attempts``, fails the waiters instead of re-queuing
+        a job that keeps killing workers. Returns the reclaim count.
+        """
+        now = time.monotonic()
+        reclaimed = 0
+        for slot_id, slot in list(self._slots.items()):
+            if (slot.queued or slot.lease_deadline is None
+                    or now < slot.lease_deadline):
+                continue
+            reclaimed += 1
+            self._expired_total += 1
+            self._m_leases.inc(outcome="expired")
+            worker = self._workers.get(slot.leased_to or "")
+            if worker is not None:
+                worker.expired += 1
+            slot.leased_to = None
+            slot.lease_token = None
+            slot.lease_deadline = None
+            if slot.lease_attempts >= self.max_lease_attempts:
+                self._slots.pop(slot_id, None)
+                if slot.job.cacheable:
+                    self._slot_by_key.pop(slot.job.key, None)
+                self._m_jobs.inc(kind=job_kind(slot.job), outcome="failed")
+                self._fail_waiters(slot.waiters, (
+                    f"lease expired {slot.lease_attempts} times "
+                    f"(max_lease_attempts={self.max_lease_attempts})"
+                ))
+            else:
+                slot.queued = True
+                slot.queued_monotonic = now
+        if reclaimed:
+            self._update_gauges()
+            self._wakeup.notify_all()  # local dispatcher may pick them up
+            self._changed.notify_all()
+        return reclaimed
+
+    def claim_jobs(self, worker_id: str, max_jobs: int = 1,
+                   lease_s: float = 30.0) -> list[WorkerClaim]:
+        """Lease up to ``max_jobs`` queued computations to a worker.
+
+        Claims come out longest-first (the dispatcher's cost order) and
+        each carries a fresh opaque token the worker must echo back on
+        heartbeat/commit. An empty list means the queue is drained.
+        """
+        if not worker_id:
+            raise ConfigurationError("claim needs a non-empty worker id")
+        max_jobs = max(1, min(int(max_jobs), 256))
+        lease_s = float(lease_s)
+        if not 0.0 < lease_s <= 3600.0:
+            raise ConfigurationError(
+                f"lease_s must be in (0, 3600], got {lease_s}"
+            )
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError("scheduler is shut down")
+            self._reclaim_expired_locked()
+            worker = self._touch_worker_locked(worker_id)
+            queued = [(sid, s) for sid, s in self._slots.items() if s.queued]
+            queued.sort(key=lambda pair: pair[1].cost, reverse=True)
+            now = time.monotonic()
+            claims: list[WorkerClaim] = []
+            for slot_id, slot in queued[:max_jobs]:
+                slot.queued = False
+                slot.leased_to = worker_id
+                slot.lease_token = uuid.uuid4().hex
+                slot.lease_deadline = now + lease_s
+                slot.lease_attempts += 1
+                self._m_queue_wait.observe(now - slot.queued_monotonic)
+                self._m_leases.inc(outcome="claimed")
+                worker.claimed += 1
+                claims.append(WorkerClaim(
+                    slot=slot_id, token=slot.lease_token,
+                    key=slot.job.key, lease_s=lease_s, job=slot.job))
+            if claims:
+                self._update_gauges()
+            return claims
+
+    def heartbeat(self, worker_id: str, slots: Mapping[str, str],
+                  lease_s: float = 30.0) -> dict[str, bool]:
+        """Extend the worker's leases; returns per-slot aliveness.
+
+        ``slots`` maps slot id -> lease token. A False entry means the
+        lease was lost (expired and reclaimed, or committed elsewhere);
+        the worker should abandon that job and skip its upload.
+        """
+        lease_s = float(lease_s)
+        if not 0.0 < lease_s <= 3600.0:
+            raise ConfigurationError(
+                f"lease_s must be in (0, 3600], got {lease_s}"
+            )
+        with self._lock:
+            self._reclaim_expired_locked()
+            self._touch_worker_locked(worker_id)
+            now = time.monotonic()
+            alive: dict[str, bool] = {}
+            for slot_id, token in slots.items():
+                slot = self._slots.get(slot_id)
+                ok = (slot is not None and not slot.queued
+                      and slot.leased_to == worker_id
+                      and slot.lease_token == token)
+                if ok:
+                    slot.lease_deadline = now + lease_s
+                alive[slot_id] = ok
+            return alive
+
+    def _verify_lease_locked(self, worker_id: str, slot_id: str,
+                             token: str, key: str) -> _Slot | None:
+        """Validate a commit's lease; None means benignly stale.
+
+        Deliberately lenient about the deadline: an expired-but-not-yet
+        -reclaimed lease still commits (the work is deterministic and
+        correct — dropping it would only waste a re-execution). Only a
+        reclaim, which rotates the token, makes the old lease stale. A
+        key mismatch is never stale — it is a protocol violation and
+        raises.
+        """
+        slot = self._slots.get(slot_id)
+        if (slot is None or slot.queued or slot.leased_to != worker_id
+                or slot.lease_token != token):
+            return None
+        if key and slot.job.key != key:
+            raise ConfigurationError(
+                f"content-hash mismatch on slot {slot_id}: lease is for "
+                f"{slot.job.key}, result claims {key}"
+            )
+        return slot
+
+    def complete_lease(self, worker_id: str, slot_id: str, token: str,
+                       key: str, payload: dict) -> str:
+        """Commit a leased job's payload; 'committed' or 'stale'.
+
+        A stale commit (lease reclaimed, token rotated, slot already
+        retired) is dropped benignly — the re-leased execution is the
+        one that counts. Committed payloads flow through the same
+        ``_commit_slot`` funnel as the local dispatcher's.
+        """
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"complete expects a payload dict, got "
+                f"{type(payload).__name__}"
+            )
+        with self._lock:
+            slot = self._verify_lease_locked(worker_id, slot_id, token, key)
+            worker = self._touch_worker_locked(worker_id)
+            if slot is None:
+                self._m_leases.inc(outcome="stale")
+                return "stale"
+            worker.completed += 1
+            self._m_leases.inc(outcome="committed")
+            self._commit_slot_locked(slot_id, payload)
+            return "committed"
+
+    def fail_lease(self, worker_id: str, slot_id: str, token: str,
+                   key: str, error: str) -> str:
+        """Report a leased job's execution failure; 'committed'|'stale'.
+
+        Routes the error through the same funnel as a locally captured
+        job failure (:func:`_execute_safely`), so only the tickets
+        waiting on this job fail.
+        """
+        with self._lock:
+            slot = self._verify_lease_locked(worker_id, slot_id, token, key)
+            worker = self._touch_worker_locked(worker_id)
+            if slot is None:
+                self._m_leases.inc(outcome="stale")
+                return "stale"
+            worker.failed += 1
+            self._m_leases.inc(outcome="failed")
+            self._commit_slot_locked(
+                slot_id, {_JOB_ERROR: str(error) or "worker-reported failure"})
+            return "committed"
+
+    def fleet_snapshot(self) -> dict:
+        """JSON-ready fleet health: workers, leases, queue depth.
+
+        Runs a reclaim pass first (the fleet endpoints and ``healthz``
+        are the lease path's clock), then prunes workers past the TTL
+        that hold no lease.
+        """
+        with self._lock:
+            self._reclaim_expired_locked()
+            now = time.monotonic()
+            leased_by: dict[str, int] = {}
+            for s in self._slots.values():
+                if s.leased_to is not None and not s.queued:
+                    leased_by[s.leased_to] = leased_by.get(s.leased_to, 0) + 1
+            for wid, info in list(self._workers.items()):
+                if (wid not in leased_by
+                        and now - info.last_seen_monotonic
+                        > self.worker_ttl_s):
+                    del self._workers[wid]
+            queued = sum(1 for s in self._slots.values() if s.queued)
+            workers = [
+                {
+                    "id": w.id,
+                    "first_seen_unix": w.first_seen_unix,
+                    "last_seen_unix": w.last_seen_unix,
+                    "leases_held": leased_by.get(w.id, 0),
+                    "claimed": w.claimed,
+                    "completed": w.completed,
+                    "failed": w.failed,
+                    "expired": w.expired,
+                }
+                for w in sorted(self._workers.values(),
+                                key=lambda w: w.first_seen_unix)
+            ]
+            return {
+                "workers": workers,
+                "workers_active": self._active_workers_locked(),
+                "leases_active": sum(leased_by.values()),
+                "leases_expired_total": self._expired_total,
+                "queue_depth": queued,
+                "jobs_in_flight": len(self._slots) - queued,
+                "local_dispatch": self.local_dispatch,
+            }
 
     # ------------------------------------------------------------------
     # Introspection
@@ -728,4 +1068,5 @@ class SweepScheduler:
             self._closed = True
             self._wakeup.notify_all()
             self._changed.notify_all()
-        self._thread.join(timeout)
+        if self._thread is not None:
+            self._thread.join(timeout)

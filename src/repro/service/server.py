@@ -26,19 +26,35 @@ Endpoints (all JSON unless noted):
 ``GET  /v1/jobs/<hash>``                  artifact-store read path
                                           over the disk cache tier
 ``GET  /v1/cache``                        cache stats + manifest size
+``POST /v1/workers/claim``                lease queued jobs to a pull
+                                          worker (wire ``WorkerClaim``
+                                          list back)
+``POST /v1/workers/heartbeat``            extend a worker's leases
+``POST /v1/workers/result``               upload a wire ``WorkerResult``
+                                          (content hash verified)
+``GET  /v1/workers``                      fleet snapshot (workers,
+                                          leases, queue depth)
 ``GET  /v1/metrics``                      Prometheus text exposition
                                           (``text/plain``)
-``GET  /v1/healthz``                      liveness probe
+``GET  /v1/healthz``                      liveness probe + fleet/queue
+                                          health
 ========================================  =============================
 
 Built on :class:`http.server.ThreadingHTTPServer` — no dependencies
 beyond the standard library, per-request threads, and the engine's
 context-local sessions (PR 3) keep concurrent requests isolated.
+
+Setting ``REPRO_SERVICE_TOKEN`` (or passing ``token=``) requires
+``Authorization: Bearer <token>`` on every mutating (POST) endpoint;
+reads stay open. :class:`~repro.service.client.ServiceClient` and the
+fleet worker pick the token up from the same variable automatically.
 """
 
 from __future__ import annotations
 
+import hmac
 import json
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -109,9 +125,16 @@ class SweepService:
 
     def __init__(self, executor: Executor | None = None,
                  cache: ResultCache | None = None,
-                 scheduler: SweepScheduler | None = None) -> None:
+                 scheduler: SweepScheduler | None = None,
+                 token: str | None = None) -> None:
         self.scheduler = scheduler if scheduler is not None else \
             SweepScheduler(executor=executor, cache=cache)
+        # Bearer token gating mutating endpoints; None/"" disables auth.
+        # Defaults from REPRO_SERVICE_TOKEN so one env var arms both
+        # ends (pass token="" to force auth off with the var set).
+        if token is None:
+            token = os.environ.get("REPRO_SERVICE_TOKEN") or None
+        self.token = token or None
         # ticket id -> (experiment name, scale name) for reduce-on-read
         self._experiment_tickets: dict[str, tuple[str, str]] = {}
         # ticket id -> encoded result/payloads/experiment extras; a
@@ -263,6 +286,81 @@ class SweepService:
         links.update({"name": name, "scale": scale_name})
         return links
 
+    # -- fleet ---------------------------------------------------------
+
+    def worker_claim(self, body: bytes) -> dict:
+        doc = _parse_json(body)
+        worker = doc.get("worker")
+        if not isinstance(worker, str) or not worker:
+            raise ServiceError(400, "claim needs a non-empty 'worker' id")
+        try:
+            max_jobs = int(doc.get("max_jobs", 1))
+            lease_s = float(doc.get("lease_s", 30.0))
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(
+                400, f"bad claim parameters: {exc}") from exc
+        claims = self.scheduler.claim_jobs(worker, max_jobs=max_jobs,
+                                           lease_s=lease_s)
+        return wire.envelope([wire.to_wire(c) for c in claims])
+
+    def worker_heartbeat(self, body: bytes) -> dict:
+        doc = _parse_json(body)
+        worker = doc.get("worker")
+        if not isinstance(worker, str) or not worker:
+            raise ServiceError(400, "heartbeat needs a non-empty 'worker'")
+        slots = doc.get("slots")
+        if (not isinstance(slots, dict)
+                or not all(isinstance(k, str) and isinstance(v, str)
+                           for k, v in slots.items())):
+            raise ServiceError(
+                400, "heartbeat 'slots' must map slot id -> lease token")
+        try:
+            lease_s = float(doc.get("lease_s", 30.0))
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(
+                400, f"bad heartbeat parameters: {exc}") from exc
+        alive = self.scheduler.heartbeat(worker, slots, lease_s=lease_s)
+        return {"worker": worker, "alive": alive}
+
+    def worker_result(self, body: bytes) -> dict:
+        try:
+            result = wire.loads(body)
+        except wire.WireError as exc:
+            raise ServiceError(400, str(exc)) from exc
+        if not isinstance(result, wire.WorkerResult):
+            raise ServiceError(
+                400, f"body decodes to {type(result).__name__}, "
+                     f"expected WorkerResult")
+        if result.error is not None:
+            status = self.scheduler.fail_lease(
+                result.worker, result.slot, result.token, result.key,
+                result.error)
+        else:
+            status = self.scheduler.complete_lease(
+                result.worker, result.slot, result.token, result.key,
+                result.payload)
+        return {"slot": result.slot, "status": status}
+
+    def list_workers(self) -> dict:
+        return self.scheduler.fleet_snapshot()
+
+    def health_info(self) -> dict:
+        fleet = self.scheduler.fleet_snapshot()
+        return {
+            "ok": True,
+            "workers": {
+                "active": fleet["workers_active"],
+                "known": len(fleet["workers"]),
+                "leases_active": fleet["leases_active"],
+                "leases_expired_total": fleet["leases_expired_total"],
+            },
+            "queue_depth": fleet["queue_depth"],
+            "jobs_in_flight": fleet["jobs_in_flight"],
+            "local_dispatch": fleet["local_dispatch"],
+        }
+
+    # ------------------------------------------------------------------
+
     def job_record(self, key: str) -> dict:
         record = self.cache.get_record(key)
         if record is None:
@@ -296,6 +394,9 @@ class SweepService:
         snap = self.scheduler.telemetry_snapshot()
         self.scheduler._m_queue_depth.set(snap["queue_depth"])
         self.scheduler._m_in_flight.set(snap["jobs_in_flight"])
+        fleet = self.scheduler.fleet_snapshot()
+        self.scheduler._m_workers_active.set(fleet["workers_active"])
+        self.scheduler._m_leases_active.set(fleet["leases_active"])
         for counter, value in self.cache.stats.snapshot().items():
             _M_CACHE_STATS.set(value, counter=counter)
         artifacts, disk_bytes = self.cache.disk_usage()
@@ -423,11 +524,25 @@ class _Handler(BaseHTTPRequestHandler):
                 _M_REQUESTS.inc(method=method, route=route,
                                 status=str(self._status))
 
+    def _check_auth(self) -> None:
+        """Enforce the service's bearer token on mutating requests."""
+        token = self.service.token
+        if not token:
+            return
+        header = self.headers.get("Authorization", "")
+        provided = header[len("Bearer "):] \
+            if header.startswith("Bearer ") else ""
+        if not hmac.compare_digest(provided.encode("utf-8"),
+                                   token.encode("utf-8")):
+            raise ServiceError(401, "missing or invalid bearer token")
+
     def _dispatch_v1(self, method: str, parts: list[str]) -> None:
         service = self.service
+        if method == "POST":
+            self._check_auth()
         match (method, parts):
             case ("GET", ["healthz"]):
-                self._send_json({"ok": True})
+                self._send_json(service.health_info())
             case ("GET", ["cache"]):
                 self._send_json(service.cache_info())
             case ("GET", ["metrics"]):
@@ -451,6 +566,14 @@ class _Handler(BaseHTTPRequestHandler):
                                 status=202)
             case ("GET", ["jobs", key]):
                 self._send_json(service.job_record(key))
+            case ("POST", ["workers", "claim"]):
+                self._send_json(service.worker_claim(self._body()))
+            case ("POST", ["workers", "heartbeat"]):
+                self._send_json(service.worker_heartbeat(self._body()))
+            case ("POST", ["workers", "result"]):
+                self._send_json(service.worker_result(self._body()))
+            case ("GET", ["workers"]):
+                self._send_json(service.list_workers())
             case _:
                 raise ServiceError(
                     404, f"no route for {method} {self.path!r}")
@@ -515,7 +638,8 @@ def make_server(host: str = "127.0.0.1", port: int = 8321,
                 executor: Executor | None = None,
                 cache: ResultCache | None = None,
                 quiet: bool = True,
-                enable_telemetry: bool = True) -> ThreadingHTTPServer:
+                enable_telemetry: bool = True,
+                token: str | None = None) -> ThreadingHTTPServer:
     """A ready-to-serve threading HTTP server (not yet serving).
 
     ``port=0`` binds an ephemeral port (tests); read it back from
@@ -527,7 +651,7 @@ def make_server(host: str = "127.0.0.1", port: int = 8321,
     if enable_telemetry:
         telemetry.enable()
     if service is None:
-        service = SweepService(executor=executor, cache=cache)
+        service = SweepService(executor=executor, cache=cache, token=token)
     handler = type("BoundHandler", (_Handler,),
                    {"service": service, "quiet": quiet})
     server = ThreadingHTTPServer((host, port), handler)
@@ -539,16 +663,26 @@ def make_server(host: str = "127.0.0.1", port: int = 8321,
 def serve(host: str = "127.0.0.1", port: int = 8321,
           jobs: int = 1, cache_dir: str | None = None,
           max_disk_bytes: int | None = None,
-          quiet: bool = False) -> int:
-    """Run the sweep service until interrupted (the CLI entry point)."""
+          quiet: bool = False, fleet: bool = False,
+          token: str | None = None) -> int:
+    """Run the sweep service until interrupted (the CLI entry point).
+
+    ``fleet=True`` disables in-process dispatch: queued work is only
+    executed by pull workers (``repro-experiments worker``) claiming it
+    over ``/v1/workers/*``.
+    """
     executor = ParallelExecutor(jobs) if jobs > 1 else SerialExecutor()
     cache = ResultCache(disk_dir=cache_dir, max_disk_bytes=max_disk_bytes)
-    server = make_server(host, port, executor=executor, cache=cache,
-                         quiet=quiet)
+    scheduler = SweepScheduler(executor=executor, cache=cache,
+                               local_dispatch=not fleet)
+    service = SweepService(scheduler=scheduler, token=token)
+    server = make_server(host, port, service=service, quiet=quiet)
     bound_host, bound_port = server.server_address[:2]
+    mode = "fleet (pull workers only)" if fleet \
+        else f"local (executor={executor.name}, jobs={jobs})"
     print(f"repro sweep service listening on http://{bound_host}:"
-          f"{bound_port} (executor={executor.name}, jobs={jobs}, "
-          f"cache_dir={cache_dir!r})")
+          f"{bound_port} (dispatch={mode}, cache_dir={cache_dir!r}, "
+          f"auth={'bearer' if service.token else 'off'})")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

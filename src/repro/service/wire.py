@@ -24,8 +24,10 @@ Documents are wrapped in a versioned envelope::
 speak (``engine_version`` travels for provenance/cache compatibility
 checks but does not gate decoding — hashes embed it anyway). Version 2
 added the optional telemetry ``spans`` on :class:`PointResult`;
-version-1 documents still decode (the field defaults to ``None``), so
-both versions are accepted.
+version 3 added the worker-fleet messages (:class:`WorkerClaim`,
+:class:`WorkerResult` — job leases and result uploads for pull
+workers). Both changes are additive, so version-1/2 documents still
+decode and all three versions are accepted.
 
 Correlation functions are encoded by class name + public parameters
 (the same extraction :func:`repro.engine.correlation_spec` hashes) and
@@ -38,7 +40,7 @@ from __future__ import annotations
 
 import base64
 import json
-from dataclasses import asdict
+from dataclasses import asdict, dataclass, field
 from typing import Any, Mapping
 
 import numpy as np
@@ -69,11 +71,12 @@ from ..engine.spec import (
 
 #: Bump when the wire encoding itself changes incompatibly.
 #: v2: PointResult grew the optional telemetry ``spans`` field.
-WIRE_VERSION = 2
+#: v3: worker-fleet messages (WorkerClaim / WorkerResult).
+WIRE_VERSION = 3
 
-#: Envelope versions this build can still decode. v1 lacks only
-#: additive fields, so it stays readable.
-COMPAT_WIRE_VERSIONS = frozenset({1, WIRE_VERSION})
+#: Envelope versions this build can still decode. v1/v2 lack only
+#: additive fields and message types, so they stay readable.
+COMPAT_WIRE_VERSIONS = frozenset({1, 2, WIRE_VERSION})
 
 #: Envelope format marker.
 WIRE_FORMAT = "repro-wire"
@@ -83,6 +86,47 @@ _TAG = "$type"
 
 class WireError(ReproError):
     """A document could not be encoded to / decoded from the wire."""
+
+
+# ----------------------------------------------------------------------
+# Worker-fleet messages (wire v3)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkerClaim:
+    """One leased computation handed to a pull worker.
+
+    ``slot`` + ``token`` identify the lease (the token changes on every
+    re-lease, which is what lets the scheduler drop stale commits after
+    a reclaim); ``key`` is the job's content hash, echoed back on upload
+    for hash verification; ``lease_s`` is how long the worker may hold
+    the lease between heartbeats.
+    """
+
+    slot: str
+    token: str
+    key: str
+    lease_s: float
+    job: Job
+
+
+@dataclass(frozen=True)
+class WorkerResult:
+    """A worker's result upload for one leased computation.
+
+    Exactly one of ``payload`` (the :func:`repro.engine.execute_job`
+    payload dict, array decoded) or ``error`` (the job's captured
+    failure message) is set.
+    """
+
+    slot: str
+    token: str
+    worker: str
+    key: str
+    payload: dict | None = None
+    error: str | None = None
+    #: Worker-local telemetry spans already ride inside ``payload``.
+    meta: dict = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -281,6 +325,31 @@ def to_wire(obj: Any) -> dict:
             "spans": (None if obj.spans is None
                       else [dict(s) for s in obj.spans]),
         }
+    if isinstance(obj, WorkerClaim):
+        return {
+            _TAG: "WorkerClaim",
+            "slot": obj.slot,
+            "token": obj.token,
+            "key": obj.key,
+            "lease_s": float(obj.lease_s),
+            "job": to_wire(obj.job),
+        }
+    if isinstance(obj, WorkerResult):
+        if (obj.payload is None) == (obj.error is None):
+            raise WireError(
+                "WorkerResult needs exactly one of payload or error"
+            )
+        return {
+            _TAG: "WorkerResult",
+            "slot": obj.slot,
+            "token": obj.token,
+            "worker": obj.worker,
+            "key": obj.key,
+            "payload": (None if obj.payload is None
+                        else encode_payload(obj.payload)),
+            "error": obj.error,
+            "meta": dict(obj.meta),
+        }
     if isinstance(obj, np.ndarray):
         return _encode_array(obj)
     raise WireError(
@@ -460,6 +529,34 @@ def _decode_profile(doc: Mapping) -> ProfileScenario:
     )
 
 
+def _decode_worker_claim(doc: Mapping) -> WorkerClaim:
+    slot, token, key, lease_s, job = _expect(
+        doc, "slot", "token", "key", "lease_s", "job")
+    job = _decode(job)
+    if not isinstance(job, Job):
+        raise WireError("WorkerClaim 'job' is not a wire Job document")
+    return WorkerClaim(slot=str(slot), token=str(token), key=str(key),
+                       lease_s=float(lease_s), job=job)
+
+
+def _decode_worker_result(doc: Mapping) -> WorkerResult:
+    slot, token, worker, key = _expect(
+        doc, "slot", "token", "worker", "key")
+    payload = doc.get("payload")
+    error = doc.get("error")
+    if (payload is None) == (error is None):
+        raise WireError(
+            "WorkerResult needs exactly one of payload or error"
+        )
+    return WorkerResult(
+        slot=str(slot), token=str(token), worker=str(worker),
+        key=str(key),
+        payload=None if payload is None else decode_payload(payload),
+        error=None if error is None else str(error),
+        meta=dict(doc.get("meta") or {}),
+    )
+
+
 def _decode_point(doc: Mapping) -> PointResult:
     fields = _strip(doc)
     return PointResult(**fields)
@@ -491,6 +588,8 @@ _DECODERS = {
     "Job": _decode_job,
     "PointResult": _decode_point,
     "SweepResult": _decode_sweep_result,
+    "WorkerClaim": _decode_worker_claim,
+    "WorkerResult": _decode_worker_result,
 }
 
 

@@ -1,0 +1,805 @@
+"""Tests of the worker fleet (``repro.fleet``) and artifact stores.
+
+Four groups mirroring the subsystem's layers:
+
+- the :class:`~repro.engine.ArtifactStore` interface: LocalDirStore /
+  MemoryStore semantics, and ResultCache running unchanged on a
+  non-disk backend;
+- the scheduler's lease protocol: claim/heartbeat/commit, silent-death
+  reclaim with bit-identical re-leased results, stale- and double-
+  commit rejection, content-hash verification, fleet-wide dedup;
+- the HTTP fleet: pull workers against a ``--fleet`` style server,
+  bearer auth on mutating endpoints, healthz/metrics fleet fields,
+  and the client's idempotent-GET retry policy (flaky-server double);
+- the CI smoke (``REPRO_FLEET_SMOKE``): fig3 quick over two worker
+  subprocesses matches the in-process run.
+"""
+
+import contextlib
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+import warnings
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+import pytest
+
+from repro.constants import GHZ, UM
+from repro.core import StochasticLossConfig
+from repro.engine import (
+    EstimatorSpec,
+    LocalDirStore,
+    MemoryStore,
+    ResultCache,
+    SerialExecutor,
+    StochasticScenario,
+    SweepSpec,
+    execute_job,
+    run_sweep,
+)
+from repro.errors import ConfigurationError
+from repro.fleet import FleetWorker
+from repro import telemetry
+from repro.service import wire
+from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.scheduler import SweepScheduler
+from repro.service.server import SweepService, make_server
+from repro.surfaces import GaussianCorrelation
+
+
+def _tiny_spec(freqs=(1.0, 3.0), name="m"):
+    """A fast two-point stochastic sweep (8x8 grid, 2 KL modes)."""
+    return SweepSpec(
+        scenarios=[StochasticScenario(
+            name, GaussianCorrelation(1 * UM, 1 * UM),
+            StochasticLossConfig(points_per_side=8, max_modes=2))],
+        frequencies_hz=[f * GHZ for f in freqs],
+        estimators=EstimatorSpec(kind="sscm", order=1))
+
+
+@contextlib.contextmanager
+def _quiet():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        yield
+
+
+@pytest.fixture(autouse=True)
+def _restore_telemetry():
+    """make_server enables telemetry process-wide; don't leak it."""
+    was = telemetry.enabled()
+    yield
+    (telemetry.enable if was else telemetry.disable)()
+
+
+def _reference_result(spec):
+    with _quiet():
+        return run_sweep(spec, executor=SerialExecutor(),
+                         cache=ResultCache())
+
+
+def _drain_with_worker(scheduler, worker_id="w", lease_s=30.0):
+    """Execute everything queued through the lease protocol, honestly."""
+    while True:
+        claims = scheduler.claim_jobs(worker_id, max_jobs=64,
+                                      lease_s=lease_s)
+        if not claims:
+            return
+        for claim in claims:
+            with _quiet():
+                payload = execute_job(claim.job)
+            assert scheduler.complete_lease(
+                worker_id, claim.slot, claim.token, claim.key,
+                payload) == "committed"
+
+
+# ----------------------------------------------------------------------
+# Artifact stores
+# ----------------------------------------------------------------------
+
+class TestArtifactStores:
+    @pytest.mark.parametrize("make", [
+        lambda tmp: LocalDirStore(tmp / "store"),
+        lambda tmp: MemoryStore(),
+    ], ids=["local-dir", "memory"])
+    def test_put_get_has_delete_roundtrip(self, tmp_path, make):
+        store = make(tmp_path)
+        blobs = {"json": b'{"a": 1}', "npz": b"\x00\x01binary"}
+        assert not store.has("k1")
+        assert store.get("k1") is None
+        store.put("k1", blobs)
+        assert store.has("k1")
+        assert store.get("k1") == blobs
+        assert store.get("k1", names=("json",)) == {"json": blobs["json"]}
+        entries, total = store.size()
+        assert entries == 1
+        assert total == sum(len(b) for b in blobs.values())
+        assert store.delete("k1")
+        assert not store.has("k1")
+        assert not store.delete("k1")
+        assert store.size() == (0, 0)
+
+    @pytest.mark.parametrize("make", [
+        lambda tmp: LocalDirStore(tmp / "store"),
+        lambda tmp: MemoryStore(),
+    ], ids=["local-dir", "memory"])
+    def test_list_is_least_recent_first_and_touch_bumps(self, tmp_path,
+                                                        make):
+        store = make(tmp_path)
+        for i, key in enumerate(["a", "b", "c"]):
+            store.put(key, {"json": b"{}", "npz": b"x"})
+            if isinstance(store, LocalDirStore):
+                # Pin distinct mtimes (filesystem clocks are coarse).
+                for name in ("json", "npz"):
+                    os.utime(store._path(key, name), (i, i))
+            else:
+                store._mtime[key] = float(i)
+        assert [e.key for e in store.list()] == ["a", "b", "c"]
+        store.touch("a")
+        if isinstance(store, LocalDirStore):
+            for name in ("json", "npz"):
+                os.utime(store._path("a", name), (10, 10))
+        assert [e.key for e in store.list()] == ["b", "c", "a"]
+
+    def test_local_dir_layout_matches_cache_convention(self, tmp_path):
+        store = LocalDirStore(tmp_path / "s")
+        store.put("deadbeef", {"json": b"{}", "npz": b"z"})
+        assert (tmp_path / "s" / "deadbeef.json").exists()
+        assert (tmp_path / "s" / "deadbeef.npz").exists()
+        # no stray tmp files left behind by the atomic writes
+        assert not list((tmp_path / "s").glob("*.tmp*"))
+
+    def test_result_cache_runs_on_memory_store(self):
+        """The promotion's point: a non-disk backend is one constructor
+        argument, and the cache's two-tier semantics are unchanged."""
+        store = MemoryStore()
+        cache = ResultCache(store=store, max_memory_entries=1)
+        spec = _tiny_spec()
+        jobs = spec.jobs()
+        with _quiet():
+            payloads = [execute_job(j) for j in jobs]
+        for job, payload in zip(jobs, payloads):
+            cache.put(job.key, payload)
+        # both persisted; memory LRU holds only the last
+        assert store.size()[0] == len(jobs)
+        hit = cache.get(jobs[0].key)
+        assert hit is not None
+        assert np.array_equal(np.asarray(hit["values"]),
+                              np.asarray(payloads[0]["values"]))
+        assert cache.stats.snapshot()["disk_hits"] >= 1
+
+    def test_cache_rejects_store_and_disk_dir_together(self, tmp_path):
+        with pytest.raises(ConfigurationError,
+                           match="disk_dir.*store|store.*disk_dir"):
+            ResultCache(disk_dir=tmp_path / "d", store=MemoryStore())
+
+
+# ----------------------------------------------------------------------
+# Lease protocol (in-process scheduler)
+# ----------------------------------------------------------------------
+
+class TestLeaseProtocol:
+    def _fleet_scheduler(self, **kwargs):
+        kwargs.setdefault("cache", ResultCache())
+        kwargs.setdefault("local_dispatch", False)
+        return SweepScheduler(**kwargs)
+
+    def test_claim_execute_commit_matches_inprocess(self):
+        spec = _tiny_spec()
+        reference = _reference_result(spec)
+        scheduler = self._fleet_scheduler()
+        try:
+            ticket = scheduler.submit(spec)
+            _drain_with_worker(scheduler)
+            assert scheduler.wait(ticket, timeout=10)
+            result = scheduler.result(ticket)
+            for a, b in zip(reference.points, result.points):
+                assert a.mean == b.mean and a.std == b.std
+                assert np.array_equal(np.asarray(a.values),
+                                      np.asarray(b.values))
+        finally:
+            scheduler.shutdown()
+
+    def test_claims_come_out_longest_first(self):
+        scheduler = self._fleet_scheduler()
+        try:
+            scheduler.submit(SweepSpec(
+                scenarios=[
+                    StochasticScenario(
+                        "small", GaussianCorrelation(1 * UM, 1 * UM),
+                        StochasticLossConfig(points_per_side=8,
+                                             max_modes=2)),
+                    StochasticScenario(
+                        "big", GaussianCorrelation(1 * UM, 1 * UM),
+                        StochasticLossConfig(points_per_side=12,
+                                             max_modes=2)),
+                ],
+                frequencies_hz=[1 * GHZ],
+                estimators=EstimatorSpec(kind="sscm", order=1)))
+            claims = scheduler.claim_jobs("w", max_jobs=2, lease_s=30)
+            assert [c.job.scenario.name for c in claims] == ["big", "small"]
+        finally:
+            scheduler.shutdown()
+
+    def test_heartbeat_keeps_lease_alive_past_deadline(self):
+        scheduler = self._fleet_scheduler()
+        try:
+            scheduler.submit(_tiny_spec(freqs=(1.0,)))
+            claim, = scheduler.claim_jobs("w", max_jobs=1, lease_s=0.15)
+            for _ in range(4):
+                time.sleep(0.08)
+                alive = scheduler.heartbeat("w", {claim.slot: claim.token},
+                                            lease_s=0.15)
+                assert alive[claim.slot] is True
+            # still ours: nothing for another worker to claim
+            assert scheduler.claim_jobs("thief", max_jobs=4) == []
+        finally:
+            scheduler.shutdown()
+
+    def test_silent_death_releases_and_result_is_bit_identical(self):
+        """A worker claims everything, dies silently; leases expire,
+        a second worker re-executes, and the SweepResult equals the
+        in-process run bit-for-bit."""
+        spec = _tiny_spec()
+        reference = _reference_result(spec)
+        scheduler = self._fleet_scheduler()
+        try:
+            ticket = scheduler.submit(spec)
+            dead = scheduler.claim_jobs("dead", max_jobs=64, lease_s=0.05)
+            assert len(dead) == spec.n_jobs
+            # nothing available while the leases are live
+            assert scheduler.claim_jobs("alive", max_jobs=64) == [] \
+                or time.sleep(0.0)
+            time.sleep(0.1)  # let every lease expire
+            _drain_with_worker(scheduler, "alive")
+            assert scheduler.wait(ticket, timeout=10)
+            result = scheduler.result(ticket)
+            for a, b in zip(reference.points, result.points):
+                assert a.mean == b.mean and a.std == b.std
+                assert np.array_equal(np.asarray(a.values),
+                                      np.asarray(b.values))
+            snap = scheduler.fleet_snapshot()
+            assert snap["leases_expired_total"] == len(dead)
+            # the late worker's uploads are stale, not double-commits
+            with _quiet():
+                payload = execute_job(dead[0].job)
+            assert scheduler.complete_lease(
+                "dead", dead[0].slot, dead[0].token, dead[0].key,
+                payload) == "stale"
+        finally:
+            scheduler.shutdown()
+
+    def test_double_commit_is_rejected(self):
+        scheduler = self._fleet_scheduler()
+        try:
+            ticket = scheduler.submit(_tiny_spec(freqs=(1.0,)))
+            claim, = scheduler.claim_jobs("w", max_jobs=1, lease_s=30)
+            with _quiet():
+                payload = execute_job(claim.job)
+            assert scheduler.complete_lease(
+                "w", claim.slot, claim.token, claim.key,
+                payload) == "committed"
+            assert scheduler.complete_lease(
+                "w", claim.slot, claim.token, claim.key,
+                payload) == "stale"
+            assert scheduler.wait(ticket, timeout=10)
+        finally:
+            scheduler.shutdown()
+
+    def test_commit_verifies_content_hash(self):
+        scheduler = self._fleet_scheduler()
+        try:
+            scheduler.submit(_tiny_spec(freqs=(1.0,)))
+            claim, = scheduler.claim_jobs("w", max_jobs=1, lease_s=30)
+            with pytest.raises(ConfigurationError, match="content-hash"):
+                scheduler.complete_lease("w", claim.slot, claim.token,
+                                         "0" * 64, {"mean": 0.0})
+            # the failed verification did not consume the lease
+            with _quiet():
+                payload = execute_job(claim.job)
+            assert scheduler.complete_lease(
+                "w", claim.slot, claim.token, claim.key,
+                payload) == "committed"
+        finally:
+            scheduler.shutdown()
+
+    def test_wrong_token_and_wrong_worker_are_stale(self):
+        scheduler = self._fleet_scheduler()
+        try:
+            scheduler.submit(_tiny_spec(freqs=(1.0,)))
+            claim, = scheduler.claim_jobs("w", max_jobs=1, lease_s=30)
+            with _quiet():
+                payload = execute_job(claim.job)
+            assert scheduler.complete_lease(
+                "w", claim.slot, "bad-token", claim.key,
+                payload) == "stale"
+            assert scheduler.complete_lease(
+                "other", claim.slot, claim.token, claim.key,
+                payload) == "stale"
+            assert scheduler.complete_lease(
+                "w", claim.slot, claim.token, claim.key,
+                payload) == "committed"
+        finally:
+            scheduler.shutdown()
+
+    def test_worker_reported_failure_fails_only_its_waiters(self):
+        scheduler = self._fleet_scheduler()
+        try:
+            bad = scheduler.submit(_tiny_spec(freqs=(1.0,), name="bad"))
+            good = scheduler.submit(_tiny_spec(freqs=(3.0,), name="good"))
+            claims = scheduler.claim_jobs("w", max_jobs=4, lease_s=30)
+            for claim in claims:
+                if claim.job.scenario.name == "bad":
+                    assert scheduler.fail_lease(
+                        "w", claim.slot, claim.token, claim.key,
+                        "boom: solver exploded") == "committed"
+                else:
+                    with _quiet():
+                        scheduler.complete_lease(
+                            "w", claim.slot, claim.token, claim.key,
+                            execute_job(claim.job))
+            assert scheduler.wait(bad, timeout=10)
+            assert scheduler.wait(good, timeout=10)
+            assert scheduler.status(bad)["state"] == "failed"
+            assert "boom" in scheduler.status(bad)["error"]
+            assert scheduler.status(good)["state"] == "complete"
+        finally:
+            scheduler.shutdown()
+
+    def test_max_lease_attempts_fails_the_waiters(self):
+        scheduler = self._fleet_scheduler(max_lease_attempts=2)
+        try:
+            ticket = scheduler.submit(_tiny_spec(freqs=(1.0,)))
+            for _ in range(2):
+                claims = scheduler.claim_jobs("crashy", max_jobs=1,
+                                              lease_s=0.02)
+                assert len(claims) == 1
+                time.sleep(0.05)  # die without committing
+            # next lease-path call reclaims past the attempt budget
+            assert scheduler.claim_jobs("crashy", max_jobs=1) == []
+            assert scheduler.wait(ticket, timeout=10)
+            status = scheduler.status(ticket)
+            assert status["state"] == "failed"
+            assert "lease expired" in status["error"]
+        finally:
+            scheduler.shutdown()
+
+    def test_two_workers_never_share_a_hash(self):
+        """Fleet-wide dedup: overlapping sweeps, two claimants — every
+        unique content hash is handed out (and executed) exactly once."""
+        scheduler = self._fleet_scheduler()
+        try:
+            t1 = scheduler.submit(_tiny_spec(freqs=(1.0, 3.0)))
+            t2 = scheduler.submit(_tiny_spec(freqs=(1.0, 5.0)))  # overlaps
+            seen = []
+            workers = ["w1", "w2"]
+            turn = 0
+            while True:
+                claims = scheduler.claim_jobs(workers[turn % 2],
+                                              max_jobs=1, lease_s=30)
+                turn += 1
+                if not claims and turn > 2:
+                    break
+                for claim in claims:
+                    seen.append(claim.key)
+                    with _quiet():
+                        scheduler.complete_lease(
+                            workers[(turn - 1) % 2], claim.slot,
+                            claim.token, claim.key,
+                            execute_job(claim.job))
+            assert len(seen) == len(set(seen)) == 3  # 1+3 GHz, plus 5 GHz
+            assert scheduler.wait(t1, timeout=10)
+            assert scheduler.wait(t2, timeout=10)
+            assert scheduler.cache.stats.snapshot()["stores"] == 3
+        finally:
+            scheduler.shutdown()
+
+    def test_local_dispatch_still_works_alongside_claims(self):
+        """With the dispatcher on, a leased slot is never double-run:
+        the dispatcher only takes queued slots."""
+        scheduler = SweepScheduler(cache=ResultCache())  # dispatcher on
+        try:
+            with _quiet():
+                ticket = scheduler.submit(_tiny_spec())
+                assert scheduler.wait(ticket, timeout=60)
+            # queue drained by the dispatcher; claims find nothing
+            assert scheduler.claim_jobs("w", max_jobs=8) == []
+        finally:
+            scheduler.shutdown()
+
+    def test_claim_validation(self):
+        scheduler = self._fleet_scheduler()
+        try:
+            with pytest.raises(ConfigurationError, match="worker id"):
+                scheduler.claim_jobs("", max_jobs=1)
+            with pytest.raises(ConfigurationError, match="lease_s"):
+                scheduler.claim_jobs("w", max_jobs=1, lease_s=0.0)
+            with pytest.raises(ConfigurationError, match="lease_s"):
+                scheduler.heartbeat("w", {}, lease_s=-1.0)
+        finally:
+            scheduler.shutdown()
+
+
+# ----------------------------------------------------------------------
+# HTTP fleet
+# ----------------------------------------------------------------------
+
+@pytest.fixture()
+def fleet_server():
+    """A pure fleet server (no in-process dispatch) on an ephemeral
+    port; yields (url, service)."""
+    scheduler = SweepScheduler(cache=ResultCache(), local_dispatch=False)
+    service = SweepService(scheduler=scheduler, token="")
+    server = make_server(port=0, service=service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}", service
+    finally:
+        service.shutdown()
+        server.shutdown()
+        thread.join(5)
+
+
+def _series(text, name):
+    """Parse one metric family out of a Prometheus text document."""
+    out = {}
+    for line in text.splitlines():
+        if line.startswith(name) and not line.startswith("#"):
+            head, value = line.rsplit(" ", 1)
+            out[head[len(name):]] = float(value)
+    return out
+
+
+class TestHTTPFleet:
+    def test_workers_drain_queue_bit_identical_and_deduped(
+            self, fleet_server):
+        url, service = fleet_server
+        spec = _tiny_spec()
+        reference = _reference_result(spec)
+        client = ServiceClient(url, poll_interval=0.02)
+        before = _series(client.metrics_text(),
+                         "repro_scheduler_jobs_total")
+        # two clients, overlapping work; two pull workers
+        t1 = client.submit(spec)
+        t2 = client.submit(_tiny_spec(freqs=(1.0, 5.0)))
+        workers = [FleetWorker(url, worker_id=f"fw{i}", concurrency=2,
+                               lease_s=10, exit_when_idle=True)
+                   for i in range(2)]
+        threads = [threading.Thread(target=w.run) for w in workers]
+        with _quiet():
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60)
+        status = client.wait(t1, timeout=30)
+        assert status["state"] == "complete"
+        assert client.wait(t2, timeout=30)["state"] == "complete"
+        remote = client.result(t1)
+        for a, b in zip(reference.points, remote.points):
+            assert a.mean == b.mean and a.std == b.std
+            assert np.array_equal(np.asarray(a.values),
+                                  np.asarray(b.values))
+        # dedup invariant: 3 unique hashes -> exactly 3 computed jobs
+        after = _series(client.metrics_text(),
+                        "repro_scheduler_jobs_total")
+        key = '{kind="stochastic",outcome="computed"}'
+        assert after.get(key, 0) - before.get(key, 0) == 3
+        assert service.cache.stats.snapshot()["stores"] == 3
+        claimed = sum(w.stats["claimed"] for w in workers)
+        committed = sum(w.stats["completed"] for w in workers)
+        assert claimed == committed == 3
+
+    def test_healthz_and_workers_report_fleet_state(self, fleet_server):
+        url, service = fleet_server
+        client = ServiceClient(url, poll_interval=0.02)
+        health = client._get("/v1/healthz")
+        assert health["ok"] is True
+        assert health["local_dispatch"] is False
+        assert health["queue_depth"] == 0
+        client.submit(_tiny_spec())
+        assert client._get("/v1/healthz")["queue_depth"] == 2
+        claims = client.claim_jobs("hw", max_jobs=1, lease_s=30)
+        assert len(claims) == 1
+        health = client._get("/v1/healthz")
+        assert health["queue_depth"] == 1
+        assert health["workers"]["active"] == 1
+        assert health["workers"]["leases_active"] == 1
+        snapshot = client.workers()
+        assert [w["id"] for w in snapshot["workers"]] == ["hw"]
+        assert snapshot["workers"][0]["leases_held"] == 1
+        metrics = client.metrics_text()
+        assert _series(metrics, "repro_fleet_workers_active")[""] == 1
+        assert _series(metrics, "repro_fleet_leases_active")[""] == 1
+
+    def test_worker_graceful_drain(self, fleet_server):
+        url, _service = fleet_server
+        client = ServiceClient(url, poll_interval=0.02)
+        ticket = client.submit(_tiny_spec())
+        worker = FleetWorker(url, worker_id="drainer", concurrency=2,
+                             lease_s=10, idle_poll_s=0.05)
+        thread = threading.Thread(target=worker.run)
+        with _quiet():
+            thread.start()
+            # let it claim, then request the drain mid-flight
+            deadline = time.monotonic() + 10
+            while (worker.stats["claimed"] == 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            worker.stop()
+            thread.join(60)
+        assert not thread.is_alive()
+        # drained, not dropped: every claim was committed before exit
+        assert worker.stats["claimed"] >= 1
+        assert worker.stats["completed"] == worker.stats["claimed"]
+        assert client.wait(ticket, timeout=10)["state"] == "complete"
+
+    def test_bearer_auth_gates_mutating_endpoints(self):
+        scheduler = SweepScheduler(cache=ResultCache(),
+                                   local_dispatch=False)
+        service = SweepService(scheduler=scheduler, token="sekrit")
+        server = make_server(port=0, service=service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        try:
+            anon = ServiceClient(url, token="", max_retries=0)
+            with pytest.raises(ConfigurationError, match="HTTP 401"):
+                anon.submit(_tiny_spec())
+            with pytest.raises(ConfigurationError, match="HTTP 401"):
+                anon.claim_jobs("w", max_jobs=1)
+            bad = ServiceClient(url, token="wrong", max_retries=0)
+            with pytest.raises(ConfigurationError, match="HTTP 401"):
+                bad.submit(_tiny_spec())
+            # reads stay open
+            assert anon.healthy()
+            assert "repro_" in anon.metrics_text()
+            # the authed pair works end to end, worker included
+            authed = ServiceClient(url, token="sekrit")
+            ticket = authed.submit(_tiny_spec(freqs=(1.0,)))
+            worker = FleetWorker(authed, worker_id="authw",
+                                 exit_when_idle=True)
+            with _quiet():
+                worker.run()
+            assert authed.wait(ticket, timeout=30)["state"] == "complete"
+        finally:
+            service.shutdown()
+            server.shutdown()
+            thread.join(5)
+
+    def test_token_defaults_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_TOKEN", "envtok")
+        assert SweepService(
+            scheduler=SweepScheduler(cache=ResultCache(),
+                                     local_dispatch=False)).token == "envtok"
+        assert ServiceClient("http://x").token == "envtok"
+        # explicit empty string forces auth off despite the variable
+        assert ServiceClient("http://x", token="").token is None
+
+
+# ----------------------------------------------------------------------
+# Client retry policy (flaky-server double)
+# ----------------------------------------------------------------------
+
+class _FlakyHandler(BaseHTTPRequestHandler):
+    """Fails the first ``fail_first`` requests per method with 503."""
+
+    state = {"GET": 0, "POST": 0}
+    fail_first = {"GET": 2, "POST": 2}
+
+    def log_message(self, format, *args):  # noqa: A002
+        pass
+
+    def _serve(self, method):
+        self.state[method] += 1
+        if self.state[method] <= self.fail_first[method]:
+            body = json.dumps({"error": "warming up"}).encode()
+            self.send_response(503)
+        else:
+            body = json.dumps({"ok": True, "attempts":
+                               self.state[method]}).encode()
+            self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):  # noqa: N802
+        self._serve("GET")
+
+    def do_POST(self):  # noqa: N802
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            self.rfile.read(length)
+        self._serve("POST")
+
+
+@pytest.fixture()
+def flaky_url():
+    handler = type("Flaky", (_FlakyHandler,),
+                   {"state": {"GET": 0, "POST": 0}})
+    server = ThreadingHTTPServer(("127.0.0.1", 0), handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}", handler
+    finally:
+        server.shutdown()
+        thread.join(5)
+
+
+class TestClientRetries:
+    def test_idempotent_get_retries_through_transients(self, flaky_url):
+        url, handler = flaky_url
+        client = ServiceClient(url, max_retries=3, backoff_base_s=0.01,
+                               backoff_cap_s=0.05)
+        doc = client._get("/v1/healthz")
+        assert doc["ok"] is True
+        assert handler.state["GET"] == 3  # 2 failures + 1 success
+
+    def test_get_gives_up_past_the_retry_budget(self, flaky_url):
+        url, handler = flaky_url
+        handler.fail_first = {"GET": 99, "POST": 99}
+        client = ServiceClient(url, max_retries=2, backoff_base_s=0.01,
+                               backoff_cap_s=0.05)
+        with pytest.raises(ConfigurationError, match="HTTP 503"):
+            client._get("/v1/healthz")
+        assert handler.state["GET"] == 3  # initial + 2 retries
+
+    def test_post_never_retries(self, flaky_url):
+        url, handler = flaky_url
+        client = ServiceClient(url, max_retries=3, backoff_base_s=0.01)
+        with pytest.raises(ConfigurationError, match="HTTP 503"):
+            client._post("/v1/sweeps", b"{}")
+        assert handler.state["POST"] == 1
+
+    def test_transport_error_retries_then_service_unavailable(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.2,
+                               max_retries=2, backoff_base_s=0.01,
+                               backoff_cap_s=0.02)
+        with pytest.raises(ServiceUnavailable):
+            client._get("/v1/healthz")
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution isolation
+# ----------------------------------------------------------------------
+
+class TestWorkerThreadIsolation:
+    def test_concurrent_jobs_never_share_a_model(self):
+        """The fleet worker runs claims on a thread pool; the model
+        memo must be per-thread, or two same-scenario jobs would race
+        on the solver's adaptive kernel tables and lose bit-identity
+        (regression: fig3-over-fleet differed at ~1e-9 from the
+        in-process run with a shared memo)."""
+        from repro.engine import runtime
+
+        scenario = _tiny_spec().scenarios[0]
+        with _quiet():
+            first = runtime._model_for(scenario)
+            # same thread: memoized, one eigendecomposition
+            assert runtime._model_for(scenario) is first
+            got = {}
+
+            def grab(tag):
+                got[tag] = runtime._model_for(scenario)
+
+            threads = [threading.Thread(target=grab, args=(i,))
+                       for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30)
+        assert got[0] is not got[1]
+        assert got[0] is not first and got[1] is not first
+
+
+# ----------------------------------------------------------------------
+# Wire v3 messages
+# ----------------------------------------------------------------------
+
+class TestWorkerWire:
+    def test_claim_round_trips_with_hash_intact(self):
+        job = _tiny_spec(freqs=(1.0,)).jobs()[0]
+        claim = wire.WorkerClaim(slot=job.key, token="t" * 32,
+                                 key=job.key, lease_s=30.0, job=job)
+        restored = wire.loads(wire.dumps(claim))
+        assert isinstance(restored, wire.WorkerClaim)
+        assert restored.slot == claim.slot
+        assert restored.token == claim.token
+        assert restored.job.key == job.key
+
+    def test_result_round_trips_payload_and_error(self):
+        job = _tiny_spec(freqs=(1.0,)).jobs()[0]
+        with _quiet():
+            payload = execute_job(job)
+        ok = wire.WorkerResult(slot="s", token="t", worker="w",
+                               key=job.key, payload=payload)
+        restored = wire.loads(wire.dumps(ok))
+        assert restored.payload["mean"] == payload["mean"]
+        assert np.array_equal(np.asarray(restored.payload["values"]),
+                              np.asarray(payload["values"]))
+        err = wire.WorkerResult(slot="s", token="t", worker="w",
+                                key=job.key, error="boom")
+        assert wire.loads(wire.dumps(err)).error == "boom"
+
+    def test_result_needs_exactly_one_of_payload_or_error(self):
+        with pytest.raises(wire.WireError, match="exactly one"):
+            wire.to_wire(wire.WorkerResult(slot="s", token="t",
+                                           worker="w", key="k"))
+
+
+# ----------------------------------------------------------------------
+# CI fleet smoke (subprocess server + two worker processes)
+# ----------------------------------------------------------------------
+
+@pytest.mark.smoke
+@pytest.mark.skipif("REPRO_FLEET_SMOKE" not in os.environ,
+                    reason="fig3-over-fleet smoke is minutes-scale; CI's "
+                           "fleet-smoke job sets REPRO_FLEET_SMOKE=1 "
+                           "to run it")
+def test_fleet_smoke_fig3_two_workers_matches_inprocess(tmp_path):
+    """The CI fleet smoke: serve --fleet, two worker subprocesses, a
+    quick fig3 sweep over HTTP — results match the in-process run and
+    the metrics show fleet activity."""
+    import repro.api
+
+    spec = repro.api.plan("fig3", scale="quick")
+    with _quiet():
+        reference = run_sweep(spec, executor=SerialExecutor(),
+                              cache=ResultCache())
+
+    env = dict(os.environ, PYTHONPATH="src")
+    port = 8432
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.experiments.runner", "serve",
+         "--fleet", "--port", str(port),
+         "--cache-dir", str(tmp_path / "cache")],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    workers = []
+    try:
+        url = f"http://127.0.0.1:{port}"
+        client = ServiceClient(url, poll_interval=0.2)
+        deadline = time.monotonic() + 30
+        while not client.healthy():
+            assert time.monotonic() < deadline, "server never came up"
+            time.sleep(0.2)
+        workers = [
+            subprocess.Popen(
+                [sys.executable, "-m", "repro.experiments.runner",
+                 "worker", "--server", url, "--concurrency", "2",
+                 "--worker-id", f"smoke-{i}", "--exit-when-idle"],
+                env=env, stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT)
+            for i in range(2)
+        ]
+        remote = client.run_sweep(spec, timeout=900)
+        assert np.array_equal(
+            np.asarray(reference.mean_curve(spec.scenarios[0].name)),
+            np.asarray(remote.mean_curve(spec.scenarios[0].name)))
+        for a, b in zip(reference.points, remote.points):
+            assert a.key == b.key
+            assert np.array_equal(np.asarray(a.values),
+                                  np.asarray(b.values))
+        snapshot = client.workers()
+        assert sum(w["completed"] for w in snapshot["workers"]) \
+            == len(reference.points)
+        metrics = client.metrics_text()
+        committed = _series(metrics, "repro_fleet_leases_total").get(
+            '{outcome="committed"}', 0)
+        assert committed == len(reference.points)
+    finally:
+        for p in workers:
+            p.terminate()
+        server.terminate()
+        for p in [*workers, server]:
+            try:
+                p.wait(30)
+            except subprocess.TimeoutExpired:
+                p.kill()

@@ -719,14 +719,15 @@ class TestWireV2:
             n_evals=3, seed=None, wall_time_s=0.3, cache_hit=True)
         assert wire.from_wire(wire.to_wire(bare)).spans is None
 
-    def test_v1_envelopes_still_decode(self):
-        """v2 only *added* an optional field; v1 documents (no spans
-        anywhere) must keep decoding."""
+    def test_old_envelopes_still_decode(self):
+        """v2/v3 only *added* fields and message types; v1 and v2
+        documents (no spans, no fleet messages) must keep decoding."""
         doc = json.loads(wire.dumps(_tiny_spec()))
-        assert doc["wire_version"] == wire.WIRE_VERSION == 2
-        doc["wire_version"] = 1
-        restored = wire.loads(json.dumps(doc))
-        assert restored.key == _tiny_spec().key
+        assert doc["wire_version"] == wire.WIRE_VERSION == 3
+        for old in (1, 2):
+            doc["wire_version"] = old
+            restored = wire.loads(json.dumps(doc))
+            assert restored.key == _tiny_spec().key
         # v1 PointResult documents lack the spans key entirely
         point_doc = wire.to_wire(PointResult(
             scenario="m", frequency_hz=1e9, estimator="e", key="k",
