@@ -10,6 +10,7 @@ Usage::
     python -m repro.experiments.runner --format json --output results/
     python -m repro.experiments.runner serve --port 8321 --jobs 4
     python -m repro.experiments.runner worker --server http://host:8321
+    python -m repro.experiments.runner top --server http://host:8321
 
 A thin argument-parsing layer over :mod:`repro.api`: the selected
 experiments execute as **one merged engine batch**
@@ -27,7 +28,10 @@ The ``serve`` subcommand runs the async sweep service instead
 streams NDJSON progress — see the README's "Running as a service".
 With ``--fleet`` the server stops executing jobs itself and only hands
 them out as leases; the ``worker`` subcommand (:mod:`repro.fleet`)
-runs the matching pull worker — see "Scaling out with workers".
+runs the matching pull worker — see "Scaling out with workers". The
+``top`` subcommand is a polling terminal dashboard over a running
+service's observability endpoints (queue depth, per-worker rates,
+straggler flags, cache hit ratio, recent warnings).
 """
 
 from __future__ import annotations
@@ -114,6 +118,9 @@ def _worker_main(argv: list[str]) -> int:
                              "polling forever")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-claim progress on stderr")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit worker progress as JSON lines instead "
+                             "of human-readable stderr text")
     args = parser.parse_args(argv)
     if args.concurrency < 1:
         parser.error(f"--concurrency must be >= 1, got {args.concurrency}")
@@ -134,7 +141,7 @@ def _worker_main(argv: list[str]) -> int:
             ServiceClient(args.server, token=args.token),
             worker_id=args.worker_id, concurrency=args.concurrency,
             lease_s=args.lease_s, exit_when_idle=args.exit_when_idle,
-            quiet=args.quiet)
+            quiet=args.quiet, log_json=args.log_json)
     except ConfigurationError as exc:
         parser.error(str(exc))
 
@@ -147,6 +154,30 @@ def _worker_main(argv: list[str]) -> int:
     print(f"[worker {worker.worker_id}] "
           + ", ".join(f"{k}={v}" for k, v in stats.items()))
     return 0
+
+
+def _top_main(argv: list[str]) -> int:
+    """``repro-experiments top ...`` — live fleet dashboard."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments top",
+        description="Polling terminal dashboard for a running sweep "
+                    "service: queue depth, per-worker throughput and "
+                    "straggler flags, cache hit ratio, recent warnings.")
+    parser.add_argument("--server", required=True, metavar="URL",
+                        help="sweep-service base URL, e.g. "
+                             "http://127.0.0.1:8321")
+    parser.add_argument("--interval", type=float, default=2.0, metavar="S",
+                        help="refresh period in seconds (default: 2)")
+    parser.add_argument("--once", action="store_true",
+                        help="print a single snapshot and exit (no "
+                             "screen clearing; script/CI friendly)")
+    args = parser.parse_args(argv)
+    if args.interval <= 0:
+        parser.error(f"--interval must be > 0, got {args.interval}")
+
+    from ..fleet.top import top
+
+    return top(args.server, interval=args.interval, once=args.once)
 
 
 def _format_phase_table(stats: dict[str, dict]) -> str:
@@ -178,6 +209,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve_main(argv[1:])
     if argv and argv[0] == "worker":
         return _worker_main(argv[1:])
+    if argv and argv[0] == "top":
+        return _top_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
         description="Regenerate the paper's tables and figures "

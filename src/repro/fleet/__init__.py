@@ -41,7 +41,8 @@ from ..engine.artifacts import (
     LocalDirStore,
     MemoryStore,
 )
-from ..service.wire import WorkerClaim, WorkerResult
+from ..service.wire import WorkerClaim, WorkerResult, WorkerTelemetry
+from .top import fetch_view, render_view
 from .worker import FleetWorker
 
 __all__ = [
@@ -52,4 +53,7 @@ __all__ = [
     "MemoryStore",
     "WorkerClaim",
     "WorkerResult",
+    "WorkerTelemetry",
+    "fetch_view",
+    "render_view",
 ]

@@ -18,6 +18,15 @@ Failure handling mirrors the lease protocol's guarantees:
 - ``stop()`` (the CLI wires it to SIGTERM/SIGINT) drains gracefully:
   no new claims, in-flight jobs finish and upload, then ``run()``
   returns its counters.
+
+Diagnostics go through the structured logger
+(:mod:`repro.telemetry.logs`) bound to this worker's ``worker_id`` —
+human-readable stderr by default, JSON lines with ``log_json=True``
+(the CLI's ``--log-json``), silent with ``quiet=True``. Every record
+lands in the process log buffer regardless, and with telemetry enabled
+each heartbeat federates the worker's metric snapshot plus the not-yet
+-acknowledged log records to the server (wire v4), which is how the
+fleet shows up in the server's ``GET /v1/metrics`` / ``/v1/logs``.
 """
 
 from __future__ import annotations
@@ -32,10 +41,31 @@ import uuid
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
 from concurrent.futures import wait as futures_wait
 
+from .. import telemetry
 from ..errors import ConfigurationError
 from ..engine.runtime import execute_job
 from ..service.client import ServiceClient, ServiceUnavailable
-from ..service.wire import WorkerClaim, WorkerResult
+from ..service.wire import WorkerClaim, WorkerResult, WorkerTelemetry
+
+#: Log records shipped per heartbeat, at most (the rest follow on the
+#: next beat — the buffer's seq ordering makes catch-up lossless until
+#: the ring itself overwrites).
+_MAX_HEARTBEAT_LOGS = 256
+
+# Worker-side instruments (no-ops until telemetry is enabled). They
+# carry no worker label on purpose: the federation layer appends
+# ``worker="<id>"`` when re-rendering them server-side, and a label of
+# the same name here would collide with it.
+_M_JOBS = telemetry.counter(
+    "repro_worker_jobs_total",
+    "Jobs executed by this fleet worker, by outcome (ok/error).",
+    labels=("outcome",))
+_M_INFLIGHT = telemetry.gauge(
+    "repro_worker_inflight",
+    "Leased jobs currently executing on this worker's pool.")
+_M_JOB_SECONDS = telemetry.histogram(
+    "repro_worker_job_seconds",
+    "Wall time per job executed on this fleet worker.")
 
 
 def default_worker_id() -> str:
@@ -61,6 +91,12 @@ class FleetWorker:
         Return from :meth:`run` once a claim comes back empty with
         nothing in flight (batch mode / tests); default is to keep
         polling forever.
+    quiet:
+        Suppress the stderr stream (records still reach the process
+        log buffer, so they still federate and serve ``/v1/logs``).
+    log_json:
+        Emit stderr diagnostics as JSON lines (one structured record
+        per line) instead of the human-readable format.
     """
 
     def __init__(self, server: str | ServiceClient,
@@ -72,7 +108,8 @@ class FleetWorker:
                  backoff_cap_s: float = 30.0,
                  max_upload_retries: int = 5,
                  exit_when_idle: bool = False,
-                 quiet: bool = True) -> None:
+                 quiet: bool = True,
+                 log_json: bool = False) -> None:
         if concurrency < 1:
             raise ConfigurationError(
                 f"concurrency must be >= 1, got {concurrency}")
@@ -89,7 +126,19 @@ class FleetWorker:
         self.max_upload_retries = int(max_upload_retries)
         self.exit_when_idle = bool(exit_when_idle)
         self.quiet = bool(quiet)
+        #: Structured logger bound to this worker's id: every record
+        #: carries ``worker_id`` (plus per-call slot/key fields), lands
+        #: in the process buffer, and — unless ``quiet`` — streams to
+        #: stderr (human format, or JSON lines with ``log_json``).
+        self.log = telemetry.get_logger(
+            "fleet.worker",
+            stream=None if self.quiet else sys.stderr,
+            json_lines=log_json,
+        ).bind(worker_id=self.worker_id)
         self._stop = threading.Event()
+        #: Highest log seq the server has acknowledged receiving.
+        self._shipped_seq = 0
+        self._inflight_count = 0
         #: Lifetime counters, also returned by :meth:`run`.
         self.stats = {"claimed": 0, "completed": 0, "failed": 0,
                       "stale": 0, "abandoned": 0}
@@ -104,9 +153,9 @@ class FleetWorker:
     def stopping(self) -> bool:
         return self._stop.is_set()
 
-    def _log(self, message: str) -> None:
-        if not self.quiet:
-            print(f"[worker {self.worker_id}] {message}", file=sys.stderr)
+    def _log(self, message: str, *, level: str = "info",
+             **fields) -> None:
+        self.log.log(level, message, **fields)
 
     def _sleep_backoff(self, attempt: int) -> None:
         """Jittered, capped exponential backoff (interruptible by
@@ -117,18 +166,23 @@ class FleetWorker:
 
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _execute(claim: WorkerClaim) -> tuple[dict | None, str | None]:
+    def _execute(self, claim: WorkerClaim) -> tuple[dict | None,
+                                                    str | None]:
         """Run one leased job; ``(payload, None)`` or ``(None, error)``.
 
         Job failures are data, not worker crashes — they upload as
         ``WorkerResult.error`` and fail only the tickets waiting on
         this job, exactly like the scheduler's in-process capture.
         """
+        start = time.perf_counter()
         try:
-            return execute_job(claim.job), None
+            payload = execute_job(claim.job)
         except Exception as exc:  # noqa: BLE001 — reported to the server
+            _M_JOBS.inc(outcome="error")
             return None, f"{type(exc).__name__}: {exc}"
+        _M_JOBS.inc(outcome="ok")
+        _M_JOB_SECONDS.observe(time.perf_counter() - start)
+        return payload, None
 
     def _push(self, claim: WorkerClaim, payload: dict | None,
               error: str | None) -> str:
@@ -149,11 +203,13 @@ class FleetWorker:
                 encoded = exc
                 if attempt > self.max_upload_retries:
                     break
-                self._log(f"upload retry {attempt} for {claim.slot[:8]}: "
-                          f"{exc}")
+                self._log("upload retry", level="warning",
+                          slot=claim.slot, key=claim.key,
+                          attempt=attempt, error=str(exc))
                 self._sleep_backoff(attempt)
-        self._log(f"abandoning {claim.slot[:8]} after "
-                  f"{self.max_upload_retries} upload retries: {encoded}")
+        self._log("abandoning upload", level="error",
+                  slot=claim.slot, key=claim.key,
+                  retries=self.max_upload_retries, error=str(encoded))
         return "abandoned"
 
     def _count_push(self, status: str, error: str | None) -> None:
@@ -163,6 +219,52 @@ class FleetWorker:
             self.stats["stale"] += 1
         else:
             self.stats["abandoned"] += 1
+
+    # ------------------------------------------------------------------
+    # Telemetry federation (wire v4)
+    # ------------------------------------------------------------------
+
+    def _telemetry_snapshot(self) -> WorkerTelemetry:
+        """This worker's federated snapshot for one heartbeat.
+
+        Metrics are the full cumulative registry snapshot (families
+        with no series yet are skipped — they would only re-declare
+        TYPE lines server-side); logs are this worker's records past
+        the last server-acknowledged seq, capped per beat.
+        """
+        records = telemetry.GLOBAL_BUFFER.records(
+            worker=self.worker_id, since_seq=self._shipped_seq,
+            limit=_MAX_HEARTBEAT_LOGS)
+        seq = max((int(r.get("seq", 0)) for r in records),
+                  default=self._shipped_seq)
+        metrics = {name: fam
+                   for name, fam in telemetry.REGISTRY.snapshot().items()
+                   if fam.get("series")}
+        return WorkerTelemetry(
+            worker=self.worker_id, time_unix=time.time(), seq=seq,
+            metrics=metrics, logs=tuple(records),
+            stats={"concurrency": self.concurrency,
+                   "inflight": self._inflight_count, **self.stats})
+
+    def _heartbeat(self, slots: dict[str, str]) -> dict[str, bool]:
+        """One heartbeat (possibly with no slots, purely to federate
+        telemetry); returns per-slot aliveness, ``{}`` on failure."""
+        snapshot = (self._telemetry_snapshot()
+                    if telemetry.enabled() else None)
+        try:
+            alive = self.client.heartbeat(
+                self.worker_id, slots, lease_s=self.lease_s,
+                telemetry=snapshot)
+        except (ServiceUnavailable, ConfigurationError) as exc:
+            # Missed heartbeats only shorten the lease; the upload's
+            # own retry path owns recovery. Unshipped telemetry stays
+            # queued behind _shipped_seq for the next beat.
+            self._log("heartbeat failed", level="warning",
+                      error=str(exc))
+            return {}
+        if snapshot is not None:
+            self._shipped_seq = snapshot.seq
+        return alive
 
     # ------------------------------------------------------------------
 
@@ -175,9 +277,8 @@ class FleetWorker:
         heartbeat_every = max(self.lease_s / 3.0, 0.05)
         next_heartbeat = time.monotonic() + heartbeat_every
         claim_failures = 0
-        self._log(f"pulling from {self.client.base_url} "
-                  f"(concurrency={self.concurrency}, "
-                  f"lease_s={self.lease_s})")
+        self._log("pulling", server=self.client.base_url,
+                  concurrency=self.concurrency, lease_s=self.lease_s)
         with ThreadPoolExecutor(max_workers=self.concurrency,
                                 thread_name_prefix="fleet-job") as pool:
             inflight: dict[Future, WorkerClaim] = {}
@@ -196,19 +297,27 @@ class FleetWorker:
                     except ServiceUnavailable as exc:
                         claims = []
                         claim_failures += 1
-                        self._log(f"claim retry {claim_failures}: {exc}")
+                        self._log("claim retry", level="warning",
+                                  attempt=claim_failures, error=str(exc))
                         self._sleep_backoff(claim_failures)
                     for claim in claims:
                         inflight[pool.submit(self._execute, claim)] = claim
                         self.stats["claimed"] += 1
                     if claims:
-                        self._log(f"claimed {len(claims)} job(s), "
-                                  f"{len(inflight)} in flight")
+                        self._log(f"claimed {len(claims)} job(s)",
+                                  inflight=len(inflight))
+                self._inflight_count = len(inflight)
+                _M_INFLIGHT.set(len(inflight))
                 if not inflight:
                     if draining:
                         break
                     if self.exit_when_idle and queue_drained:
                         break
+                    if time.monotonic() >= next_heartbeat:
+                        # Nothing leased, but federate telemetry so an
+                        # idle worker still reports to the fleet plane.
+                        self._heartbeat({})
+                        next_heartbeat = time.monotonic() + heartbeat_every
                     self._stop.wait(self.idle_poll_s)
                     continue
                 # Wait for completions, but wake in time to heartbeat.
@@ -224,22 +333,24 @@ class FleetWorker:
                         continue
                     status = self._push(claim, payload, error)
                     self._count_push(status, error)
+                self._inflight_count = len(inflight)
+                _M_INFLIGHT.set(len(inflight))
                 if inflight and time.monotonic() >= next_heartbeat:
                     slots = {c.slot: c.token for c in inflight.values()
                              if c.slot not in abandoned}
-                    try:
-                        alive = self.client.heartbeat(
-                            self.worker_id, slots, lease_s=self.lease_s)
-                    except (ServiceUnavailable, ConfigurationError) as exc:
-                        # Missed heartbeats only shorten the lease; the
-                        # upload's own retry path owns recovery.
-                        self._log(f"heartbeat failed: {exc}")
-                        alive = {}
+                    alive = self._heartbeat(slots)
                     for slot_id, ok in alive.items():
                         if not ok:
-                            self._log(f"lease lost for {slot_id[:8]}; "
-                                      "abandoning")
+                            self._log("lease lost; abandoning",
+                                      level="warning", slot=slot_id)
                             abandoned.add(slot_id)
                     next_heartbeat = time.monotonic() + heartbeat_every
-        self._log(f"done: {self.stats}")
+        self._inflight_count = 0
+        _M_INFLIGHT.set(0)
+        if telemetry.enabled():
+            # Final federated snapshot, so the server sees this
+            # worker's finished counters and last log records even when
+            # the run was shorter than one heartbeat interval.
+            self._heartbeat({})
+        self._log("done", **self.stats)
         return dict(self.stats)

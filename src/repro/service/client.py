@@ -337,11 +337,22 @@ class ServiceClient:
         return claims
 
     def heartbeat(self, worker: str, slots: Mapping[str, str],
-                  lease_s: float = 30.0) -> dict[str, bool]:
-        """Extend leases; maps slot id -> still-alive."""
-        doc = self._post("/v1/workers/heartbeat", json.dumps({
+                  lease_s: float = 30.0,
+                  telemetry: wire.WorkerTelemetry | None = None,
+                  ) -> dict[str, bool]:
+        """Extend leases; maps slot id -> still-alive.
+
+        ``telemetry`` (wire v4) piggybacks the worker's federated
+        metric/log snapshot on the heartbeat; omitted, the request body
+        is byte-compatible with v3 servers.
+        """
+        body: dict[str, Any] = {
             "worker": worker, "slots": dict(slots), "lease_s": lease_s,
-        }).encode("utf-8"))
+        }
+        if telemetry is not None:
+            body["telemetry"] = wire.to_wire(telemetry)
+        doc = self._post("/v1/workers/heartbeat",
+                         json.dumps(body).encode("utf-8"))
         return {str(k): bool(v)
                 for k, v in (doc.get("alive") or {}).items()}
 
@@ -354,6 +365,25 @@ class ServiceClient:
     def workers(self) -> dict:
         """The server's fleet snapshot (``GET /v1/workers``)."""
         return self._get("/v1/workers")
+
+    def worker_detail(self, worker_id: str) -> dict:
+        """One worker's counters + federated telemetry snapshot."""
+        return self._get(f"/v1/workers/{worker_id}")
+
+    def logs(self, worker: str | None = None, level: str | None = None,
+             since: float | None = None,
+             limit: int | None = None) -> list[dict]:
+        """Merged server + fleet structured log records."""
+        from urllib.parse import urlencode
+        params = {k: v for k, v in (("worker", worker), ("level", level),
+                                    ("since", since), ("limit", limit))
+                  if v is not None}
+        path = "/v1/logs" + (f"?{urlencode(params)}" if params else "")
+        return self._get(path).get("records", [])
+
+    def sweep_trace(self, ticket_id: str) -> dict:
+        """The sweep's merged Chrome trace document."""
+        return self._get(f"/v1/sweeps/{ticket_id}/trace")
 
 
 class RemoteExecutor(Executor):

@@ -44,6 +44,7 @@ import itertools
 import threading
 import time
 import uuid
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
@@ -62,7 +63,7 @@ from ..engine.spec import (
     StochasticScenario,
     SweepSpec,
 )
-from .wire import WorkerClaim
+from .wire import WorkerClaim, WorkerTelemetry
 
 
 # ----------------------------------------------------------------------
@@ -154,6 +155,17 @@ PENDING, RUNNING, COMPLETE, FAILED = "pending", "running", "complete", "failed"
 #: Sentinel key marking a payload as a captured per-job failure.
 _JOB_ERROR = "__job_error__"
 
+#: EWMA smoothing for per-worker throughput (higher = more reactive).
+_RATE_ALPHA = 0.3
+
+#: A worker is flagged slow (straggler) when its EWMA throughput drops
+#: below this fraction of the fleet median.
+_SLOW_FACTOR = 0.5
+
+#: Recent lease expirations retained for attribution in the fleet
+#: snapshot (who lost which job, and how often).
+_MAX_EXPIRATIONS = 64
+
 
 def _execute_safely(job: Job) -> dict:
     """Run one job, folding its failure into the payload.
@@ -191,6 +203,12 @@ class _Ticket:
     error: str | None = None
     events: list[dict] = field(default_factory=list)
     finished_unix: float | None = None
+    #: Flight-recorder entries, one per committed slot this ticket
+    #: waited on: wall-clock queue/claim/commit timestamps, the worker
+    #: (or None for the local dispatcher) and the worker's job spans —
+    #: everything :meth:`SweepScheduler.trace` needs to lay the sweep
+    #: out as one merged Chrome trace across processes.
+    flight: list[dict] = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -207,6 +225,10 @@ class _Slot:
     queued: bool = True
     #: Monotonic enqueue time — queue-wait telemetry clocks on it.
     queued_monotonic: float = field(default_factory=time.monotonic)
+    #: Wall-clock twin timestamps for the flight recorder (monotonic
+    #: clocks cannot be merged across machines; Chrome traces can).
+    queued_unix: float = field(default_factory=time.time)
+    claimed_unix: float | None = None
     # ---- lease state (fleet protocol); None while not leased --------
     leased_to: str | None = None
     lease_token: str | None = None
@@ -226,6 +248,14 @@ class _WorkerInfo:
     completed: int = 0
     failed: int = 0
     expired: int = 0
+    #: EWMA of committed cost-units per wall-clock second — the
+    #: straggler signal. Cost units are the scheduler's relative
+    #: ``estimate_job_cost`` scale, so the number only means something
+    #: *compared across workers running the same mix*, which is exactly
+    #: how :meth:`SweepScheduler.fleet_snapshot` uses it (vs the fleet
+    #: median).
+    rate_ewma: float = 0.0
+    rate_n: int = 0
 
 
 class SweepScheduler:
@@ -312,6 +342,18 @@ class SweepScheduler:
         self._m_leases_active = telemetry.gauge(
             "repro_fleet_leases_active",
             "Slots currently leased to a fleet worker.")
+        self._m_worker_slow = telemetry.gauge(
+            "repro_fleet_worker_slow",
+            "1 when the worker's EWMA throughput is below "
+            f"{_SLOW_FACTOR:g}x the fleet median (straggler), else 0.",
+            labels=("worker",))
+        #: Server-side merge of worker heartbeat telemetry (wire v4):
+        #: per-worker metric snapshots + fleet logs behind /v1/metrics,
+        #: /v1/workers/<id> and /v1/logs.
+        self.federation = telemetry.FederatedTelemetry()
+        self._log = telemetry.get_logger("service.scheduler")
+        self._recent_expirations: deque[dict] = deque(
+            maxlen=_MAX_EXPIRATIONS)
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)  # dispatcher waits
         self._changed = threading.Condition(self._lock)  # pollers wait
@@ -464,9 +506,11 @@ class SweepScheduler:
                 round_ids.sort(key=lambda sid: self._slots[sid].cost,
                                reverse=True)
                 now = time.monotonic()
+                now_unix = time.time()
                 for sid in round_ids:
                     slot = self._slots[sid]
                     slot.queued = False
+                    slot.claimed_unix = now_unix
                     self._m_queue_wait.observe(now - slot.queued_monotonic)
                 self._update_gauges()
                 round_jobs = [self._slots[sid].job for sid in round_ids]
@@ -506,11 +550,14 @@ class SweepScheduler:
         job = slot.job
         kind = job_kind(job)
         error = payload.get(_JOB_ERROR)
+        self._record_flight_locked(slot, payload, error)
         if error is not None:
             if job.cacheable:
                 self._slot_by_key.pop(job.key, None)
             self._m_jobs.inc(kind=kind, outcome="failed")
             self._update_gauges()
+            self._log.warning("job failed", key=job.key,
+                              worker_id=slot.leased_to, error=error)
             self._fail_waiters(slot.waiters, error)
             self._changed.notify_all()
             return
@@ -568,6 +615,34 @@ class SweepScheduler:
             if ticket.done == ticket.total:
                 self._finish(ticket)
         self._changed.notify_all()
+
+    def _record_flight_locked(self, slot: _Slot, payload: dict,
+                              error: str | None) -> None:
+        """Append one committed slot's flight record to its tickets.
+
+        Captures the wall-clock phase boundaries (queued -> claimed ->
+        committed), the executing worker (None = local dispatcher) and
+        a *copy* of the worker's job spans — the payload itself is
+        never touched, so fleet bit-identity cannot be perturbed.
+        """
+        now = time.time()
+        record = {
+            "key": slot.job.key,
+            "scenario": slot.job.scenario.name,
+            "worker": slot.leased_to,
+            "queued_unix": slot.queued_unix,
+            "claimed_unix": (slot.claimed_unix
+                             if slot.claimed_unix is not None else now),
+            "committed_unix": now,
+            "lease_attempts": slot.lease_attempts,
+            "wall_time_s": payload.get("wall_time_s"),
+            "error": error,
+            "spans": [dict(s) for s in payload.get("spans") or ()],
+        }
+        for ticket_id, _ in slot.waiters:
+            ticket = self._tickets.get(ticket_id)
+            if ticket is not None:
+                ticket.flight.append(record)
 
     def _fail_waiters(self, waiters: list[tuple[str, int]],
                       message: str) -> None:
@@ -668,6 +743,15 @@ class SweepScheduler:
             worker = self._workers.get(slot.leased_to or "")
             if worker is not None:
                 worker.expired += 1
+            self._recent_expirations.append({
+                "time_unix": time.time(),
+                "worker": slot.leased_to,
+                "key": slot.job.key,
+                "attempts": slot.lease_attempts,
+            })
+            self._log.warning("lease expired", key=slot.job.key,
+                              worker_id=slot.leased_to,
+                              attempts=slot.lease_attempts)
             slot.leased_to = None
             slot.lease_token = None
             slot.lease_deadline = None
@@ -714,8 +798,10 @@ class SweepScheduler:
             queued.sort(key=lambda pair: pair[1].cost, reverse=True)
             now = time.monotonic()
             claims: list[WorkerClaim] = []
+            now_unix = time.time()
             for slot_id, slot in queued[:max_jobs]:
                 slot.queued = False
+                slot.claimed_unix = now_unix
                 slot.leased_to = worker_id
                 slot.lease_token = uuid.uuid4().hex
                 slot.lease_deadline = now + lease_s
@@ -731,12 +817,20 @@ class SweepScheduler:
             return claims
 
     def heartbeat(self, worker_id: str, slots: Mapping[str, str],
-                  lease_s: float = 30.0) -> dict[str, bool]:
+                  lease_s: float = 30.0,
+                  telemetry_snapshot: WorkerTelemetry | None = None,
+                  ) -> dict[str, bool]:
         """Extend the worker's leases; returns per-slot aliveness.
 
         ``slots`` maps slot id -> lease token. A False entry means the
         lease was lost (expired and reclaimed, or committed elsewhere);
         the worker should abandon that job and skip its upload.
+
+        ``telemetry_snapshot`` (wire v4; optional, so v3 workers keep
+        heartbeating) is the worker's federated telemetry: its metric
+        snapshot and fresh log records merge into :attr:`federation`,
+        which backs the fleet half of ``GET /v1/metrics`` and the
+        ``/v1/workers/<id>`` / ``/v1/logs`` endpoints.
         """
         lease_s = float(lease_s)
         if not 0.0 < lease_s <= 3600.0:
@@ -756,7 +850,17 @@ class SweepScheduler:
                 if ok:
                     slot.lease_deadline = now + lease_s
                 alive[slot_id] = ok
-            return alive
+        # Federation has its own lock; merging outside the scheduler
+        # lock keeps snapshot-sized work off the lease hot path.
+        if telemetry_snapshot is not None:
+            self.federation.ingest(
+                worker_id,
+                metrics=telemetry_snapshot.metrics or None,
+                logs=telemetry_snapshot.logs,
+                stats=telemetry_snapshot.stats,
+                time_unix=telemetry_snapshot.time_unix,
+            )
+        return alive
 
     def _verify_lease_locked(self, worker_id: str, slot_id: str,
                              token: str, key: str) -> _Slot | None:
@@ -801,6 +905,14 @@ class SweepScheduler:
                 self._m_leases.inc(outcome="stale")
                 return "stale"
             worker.completed += 1
+            wall = payload.get("wall_time_s")
+            if isinstance(wall, (int, float)) and wall > 0.0:
+                rate = slot.cost / float(wall)
+                worker.rate_ewma = (rate if worker.rate_n == 0 else
+                                    _RATE_ALPHA * rate
+                                    + (1.0 - _RATE_ALPHA)
+                                    * worker.rate_ewma)
+                worker.rate_n += 1
             self._m_leases.inc(outcome="committed")
             self._commit_slot_locked(slot_id, payload)
             return "committed"
@@ -845,6 +957,24 @@ class SweepScheduler:
                         > self.worker_ttl_s):
                     del self._workers[wid]
             queued = sum(1 for s in self._slots.values() if s.queued)
+            # Straggler detection: a worker whose EWMA throughput (in
+            # relative cost units/s, so only comparable across workers)
+            # sits below _SLOW_FACTOR x the fleet median is flagged and
+            # its repro_fleet_worker_slow gauge raised. Needs >= 2
+            # measured workers — one worker has no peer to lag behind.
+            rates = sorted(w.rate_ewma for w in self._workers.values()
+                           if w.rate_n > 0)
+            median = (rates[len(rates) // 2] if len(rates) % 2 else
+                      0.5 * (rates[len(rates) // 2 - 1]
+                             + rates[len(rates) // 2])) if rates else 0.0
+            slow_ids = set()
+            if len(rates) >= 2 and median > 0.0:
+                slow_ids = {w.id for w in self._workers.values()
+                            if w.rate_n > 0
+                            and w.rate_ewma < _SLOW_FACTOR * median}
+            for w in self._workers.values():
+                self._m_worker_slow.set(1.0 if w.id in slow_ids else 0.0,
+                                        worker=w.id)
             workers = [
                 {
                     "id": w.id,
@@ -855,6 +985,8 @@ class SweepScheduler:
                     "completed": w.completed,
                     "failed": w.failed,
                     "expired": w.expired,
+                    "rate_ewma": w.rate_ewma,
+                    "slow": w.id in slow_ids,
                 }
                 for w in sorted(self._workers.values(),
                                 key=lambda w: w.first_seen_unix)
@@ -864,6 +996,7 @@ class SweepScheduler:
                 "workers_active": self._active_workers_locked(),
                 "leases_active": sum(leased_by.values()),
                 "leases_expired_total": self._expired_total,
+                "recent_expirations": list(self._recent_expirations),
                 "queue_depth": queued,
                 "jobs_in_flight": len(self._slots) - queued,
                 "local_dispatch": self.local_dispatch,
@@ -932,6 +1065,77 @@ class SweepScheduler:
                 "finished_unix": t.finished_unix,
                 "points": points,
             }
+
+    def trace(self, ticket_id: str) -> dict:
+        """One merged Chrome trace of the ticket's flight records.
+
+        Lays the sweep's wall-clock out across processes: the server
+        lane carries each computation's **queue-wait** (submit ->
+        claim), and each executing worker's lane carries its **lease**
+        window (claim -> commit), the worker-recorded **solve** spans
+        that rode the payload, and the **upload** tail (solve end ->
+        commit). Lanes are synthetic pids named via ``worker_id``
+        (:func:`repro.telemetry.chrome_trace`), so a fleet of threads
+        sharing one OS pid still renders as separate worker rows.
+        Viewable in ``chrome://tracing`` / Perfetto as-is.
+        """
+        with self._lock:
+            t = self._ticket(ticket_id)
+            flights = list(t.flight)
+            state = t.state
+        lanes: dict[str, int] = {"server": 1}
+        records: list[dict] = []
+        for f in flights:
+            worker = f.get("worker") or "server"
+            pid = lanes.setdefault(worker, len(lanes) + 1)
+            queued = float(f["queued_unix"])
+            claimed = float(f["claimed_unix"])
+            committed = float(f["committed_unix"])
+            args = {"key": f.get("key"), "scenario": f.get("scenario"),
+                    "ticket": ticket_id}
+            records.append({
+                "name": "queue-wait", "start_unix": queued,
+                "duration_s": max(claimed - queued, 0.0),
+                "pid": lanes["server"], "tid": 0,
+                "worker_id": "server", "meta": args})
+            records.append({
+                "name": "lease" if f.get("worker") else "dispatch",
+                "start_unix": claimed,
+                "duration_s": max(committed - claimed, 0.0),
+                "pid": pid, "tid": 1, "worker_id": worker,
+                "meta": dict(args, attempts=f.get("lease_attempts"),
+                             error=f.get("error"))})
+            solve_end = None
+            for s in f.get("spans") or ():
+                rec = dict(s)
+                rec["pid"] = pid
+                rec["worker_id"] = worker
+                records.append(rec)
+                if rec.get("name") == "job":
+                    solve_end = (float(rec["start_unix"])
+                                 + float(rec["duration_s"]))
+            wall = f.get("wall_time_s")
+            if (solve_end is None and isinstance(wall, (int, float))
+                    and wall > 0.0):
+                # Telemetry was off on the executing side: synthesize
+                # the solve phase from the reported wall time.
+                records.append({
+                    "name": "solve", "start_unix": claimed,
+                    "duration_s": float(wall), "pid": pid, "tid": 0,
+                    "worker_id": worker, "meta": args})
+                solve_end = min(claimed + float(wall), committed)
+            if solve_end is not None and f.get("worker"):
+                records.append({
+                    "name": "upload", "start_unix": solve_end,
+                    "duration_s": max(committed - solve_end, 0.0),
+                    "pid": pid, "tid": 1, "worker_id": worker,
+                    "meta": args})
+        return {
+            "traceEvents": telemetry.chrome_trace(records),
+            "displayTimeUnit": "ms",
+            "metadata": {"ticket": ticket_id, "state": state,
+                         "records": len(flights)},
+        }
 
     def events(self, ticket_id: str, since: int = 0,
                timeout: float | None = None) -> tuple[list[dict], bool]:

@@ -19,6 +19,10 @@ Endpoints (all JSON unless noted):
                                           once complete)
 ``GET  /v1/sweeps/<id>/events``           NDJSON progress stream
                                           (terminates on completion)
+``GET  /v1/sweeps/<id>/trace``            merged Chrome/Perfetto trace
+                                          of the sweep across server +
+                                          worker lanes (queue-wait /
+                                          lease / solve / upload)
 ``GET  /v1/experiments``                  registered experiments
 ``POST /v1/experiments/<name>/run``       plan+submit a registered
                                           experiment (body:
@@ -33,11 +37,19 @@ Endpoints (all JSON unless noted):
 ``POST /v1/workers/result``               upload a wire ``WorkerResult``
                                           (content hash verified)
 ``GET  /v1/workers``                      fleet snapshot (workers,
-                                          leases, queue depth)
-``GET  /v1/metrics``                      Prometheus text exposition
+                                          leases, stragglers, queue
+                                          depth)
+``GET  /v1/workers/<id>``                 one worker's lease counters +
+                                          federated telemetry snapshot
+``GET  /v1/logs``                         merged structured log records
+                                          (``?worker=&level=&since=``)
+``GET  /v1/metrics``                      Prometheus text exposition,
+                                          server + federated
+                                          ``worker="..."`` series
                                           (``text/plain``)
 ``GET  /v1/healthz``                      liveness probe + fleet/queue
-                                          health
+                                          health, uptime, telemetry
+                                          flag
 ========================================  =============================
 
 Built on :class:`http.server.ThreadingHTTPServer` — no dependencies
@@ -143,6 +155,9 @@ class SweepService:
         # pure repeated work.
         self._completed: "OrderedDict[str, dict]" = OrderedDict()
         self._exp_lock = threading.Lock()
+        #: Service creation time — healthz reports uptime against it.
+        self.started_unix = time.time()
+        self._log = telemetry.get_logger("service.server")
 
     @property
     def cache(self) -> ResultCache:
@@ -319,8 +334,29 @@ class SweepService:
         except (TypeError, ValueError) as exc:
             raise ServiceError(
                 400, f"bad heartbeat parameters: {exc}") from exc
-        alive = self.scheduler.heartbeat(worker, slots, lease_s=lease_s)
-        return {"worker": worker, "alive": alive}
+        # Optional federated telemetry (wire v4). v3 workers omit the
+        # field entirely and heartbeat exactly as before.
+        snapshot = None
+        tdoc = doc.get("telemetry")
+        if tdoc is not None:
+            try:
+                decoded = wire.from_wire(tdoc)
+            except wire.WireError as exc:
+                raise ServiceError(
+                    400, f"bad heartbeat telemetry: {exc}") from exc
+            if not isinstance(decoded, wire.WorkerTelemetry):
+                raise ServiceError(
+                    400, "heartbeat 'telemetry' must be a wire "
+                         "WorkerTelemetry document")
+            snapshot = decoded
+        alive = self.scheduler.heartbeat(worker, slots, lease_s=lease_s,
+                                         telemetry_snapshot=snapshot)
+        out = {"worker": worker, "alive": alive}
+        if snapshot is not None:
+            # Ack the highest log seq merged, so the worker can advance
+            # its shipped-up-to pointer only on confirmed delivery.
+            out["telemetry_seq"] = snapshot.seq
+        return out
 
     def worker_result(self, body: bytes) -> dict:
         try:
@@ -344,10 +380,53 @@ class SweepService:
     def list_workers(self) -> dict:
         return self.scheduler.fleet_snapshot()
 
+    def worker_detail(self, worker_id: str) -> dict:
+        """One worker's lease counters + federated telemetry."""
+        fleet = self.scheduler.fleet_snapshot()
+        rows = [w for w in fleet["workers"] if w["id"] == worker_id]
+        federated = self.scheduler.federation.worker_snapshot(worker_id)
+        if not rows and federated is None:
+            raise ServiceError(404, f"unknown worker {worker_id!r}")
+        out = dict(rows[0]) if rows else {"id": worker_id}
+        out["telemetry"] = federated
+        out["recent_logs"] = self.scheduler.federation.logs(
+            worker=worker_id, limit=50)
+        return out
+
+    def logs_info(self, query: Mapping[str, str]) -> dict:
+        """``GET /v1/logs``: merged server + fleet structured logs."""
+        level = query.get("level") or None
+        worker = query.get("worker") or None
+        try:
+            since = (float(query["since"]) if query.get("since")
+                     else None)
+            limit = int(query.get("limit", 200))
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(
+                400, f"bad log query parameters: {exc}") from exc
+        server_records = telemetry.GLOBAL_BUFFER.records(
+            level=level, worker=worker, since_unix=since)
+        fleet_records = self.scheduler.federation.logs(
+            worker=worker, level=level, since_unix=since)
+        records = sorted(server_records + fleet_records,
+                         key=lambda r: float(r.get("time_unix", 0.0)))
+        if limit >= 0:
+            records = records[len(records) - min(limit, len(records)):]
+        return {"records": records, "count": len(records)}
+
+    def sweep_trace(self, ticket_id: str) -> dict:
+        try:
+            return self.scheduler.trace(ticket_id)
+        except KeyError:
+            raise ServiceError(
+                404, f"no such sweep {ticket_id!r}") from None
+
     def health_info(self) -> dict:
         fleet = self.scheduler.fleet_snapshot()
         return {
             "ok": True,
+            "uptime_s": time.time() - self.started_unix,
+            "telemetry": telemetry.enabled(),
             "workers": {
                 "active": fleet["workers_active"],
                 "known": len(fleet["workers"]),
@@ -390,6 +469,9 @@ class SweepService:
         status) are mirrored into gauges at scrape time from their
         lock-consistent snapshots; push-model series (request
         latencies, job counters, histograms) render as accumulated.
+        The federated fleet document — every worker's heartbeat-shipped
+        series re-rendered with a ``worker="..."`` label — is appended
+        below the server's own, so one scrape covers the whole fleet.
         """
         snap = self.scheduler.telemetry_snapshot()
         self.scheduler._m_queue_depth.set(snap["queue_depth"])
@@ -403,7 +485,8 @@ class SweepService:
         _M_CACHE_MEMORY.set(len(self.cache))
         _M_CACHE_DISK_BYTES.set(disk_bytes or 0)
         _M_CACHE_ARTIFACTS.set(artifacts)
-        return telemetry.render_prometheus()
+        return (telemetry.render_prometheus()
+                + self.scheduler.federation.render_prometheus())
 
     def shutdown(self) -> None:
         self.scheduler.shutdown()
@@ -491,12 +574,20 @@ class _Handler(BaseHTTPRequestHandler):
     @staticmethod
     def _normalize_route(parts: list[str]) -> str:
         """Collapse path ids (`/v1/sweeps/<id>` -> `/v1/sweeps/*`) so
-        metric label cardinality stays bounded."""
+        metric label cardinality stays bounded. The fleet verbs under
+        `/v1/workers/` (claim/heartbeat/result) stay literal — they are
+        protocol endpoints, not ids; anything else after `workers` is a
+        worker id and collapses."""
         out: list[str] = []
         prev = None
         for part in parts:
-            out.append("*" if prev in ("sweeps", "jobs", "experiments")
-                       else part)
+            if prev in ("sweeps", "jobs", "experiments"):
+                out.append("*")
+            elif (prev == "workers"
+                    and part not in ("claim", "heartbeat", "result")):
+                out.append("*")
+            else:
+                out.append(part)
             prev = part
         return "/" + "/".join(out)
 
@@ -561,6 +652,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(service.sweep_status(ticket_id))
             case ("GET", ["sweeps", ticket_id, "events"]):
                 self._stream_events(ticket_id)
+            case ("GET", ["sweeps", ticket_id, "trace"]):
+                self._send_json(service.sweep_trace(ticket_id))
             case ("POST", ["jobs"]):
                 self._send_json(service.submit_jobs(self._body()),
                                 status=202)
@@ -574,6 +667,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(service.worker_result(self._body()))
             case ("GET", ["workers"]):
                 self._send_json(service.list_workers())
+            case ("GET", ["workers", worker_id]):
+                self._send_json(service.worker_detail(worker_id))
+            case ("GET", ["logs"]):
+                self._send_json(service.logs_info(self._query()))
             case _:
                 raise ServiceError(
                     404, f"no route for {method} {self.path!r}")
@@ -680,9 +777,10 @@ def serve(host: str = "127.0.0.1", port: int = 8321,
     bound_host, bound_port = server.server_address[:2]
     mode = "fleet (pull workers only)" if fleet \
         else f"local (executor={executor.name}, jobs={jobs})"
-    print(f"repro sweep service listening on http://{bound_host}:"
-          f"{bound_port} (dispatch={mode}, cache_dir={cache_dir!r}, "
-          f"auth={'bearer' if service.token else 'off'})")
+    log = telemetry.stderr_logger("service.server")
+    log.info(f"listening on http://{bound_host}:{bound_port}",
+             dispatch=mode, cache_dir=cache_dir,
+             auth="bearer" if service.token else "off")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

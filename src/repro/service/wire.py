@@ -26,8 +26,10 @@ checks but does not gate decoding — hashes embed it anyway). Version 2
 added the optional telemetry ``spans`` on :class:`PointResult`;
 version 3 added the worker-fleet messages (:class:`WorkerClaim`,
 :class:`WorkerResult` — job leases and result uploads for pull
-workers). Both changes are additive, so version-1/2 documents still
-decode and all three versions are accepted.
+workers); version 4 added :class:`WorkerTelemetry` (federated metric
+snapshots + log records riding worker heartbeats). Every change is
+additive, so version-1/2/3 documents still decode and all four
+versions are accepted.
 
 Correlation functions are encoded by class name + public parameters
 (the same extraction :func:`repro.engine.correlation_spec` hashes) and
@@ -72,11 +74,12 @@ from ..engine.spec import (
 #: Bump when the wire encoding itself changes incompatibly.
 #: v2: PointResult grew the optional telemetry ``spans`` field.
 #: v3: worker-fleet messages (WorkerClaim / WorkerResult).
-WIRE_VERSION = 3
+#: v4: WorkerTelemetry (heartbeat-federated metrics + logs).
+WIRE_VERSION = 4
 
-#: Envelope versions this build can still decode. v1/v2 lack only
+#: Envelope versions this build can still decode. v1/v2/v3 lack only
 #: additive fields and message types, so they stay readable.
-COMPAT_WIRE_VERSIONS = frozenset({1, 2, WIRE_VERSION})
+COMPAT_WIRE_VERSIONS = frozenset({1, 2, 3, WIRE_VERSION})
 
 #: Envelope format marker.
 WIRE_FORMAT = "repro-wire"
@@ -127,6 +130,28 @@ class WorkerResult:
     error: str | None = None
     #: Worker-local telemetry spans already ride inside ``payload``.
     meta: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class WorkerTelemetry:
+    """A worker's federated telemetry snapshot (wire v4).
+
+    Rides as the optional ``telemetry`` field of heartbeat bodies.
+    ``metrics`` is the worker's full *cumulative*
+    ``MetricsRegistry.snapshot()`` (replacement on the server is the
+    idempotent merge); ``logs`` are structured records whose per-buffer
+    ``seq`` lets the server drop re-delivered lines; ``seq`` is the
+    highest log seq included, so a worker can resume shipping from the
+    right place after a failed heartbeat; ``stats`` is small free-form
+    worker state (inflight, concurrency, jobs done/failed).
+    """
+
+    worker: str
+    time_unix: float
+    seq: int = 0
+    metrics: dict = field(default_factory=dict)
+    logs: tuple = ()
+    stats: dict = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -350,6 +375,16 @@ def to_wire(obj: Any) -> dict:
             "error": obj.error,
             "meta": dict(obj.meta),
         }
+    if isinstance(obj, WorkerTelemetry):
+        return {
+            _TAG: "WorkerTelemetry",
+            "worker": obj.worker,
+            "time_unix": float(obj.time_unix),
+            "seq": int(obj.seq),
+            "metrics": _encode_tags(obj.metrics),
+            "logs": [_encode_tags(r) for r in obj.logs],
+            "stats": _encode_tags(obj.stats),
+        }
     if isinstance(obj, np.ndarray):
         return _encode_array(obj)
     raise WireError(
@@ -557,6 +592,18 @@ def _decode_worker_result(doc: Mapping) -> WorkerResult:
     )
 
 
+def _decode_worker_telemetry(doc: Mapping) -> WorkerTelemetry:
+    worker, time_unix = _expect(doc, "worker", "time_unix")
+    return WorkerTelemetry(
+        worker=str(worker),
+        time_unix=float(time_unix),
+        seq=int(doc.get("seq", 0)),
+        metrics=dict(doc.get("metrics") or {}),
+        logs=tuple(dict(r) for r in doc.get("logs") or ()),
+        stats=dict(doc.get("stats") or {}),
+    )
+
+
 def _decode_point(doc: Mapping) -> PointResult:
     fields = _strip(doc)
     return PointResult(**fields)
@@ -590,6 +637,7 @@ _DECODERS = {
     "SweepResult": _decode_sweep_result,
     "WorkerClaim": _decode_worker_claim,
     "WorkerResult": _decode_worker_result,
+    "WorkerTelemetry": _decode_worker_telemetry,
 }
 
 

@@ -19,7 +19,15 @@ Three pieces:
   the NDJSON stream, and export as Chrome trace JSON;
 - :mod:`~repro.telemetry.calibration` — the online per-scenario-kind
   regression that turns the scheduler's relative ``evals x N^3`` cost
-  model into wall-clock ETAs on ticket status responses.
+  model into wall-clock ETAs on ticket status responses;
+- :mod:`~repro.telemetry.logs` — structured JSON-lines logging with
+  levels, a bounded ring buffer, and bindable correlation fields
+  (worker_id, lease token, job hash, ticket id) behind
+  ``GET /v1/logs``;
+- :mod:`~repro.telemetry.federation` — the server-side merge of worker
+  heartbeat telemetry (wire v4): per-worker-labeled metric series on
+  ``GET /v1/metrics`` and fleet-merged logs, deduplicated by the log
+  buffer's monotonic ``seq``.
 """
 
 from .state import enable, disable, enabled
@@ -44,12 +52,28 @@ from .tracing import (
     span,
 )
 from .calibration import CostCalibrator
+from .metrics import parse_prometheus
+from .logs import (
+    GLOBAL_BUFFER,
+    LEVELS,
+    LogBuffer,
+    StructuredLogger,
+    format_human,
+    get_logger,
+    level_rank,
+    stderr_logger,
+)
+from .federation import FederatedTelemetry
 
 __all__ = [
     "enable", "disable", "enabled",
     "DEFAULT_BUCKETS", "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "REGISTRY", "counter", "gauge", "histogram", "render_prometheus",
+    "parse_prometheus",
     "chrome_trace", "ingest_spans", "phase_stats", "record_spans",
     "reset_tracing", "span",
     "CostCalibrator",
+    "GLOBAL_BUFFER", "LEVELS", "LogBuffer", "StructuredLogger",
+    "format_human", "get_logger", "level_rank", "stderr_logger",
+    "FederatedTelemetry",
 ]

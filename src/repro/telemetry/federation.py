@@ -1,0 +1,198 @@
+"""Fleet telemetry federation: merge worker snapshots into one plane.
+
+Pull workers are separate processes (usually separate machines): their
+:class:`~repro.telemetry.metrics.MetricsRegistry` and log buffers are
+invisible to the server's ``GET /v1/metrics``. Each worker therefore
+ships a telemetry snapshot inside its heartbeats (wire v4's
+``WorkerTelemetry`` message) and this module is the server-side merge:
+
+- **metrics** — the worker's full *cumulative* registry snapshot
+  replaces the previous one, so re-delivering a heartbeat (the worker
+  retries; the network duplicates) is idempotent by construction.
+  :meth:`FederatedTelemetry.render_prometheus` re-renders every
+  worker's series with a ``worker="<id>"`` label appended, and the
+  server concatenates that below its own exposition document — one
+  scrape shows the whole fleet.
+- **logs** — records arrive with the worker-side buffer's monotonic
+  ``seq`` (:mod:`repro.telemetry.logs`); the federation keeps the
+  highest seq seen per worker and drops anything at or below it, so a
+  retried heartbeat never duplicates a line. Merged records serve
+  ``GET /v1/logs?worker=&level=&since=``.
+
+Everything is plain dicts + one lock; no wire or HTTP types leak in,
+so the module is testable (and reusable) without a server.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Iterable, Mapping
+
+from .logs import LogBuffer
+from .metrics import _format_value, _series_name
+
+#: Merged fleet log records retained for ``GET /v1/logs``.
+DEFAULT_FLEET_LOG_RECORDS = 4096
+
+
+def _split_series_key(key: str, labels: list[str]) -> tuple[str, ...]:
+    """Label values back out of a snapshot series key.
+
+    Snapshot keys join label values with ``","`` (see
+    :meth:`MetricsRegistry.snapshot`); a single-label family takes the
+    key verbatim so commas inside the one value survive. Multi-label
+    families with commas *inside* values are ambiguous — the split is
+    best-effort there, which matches the snapshot format's guarantee.
+    """
+    if not labels:
+        return ()
+    if len(labels) == 1:
+        return (key,)
+    return tuple(key.split(",", len(labels) - 1))
+
+
+def _render_family(name: str, family: Mapping[str, Any],
+                   worker: str, out: list[str]) -> None:
+    """Append one worker's series of one family, worker-labeled."""
+    labels = [str(label) for label in family.get("labels", [])]
+    extra = (("worker", worker),)
+    kind = family.get("type", "untyped")
+    for key in sorted(family.get("series", {})):
+        values = _split_series_key(key, labels)
+        series = family["series"][key]
+        if kind == "histogram":
+            cumulative = 0
+            for bound, count in series.get("buckets", {}).items():
+                cumulative += int(count)
+                out.append(
+                    f"{_series_name(name + '_bucket', tuple(labels), values, extra + (('le', str(bound)),))} "
+                    f"{cumulative}")
+            out.append(
+                f"{_series_name(name + '_sum', tuple(labels), values, extra)}"
+                f" {_format_value(float(series.get('sum', 0.0)))}")
+            out.append(
+                f"{_series_name(name + '_count', tuple(labels), values, extra)}"
+                f" {int(series.get('count', 0))}")
+        else:
+            out.append(
+                f"{_series_name(name, tuple(labels), values, extra)} "
+                f"{_format_value(float(series))}")
+
+
+class FederatedTelemetry:
+    """Per-worker metric snapshots + merged fleet logs, one lock."""
+
+    def __init__(self,
+                 max_log_records: int = DEFAULT_FLEET_LOG_RECORDS) -> None:
+        self._lock = threading.Lock()
+        #: worker id -> latest cumulative MetricsRegistry.snapshot().
+        self._metrics: dict[str, dict] = {}
+        #: worker id -> {"time_unix", "stats", "log_seq"} bookkeeping.
+        self._meta: dict[str, dict] = {}
+        self._logs = LogBuffer(maxlen=max_log_records)
+
+    # ------------------------------------------------------------------
+
+    def ingest(self, worker: str,
+               metrics: Mapping[str, Any] | None = None,
+               logs: Iterable[Mapping[str, Any]] = (),
+               stats: Mapping[str, Any] | None = None,
+               time_unix: float | None = None) -> int:
+        """Merge one worker snapshot; returns newly accepted log count.
+
+        Metrics replace the worker's previous snapshot wholesale
+        (cumulative snapshots make replacement the idempotent merge);
+        log records at or below the worker's last-seen ``seq`` are
+        dropped, so re-delivery adds nothing.
+        """
+        if not worker:
+            return 0
+        with self._lock:
+            meta = self._meta.setdefault(
+                worker, {"time_unix": 0.0, "stats": {}, "log_seq": 0})
+            meta["time_unix"] = float(time_unix if time_unix is not None
+                                      else time.time())
+            if stats is not None:
+                meta["stats"] = dict(stats)
+            if metrics is not None:
+                self._metrics[worker] = {
+                    name: {"type": fam.get("type", "untyped"),
+                           "labels": list(fam.get("labels", [])),
+                           "series": dict(fam.get("series", {}))}
+                    for name, fam in metrics.items()
+                    if isinstance(fam, Mapping)
+                }
+            fresh = []
+            for record in logs:
+                if not isinstance(record, Mapping):
+                    continue
+                seq = int(record.get("seq", 0))
+                if seq <= meta["log_seq"]:
+                    continue
+                meta["log_seq"] = seq
+                record = dict(record)
+                record.setdefault("worker_id", worker)
+                fresh.append(record)
+            n = self._logs.ingest(fresh)
+            return n
+
+    def forget(self, worker: str) -> None:
+        """Drop a worker's metric snapshot (its logs stay merged)."""
+        with self._lock:
+            self._metrics.pop(worker, None)
+            self._meta.pop(worker, None)
+
+    # ------------------------------------------------------------------
+
+    def workers(self) -> list[str]:
+        with self._lock:
+            return sorted(self._meta)
+
+    def worker_snapshot(self, worker: str) -> dict | None:
+        """One worker's latest federated state (or None if unseen)."""
+        with self._lock:
+            meta = self._meta.get(worker)
+            if meta is None:
+                return None
+            return {
+                "worker": worker,
+                "time_unix": meta["time_unix"],
+                "stats": dict(meta["stats"]),
+                "metrics": self._metrics.get(worker, {}),
+            }
+
+    def logs(self, worker: str | None = None, level: str | None = None,
+             since_unix: float | None = None,
+             limit: int | None = None) -> list[dict]:
+        """Merged fleet log records, oldest first, filtered."""
+        return self._logs.records(level=level, worker=worker,
+                                  since_unix=since_unix, limit=limit)
+
+    def render_prometheus(self) -> str:
+        """Every worker's series, ``worker``-labeled, one document.
+
+        Families are grouped by name across workers (one ``# TYPE``
+        line each). Returns ``""`` with no federated workers, so the
+        server can blindly append it to its own exposition text.
+        """
+        with self._lock:
+            families: dict[str, str] = {}
+            for snapshot in self._metrics.values():
+                for name, fam in snapshot.items():
+                    families.setdefault(name, fam.get("type", "untyped"))
+            out: list[str] = []
+            for name in sorted(families):
+                out.append(f"# TYPE {name} {families[name]}")
+                for worker in sorted(self._metrics):
+                    fam = self._metrics[worker].get(name)
+                    if fam is not None:
+                        _render_family(name, fam, worker, out)
+        return "\n".join(out) + "\n" if out else ""
+
+    def reset(self) -> None:
+        """Drop all federated state (tests)."""
+        with self._lock:
+            self._metrics.clear()
+            self._meta.clear()
+            self._logs.clear()

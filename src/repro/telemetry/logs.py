@@ -1,0 +1,263 @@
+"""Structured JSON-lines logging with correlation fields.
+
+The fleet made execution multi-process; this module makes its output
+*mergeable*. A log record is a plain JSON-ready dict::
+
+    {"seq": 17, "time_unix": 1723..., "level": "warning",
+     "logger": "fleet.worker", "message": "lease lost",
+     "worker_id": "host-123-ab", "slot": "9f2c...", "ticket": "..."}
+
+``seq`` is a per-buffer monotonically increasing integer — it is what
+lets the federation layer (:mod:`repro.telemetry.federation`)
+deduplicate records that were re-delivered inside a retried heartbeat,
+so shipping logs is idempotent by construction.
+
+Pieces:
+
+- :class:`LogBuffer` — a bounded, thread-safe ring of records with the
+  ``seq`` counter and a filtering :meth:`~LogBuffer.records` reader
+  (level / worker / since-time / since-seq), the store behind
+  ``GET /v1/logs``;
+- :class:`StructuredLogger` — leveled logger bound to a buffer and an
+  optional stream; :meth:`~StructuredLogger.bind` returns a child
+  sharing both but carrying extra correlation fields (worker_id, slot,
+  ticket, job key, ...), so call sites never re-thread context;
+- :func:`get_logger` — loggers over the process-global buffer (what
+  the server's ``/v1/logs`` endpoint reads and fleet workers federate
+  from).
+
+Stream emission is human-readable by default (one aligned line per
+record) and JSON-lines in ``json_lines`` mode (the fleet worker's
+``--log-json`` flag) — the buffer always stores the structured record
+either way.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from collections import deque
+from typing import Any, Iterable, Mapping, TextIO
+
+from ..errors import ConfigurationError
+
+#: Level names in increasing severity, mapped to comparable ranks.
+LEVELS: dict[str, int] = {"debug": 10, "info": 20, "warning": 30,
+                          "error": 40}
+
+#: Records retained by the process-global buffer.
+DEFAULT_BUFFER_RECORDS = 2048
+
+#: Correlation fields rendered inline (bracketed) in human output.
+_CORRELATION_FIELDS = ("worker_id", "ticket", "slot", "token", "key")
+
+
+def level_rank(level: str) -> int:
+    """Numeric rank of a level name (raises on unknown levels)."""
+    try:
+        return LEVELS[level]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown log level {level!r} (choose from {sorted(LEVELS)})"
+        ) from None
+
+
+class LogBuffer:
+    """Bounded thread-safe ring of structured log records.
+
+    Every appended record is stamped with the buffer's monotonically
+    increasing ``seq``; readers filter by seq/time/level/worker without
+    consuming (the ring is a window, not a queue).
+    """
+
+    def __init__(self, maxlen: int = DEFAULT_BUFFER_RECORDS) -> None:
+        if maxlen < 1:
+            raise ConfigurationError(
+                f"LogBuffer maxlen must be >= 1, got {maxlen}")
+        self._lock = threading.Lock()
+        self._records: deque[dict] = deque(maxlen=int(maxlen))
+        self._seq = 0
+
+    def append(self, record: dict) -> int:
+        """Stamp ``record`` with the next seq, retain it, return seq."""
+        with self._lock:
+            self._seq += 1
+            record["seq"] = self._seq
+            self._records.append(record)
+            return self._seq
+
+    def ingest(self, records: Iterable[Mapping[str, Any]]) -> int:
+        """Merge externally produced records (already seq-stamped by
+        their producer), keeping this buffer's own counter ahead so
+        local appends never collide. Returns the number ingested."""
+        n = 0
+        with self._lock:
+            for record in records:
+                record = dict(record)
+                self._seq = max(self._seq, int(record.get("seq", 0)))
+                self._records.append(record)
+                n += 1
+            return n
+
+    @property
+    def last_seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def records(self, level: str | None = None,
+                worker: str | None = None,
+                since_unix: float | None = None,
+                since_seq: int = 0,
+                limit: int | None = None) -> list[dict]:
+        """Snapshot of retained records matching every given filter.
+
+        ``level`` is a *minimum* severity; ``worker`` matches the
+        record's ``worker_id``; ``since_unix``/``since_seq`` are
+        exclusive lower bounds. Oldest first; ``limit`` keeps the most
+        recent N of the matches.
+        """
+        floor = level_rank(level) if level is not None else 0
+        with self._lock:
+            out = [dict(r) for r in self._records
+                   if LEVELS.get(r.get("level", "info"), 20) >= floor
+                   and (worker is None or r.get("worker_id") == worker)
+                   and (since_unix is None
+                        or float(r.get("time_unix", 0.0)) > since_unix)
+                   and int(r.get("seq", 0)) > since_seq]
+        if limit is not None and limit >= 0:
+            out = out[len(out) - min(limit, len(out)):]
+        return out
+
+    def clear(self) -> None:
+        """Drop every retained record (tests). The seq counter keeps
+        counting — cleared history must not recycle sequence numbers."""
+        with self._lock:
+            self._records.clear()
+
+
+def format_human(record: Mapping[str, Any]) -> str:
+    """One aligned human-readable line for a structured record."""
+    stamp = time.strftime("%H:%M:%S",
+                          time.localtime(record.get("time_unix", 0.0)))
+    level = str(record.get("level", "info")).upper()
+    context = " ".join(
+        f"{k}={record[k]}" for k in _CORRELATION_FIELDS if k in record)
+    extras = " ".join(
+        f"{k}={record[k]}" for k in sorted(record)
+        if k not in _CORRELATION_FIELDS
+        and k not in ("seq", "time_unix", "level", "logger", "message"))
+    parts = [f"{stamp} {level:<7} [{record.get('logger', '-')}]",
+             str(record.get("message", ""))]
+    if context:
+        parts.append(f"({context})")
+    if extras:
+        parts.append(extras)
+    return " ".join(parts)
+
+
+class StructuredLogger:
+    """Leveled logger writing structured records to one buffer.
+
+    Parameters
+    ----------
+    name:
+        The ``logger`` field on every record (dotted module style).
+    buffer:
+        Ring the records are retained in (default: the process-global
+        buffer behind ``GET /v1/logs``).
+    stream:
+        Optional text stream (stderr, a file) each record at or above
+        ``level`` is also written to; ``None`` buffers silently.
+    json_lines:
+        Emit the raw JSON record per line instead of the human format.
+    level:
+        Minimum severity written to ``stream`` (the buffer always
+        receives everything down to ``debug``).
+    fields:
+        Correlation fields merged into every record (see :meth:`bind`).
+    """
+
+    def __init__(self, name: str,
+                 buffer: LogBuffer | None = None,
+                 stream: TextIO | None = None,
+                 json_lines: bool = False,
+                 level: str = "info",
+                 fields: Mapping[str, Any] | None = None) -> None:
+        self.name = name
+        self.buffer = buffer if buffer is not None else GLOBAL_BUFFER
+        self.stream = stream
+        self.json_lines = bool(json_lines)
+        self._rank = level_rank(level)
+        self.level = level
+        self.fields = dict(fields or {})
+
+    def bind(self, **fields: Any) -> "StructuredLogger":
+        """A child logger carrying extra correlation fields, sharing
+        this logger's buffer, stream, and threshold."""
+        merged = dict(self.fields)
+        merged.update(fields)
+        return StructuredLogger(self.name, buffer=self.buffer,
+                                stream=self.stream,
+                                json_lines=self.json_lines,
+                                level=self.level, fields=merged)
+
+    def log(self, level: str, message: str, **fields: Any) -> dict:
+        """Build, retain, and (maybe) emit one record; returns it."""
+        rank = level_rank(level)
+        record: dict[str, Any] = {
+            "time_unix": time.time(),
+            "level": level,
+            "logger": self.name,
+            "message": str(message),
+        }
+        record.update(self.fields)
+        record.update(fields)
+        self.buffer.append(record)
+        if self.stream is not None and rank >= self._rank:
+            try:
+                line = (json.dumps(record, default=str) if self.json_lines
+                        else format_human(record))
+                self.stream.write(line + "\n")
+                self.stream.flush()
+            except (OSError, ValueError):
+                pass  # a dead stream must never take the worker down
+        return record
+
+    def debug(self, message: str, **fields: Any) -> dict:
+        return self.log("debug", message, **fields)
+
+    def info(self, message: str, **fields: Any) -> dict:
+        return self.log("info", message, **fields)
+
+    def warning(self, message: str, **fields: Any) -> dict:
+        return self.log("warning", message, **fields)
+
+    def error(self, message: str, **fields: Any) -> dict:
+        return self.log("error", message, **fields)
+
+
+#: Process-global record ring — what ``GET /v1/logs`` serves and what
+#: fleet workers federate from on heartbeats.
+GLOBAL_BUFFER = LogBuffer()
+
+
+def get_logger(name: str, stream: TextIO | None = None,
+               json_lines: bool = False, level: str = "info",
+               **fields: Any) -> StructuredLogger:
+    """A logger over the process-global buffer.
+
+    ``stream=sys.stderr`` makes it chatty; leave it ``None`` for
+    buffer-only logging (still visible through ``GET /v1/logs``).
+    """
+    return StructuredLogger(name, buffer=GLOBAL_BUFFER, stream=stream,
+                            json_lines=json_lines, level=level,
+                            fields=fields)
+
+
+def stderr_logger(name: str, json_lines: bool = False,
+                  level: str = "info", **fields: Any) -> StructuredLogger:
+    """A global-buffer logger that also writes to ``sys.stderr``."""
+    return get_logger(name, stream=sys.stderr, json_lines=json_lines,
+                      level=level, **fields)

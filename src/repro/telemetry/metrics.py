@@ -48,6 +48,80 @@ def _escape_label(v: str) -> str:
     return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _unescape_label(v: str) -> str:
+    """Inverse of :func:`_escape_label` (exposition-format escapes)."""
+    out: list[str] = []
+    i = 0
+    while i < len(v):
+        ch = v[i]
+        if ch == "\\" and i + 1 < len(v):
+            nxt = v[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt,
+                                                             "\\" + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    """Parse one ``{k="v",...}`` label block (escapes honored)."""
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        key = text[i:eq].strip().lstrip(",").strip()
+        if text[eq + 1] != '"':
+            raise ConfigurationError(
+                f"malformed label value in {text!r} (missing quote)")
+        j = eq + 2
+        raw: list[str] = []
+        while j < len(text):
+            ch = text[j]
+            if ch == "\\" and j + 1 < len(text):
+                raw.append(text[j:j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise ConfigurationError(
+                f"unterminated label value in {text!r}")
+        labels[key] = _unescape_label("".join(raw))
+        i = j + 1
+    return labels
+
+
+def parse_prometheus(text: str
+                     ) -> dict[str, list[tuple[dict[str, str], float]]]:
+    """Parse a Prometheus text exposition document.
+
+    Returns ``{series_name: [(labels, value), ...]}`` with label-value
+    escapes decoded — the exact inverse of
+    :meth:`MetricsRegistry.render` for the subset this module emits
+    (``repro-experiments top`` and the federation tests both read
+    scraped documents back through it).
+    """
+    out: dict[str, list[tuple[dict[str, str], float]]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        head, _, value = line.rpartition(" ")
+        if not head:
+            continue
+        if "{" in head:
+            name, _, rest = head.partition("{")
+            labels = _parse_labels(rest.rstrip().rstrip("}"))
+        else:
+            name, labels = head, {}
+        out.setdefault(name, []).append((labels, float(value)))
+    return out
+
+
 def _series_name(name: str, labels: tuple[str, ...],
                  values: tuple[str, ...],
                  extra: tuple[tuple[str, str], ...] = ()) -> str:
@@ -260,7 +334,10 @@ class MetricsRegistry:
                               buckets=buckets)
 
     def render(self) -> str:
-        """The Prometheus text exposition format, one atomic snapshot."""
+        """The Prometheus text exposition format, one atomic snapshot.
+
+        An empty registry renders to the empty string (a valid, if
+        silent, exposition document)."""
         out: list[str] = []
         with self._lock:
             for name in sorted(self._families):
@@ -269,12 +346,19 @@ class MetricsRegistry:
                     out.append(f"# HELP {name} {family.help}")
                 out.append(f"# TYPE {name} {family.kind}")
                 family._render(out)
-        return "\n".join(out) + "\n"
+        return "\n".join(out) + "\n" if out else ""
 
     def snapshot(self) -> dict:
-        """Plain-dict snapshot (tests, JSON endpoints)."""
+        """Plain-dict snapshot (tests, JSON endpoints, federation).
+
+        Each family carries its label *names* alongside the per-series
+        values, so a remote consumer (the scheduler merging worker
+        heartbeats) can re-render the series with full label pairs.
+        """
         with self._lock:
-            return {name: {"type": fam.kind, "series": fam._snapshot()}
+            return {name: {"type": fam.kind,
+                           "labels": list(fam.labels),
+                           "series": fam._snapshot()}
                     for name, fam in self._families.items()}
 
     def reset(self) -> None:

@@ -156,27 +156,55 @@ def iter_trace() -> Iterator[dict]:
         return iter(list(_trace))
 
 
-def chrome_trace() -> list[dict]:
-    """The retained spans as Chrome trace-format complete events.
+def _record_worker(rec: Mapping[str, Any]) -> str | None:
+    """The worker attribution of a span record, if it carries one."""
+    worker = rec.get("worker_id")
+    if worker is None:
+        meta = rec.get("meta")
+        if isinstance(meta, Mapping):
+            worker = meta.get("worker_id")
+    return None if worker is None else str(worker)
+
+
+def chrome_trace(records: Iterable[Mapping[str, Any]] | None = None
+                 ) -> list[dict]:
+    """Span records as Chrome trace-format complete events.
 
     Load the written JSON in ``chrome://tracing`` / Perfetto. Wall-clock
-    microsecond timestamps, one row per pid/tid.
+    microsecond timestamps, one row per pid/tid. Defaults to this
+    process's retained span buffer; pass ``records`` to render an
+    externally merged set (the per-sweep flight recorder).
+
+    Lanes whose spans carry a ``worker_id`` (top-level or in ``meta``)
+    get a ``process_name`` metadata event, so a merged fleet trace shows
+    ``worker <id>`` lanes instead of anonymous pids.
     """
+    if records is None:
+        records = iter_trace()
     events = []
-    for rec in iter_trace():
+    lanes: dict[int, str] = {}
+    for rec in records:
+        pid = int(rec.get("pid", 0))
         event = {
             "name": rec["name"],
             "ph": "X",
             "ts": float(rec["start_unix"]) * 1e6,
             "dur": float(rec["duration_s"]) * 1e6,
-            "pid": int(rec.get("pid", 0)),
+            "pid": pid,
             "tid": int(rec.get("tid", 0)),
         }
         meta = rec.get("meta")
         if meta:
             event["args"] = dict(meta)
+        worker = _record_worker(rec)
+        if worker is not None:
+            lanes.setdefault(pid, worker)
         events.append(event)
-    return events
+    named = [{"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+              "args": {"name": worker if worker == "server"
+                       else f"worker {worker}"}}
+             for pid, worker in sorted(lanes.items())]
+    return named + events
 
 
 def reset_tracing() -> None:

@@ -24,6 +24,7 @@ import threading
 import time
 import warnings
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -701,7 +702,7 @@ class TestWorkerThreadIsolation:
 
 
 # ----------------------------------------------------------------------
-# Wire v3 messages
+# Wire v3/v4 messages
 # ----------------------------------------------------------------------
 
 class TestWorkerWire:
@@ -733,6 +734,187 @@ class TestWorkerWire:
         with pytest.raises(wire.WireError, match="exactly one"):
             wire.to_wire(wire.WorkerResult(slot="s", token="t",
                                            worker="w", key="k"))
+
+    def test_worker_telemetry_round_trips(self):
+        snap = wire.WorkerTelemetry(
+            worker="w-1", time_unix=123.5, seq=7,
+            metrics={"repro_worker_jobs_total": {
+                "type": "counter", "labels": ["outcome"],
+                "series": {"ok": 3}}},
+            logs=({"seq": 7, "level": "warning", "message": "m"},),
+            stats={"concurrency": 2, "inflight": 1})
+        restored = wire.loads(wire.dumps(snap))
+        assert isinstance(restored, wire.WorkerTelemetry)
+        assert restored.worker == "w-1"
+        assert restored.time_unix == 123.5
+        assert restored.seq == 7
+        assert restored.metrics["repro_worker_jobs_total"]["series"] \
+            == {"ok": 3}
+        assert list(restored.logs)[0]["message"] == "m"
+        assert restored.stats == {"concurrency": 2, "inflight": 1}
+
+    def test_worker_telemetry_defaults_decode(self):
+        """A minimal v4 doc (no metrics/logs/stats) decodes to empty
+        defaults — forward-compatible heartbeats."""
+        doc = json.loads(wire.dumps(wire.WorkerTelemetry(
+            worker="w", time_unix=1.0)))
+        for key in ("metrics", "logs", "stats"):
+            doc["body"].pop(key, None)
+        restored = wire.loads(json.dumps(doc))
+        assert restored.metrics == {}
+        assert tuple(restored.logs) == ()
+        assert restored.stats == {}
+
+
+# ----------------------------------------------------------------------
+# Observability: federation, flight recorder, logs, dashboard
+# ----------------------------------------------------------------------
+
+def _run_fleet(url, n_workers=2, concurrency=2):
+    """Drain the queue with N in-process pull workers; returns them."""
+    workers = [FleetWorker(url, worker_id=f"obs{i}",
+                           concurrency=concurrency, lease_s=10,
+                           exit_when_idle=True, quiet=True)
+               for i in range(n_workers)]
+    threads = [threading.Thread(target=w.run) for w in workers]
+    with _quiet():
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+    return workers
+
+
+class TestObservability:
+    def test_metrics_federate_per_worker_series(self, fleet_server):
+        url, service = fleet_server
+        client = ServiceClient(url, poll_interval=0.02)
+        # one ticket per worker, drained sequentially, so *both* ship a
+        # non-empty registry snapshot (racing workers can leave one
+        # idle, and idle workers have nothing to federate)
+        t1 = client.submit(_tiny_spec())
+        _run_fleet(url, n_workers=1)
+        t2 = client.submit(_tiny_spec(freqs=(1.0, 5.0)))
+        workers = [FleetWorker(url, worker_id="obs1", concurrency=2,
+                               lease_s=10, exit_when_idle=True,
+                               quiet=True)]
+        with _quiet():
+            workers[0].run()
+        assert client.wait(t1, timeout=30)["state"] == "complete"
+        assert client.wait(t2, timeout=30)["state"] == "complete"
+        text = client.metrics_text()
+        parsed = telemetry.parse_prometheus(text)
+        jobs = parsed.get("repro_worker_jobs_total", [])
+        seen = {lab.get("worker") for lab, _ in jobs}
+        assert {"obs0", "obs1"} <= seen
+        # scheduler-side straggler gauge is worker-labeled too
+        slow = parsed.get("repro_fleet_worker_slow", [])
+        assert {lab.get("worker") for lab, _ in slow} >= {"obs0", "obs1"}
+        # the federation appendix groups both workers under one TYPE
+        # line (the server's own doc may also carry the family here,
+        # because in-process test workers share its registry)
+        fed = service.scheduler.federation.render_prometheus()
+        assert fed.count("# TYPE repro_worker_jobs_total counter") == 1
+
+    def test_worker_detail_and_logs_endpoints(self, fleet_server):
+        url, service = fleet_server
+        client = ServiceClient(url, poll_interval=0.02)
+        ticket = client.submit(_tiny_spec())
+        _run_fleet(url)
+        client.wait(ticket, timeout=30)
+        detail = client.worker_detail("obs0")
+        assert detail["id"] == "obs0"
+        assert "rate_ewma" in detail and "slow" in detail
+        assert detail["telemetry"]["stats"]["concurrency"] == 2
+        assert isinstance(detail["recent_logs"], list)
+        with pytest.raises(ConfigurationError, match="404"):
+            client.worker_detail("never-seen")
+        # merged logs: worker records carry worker_id correlation
+        records = client.logs(limit=200)
+        assert any(r.get("worker_id") == "obs0" for r in records)
+        assert client.logs(worker="obs1", limit=200)
+        assert all(r["worker_id"] == "obs1"
+                   for r in client.logs(worker="obs1"))
+        for r in client.logs(level="warning"):
+            assert telemetry.level_rank(r["level"]) >= \
+                telemetry.level_rank("warning")
+
+    def test_sweep_trace_merges_worker_lanes(self, fleet_server):
+        url, service = fleet_server
+        client = ServiceClient(url, poll_interval=0.02)
+        ticket = client.submit(_tiny_spec())
+        _run_fleet(url)
+        assert client.wait(ticket, timeout=30)["state"] == "complete"
+        trace = client.sweep_trace(ticket)
+        assert trace["metadata"]["ticket"] == ticket
+        events = trace["traceEvents"]
+        lanes = {e["args"]["name"] for e in events if e.get("ph") == "M"}
+        assert "server" in lanes
+        assert any(lane.startswith("worker obs") for lane in lanes)
+        phases = {e["name"] for e in events if e.get("ph") == "X"}
+        assert "queue-wait" in phases
+        assert "lease" in phases
+        assert "upload" in phases
+        assert "job" in phases or "solve" in phases
+        # complete events are well-formed (µs timestamps, no negatives)
+        for e in events:
+            if e.get("ph") == "X":
+                assert e["dur"] >= 0
+        with pytest.raises(ConfigurationError, match="404"):
+            client.sweep_trace("no-such-ticket")
+
+    def test_healthz_uptime_and_telemetry_flag(self, fleet_server):
+        url, _service = fleet_server
+        client = ServiceClient(url, poll_interval=0.02)
+        health = client._get("/v1/healthz")
+        assert health["telemetry"] is True
+        assert 0.0 <= health["uptime_s"] < 3600.0
+
+    def test_top_dashboard_renders_fleet(self, fleet_server):
+        from repro.fleet.top import fetch_view, render_view, top
+
+        url, _service = fleet_server
+        client = ServiceClient(url, poll_interval=0.02)
+        ticket = client.submit(_tiny_spec())
+        _run_fleet(url)
+        client.wait(ticket, timeout=30)
+        view = fetch_view(client)
+        assert view["health"]["ok"] is True
+        screen = render_view(view)
+        assert "obs0" in screen and "obs1" in screen
+        assert "queue:" in screen
+        # --once writes a single snapshot and exits 0
+        import io
+
+        out = io.StringIO()
+        assert top(url, once=True, out=out) == 0
+        assert "repro sweep service" in out.getvalue()
+
+    def test_top_render_handles_empty_and_slow(self):
+        from repro.fleet.top import render_view
+
+        screen = render_view({
+            "base_url": "http://x", "health": {}, "fleet": {},
+            "sweeps": [], "warnings": []})
+        assert "no workers registered" in screen
+        screen = render_view({
+            "base_url": "http://x",
+            "health": {"queue_depth": 3, "jobs_in_flight": 1,
+                       "uptime_s": 12.0, "telemetry": True},
+            "fleet": {"workers": [
+                {"id": "w1", "leases_held": 1, "completed": 5,
+                 "failed": 0, "expired": 0, "rate_ewma": 100.0,
+                 "slow": True}]},
+            "sweeps": [{"id": "abcd1234efgh", "state": "running",
+                        "done": 1, "total": 4}],
+            "etas": {"abcd1234efgh": 7.5},
+            "cache_hit_ratio": 0.5,
+            "warnings": [{"time_unix": 0.0, "level": "warning",
+                          "logger": "s", "message": "lease expired"}]})
+        assert "SLOW" in screen
+        assert "eta 7.5s" in screen
+        assert "50.0%" in screen
+        assert "lease expired" in screen
 
 
 # ----------------------------------------------------------------------
@@ -779,7 +961,9 @@ def test_fleet_smoke_fig3_two_workers_matches_inprocess(tmp_path):
                 stderr=subprocess.STDOUT)
             for i in range(2)
         ]
-        remote = client.run_sweep(spec, timeout=900)
+        ticket = client.submit(spec)
+        assert client.wait(ticket, timeout=900)["state"] == "complete"
+        remote = client.result(ticket)
         assert np.array_equal(
             np.asarray(reference.mean_curve(spec.scenarios[0].name)),
             np.asarray(remote.mean_curve(spec.scenarios[0].name)))
@@ -794,6 +978,29 @@ def test_fleet_smoke_fig3_two_workers_matches_inprocess(tmp_path):
         committed = _series(metrics, "repro_fleet_leases_total").get(
             '{outcome="committed"}', 0)
         assert committed == len(reference.points)
+        # worker heartbeats federated their registries: the server's
+        # exposition shows worker-labeled series from both processes
+        parsed = telemetry.parse_prometheus(metrics)
+        jobs = parsed.get("repro_worker_jobs_total", [])
+        workers_seen = {lab.get("worker") for lab, _ in jobs}
+        assert {"smoke-0", "smoke-1"} <= workers_seen
+        # merged fleet logs carry worker correlation over HTTP
+        records = client.logs(limit=500)
+        assert {"smoke-0", "smoke-1"} <= {r.get("worker_id")
+                                          for r in records
+                                          if "worker_id" in r}
+        # per-sweep flight recorder spans server + worker lanes;
+        # REPRO_FLEET_TRACE_OUT saves it as a CI workflow artifact
+        trace = client.sweep_trace(ticket)
+        lanes = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e.get("ph") == "M"}
+        assert "server" in lanes
+        assert any(lane.startswith("worker smoke-") for lane in lanes)
+        trace_out = os.environ.get("REPRO_FLEET_TRACE_OUT")
+        if trace_out:
+            Path(trace_out).parent.mkdir(parents=True, exist_ok=True)
+            Path(trace_out).write_text(json.dumps(trace),
+                                       encoding="utf-8")
     finally:
         for p in workers:
             p.terminate()

@@ -720,11 +720,12 @@ class TestWireV2:
         assert wire.from_wire(wire.to_wire(bare)).spans is None
 
     def test_old_envelopes_still_decode(self):
-        """v2/v3 only *added* fields and message types; v1 and v2
-        documents (no spans, no fleet messages) must keep decoding."""
+        """v2/v3/v4 only *added* fields and message types; v1–v3
+        documents (no spans, fleet, or telemetry messages) must keep
+        decoding."""
         doc = json.loads(wire.dumps(_tiny_spec()))
-        assert doc["wire_version"] == wire.WIRE_VERSION == 3
-        for old in (1, 2):
+        assert doc["wire_version"] == wire.WIRE_VERSION == 4
+        for old in (1, 2, 3):
             doc["wire_version"] = old
             restored = wire.loads(json.dumps(doc))
             assert restored.key == _tiny_spec().key

@@ -311,3 +311,202 @@ class TestCacheStatsConcurrency:
         assert snap == {"memory_hits": 3, "disk_hits": 2, "misses": 1,
                         "stores": 0, "disk_evictions": 0, "hits": 5}
         assert stats.hits == 5
+
+
+# ----------------------------------------------------------------------
+# Structured logs
+# ----------------------------------------------------------------------
+
+class TestStructuredLogs:
+    def test_buffer_stamps_monotonic_seq_and_filters(self):
+        buf = telemetry.LogBuffer(maxlen=8)
+        log = telemetry.StructuredLogger("t", buffer=buf)
+        log.info("a", worker_id="w1")
+        log.warning("b", worker_id="w2")
+        log.error("c", worker_id="w1")
+        records = buf.records()
+        assert [r["seq"] for r in records] == [1, 2, 3]
+        assert [r["message"] for r in buf.records(worker="w1")] == \
+            ["a", "c"]
+        # level is a *minimum* severity
+        assert [r["message"] for r in buf.records(level="warning")] == \
+            ["b", "c"]
+        assert [r["message"] for r in buf.records(since_seq=2)] == ["c"]
+        assert [r["message"] for r in buf.records(limit=1)] == ["c"]
+
+    def test_buffer_is_bounded_ring_and_clear_keeps_seq(self):
+        buf = telemetry.LogBuffer(maxlen=3)
+        for i in range(5):
+            buf.append({"message": str(i)})
+        records = buf.records()
+        assert [r["message"] for r in records] == ["2", "3", "4"]
+        assert [r["seq"] for r in records] == [3, 4, 5]
+        buf.clear()
+        assert buf.records() == []
+        assert buf.append({"message": "next"}) == 6  # seq never recycles
+
+    def test_bind_carries_correlation_fields(self):
+        buf = telemetry.LogBuffer()
+        log = telemetry.StructuredLogger("fleet.worker", buffer=buf)
+        child = log.bind(worker_id="w-9", ticket="t-1")
+        rec = child.warning("lease lost", slot="abc")
+        assert rec["worker_id"] == "w-9"
+        assert rec["ticket"] == "t-1"
+        assert rec["slot"] == "abc"
+        assert rec["logger"] == "fleet.worker"
+        # parent unchanged
+        assert "worker_id" not in log.info("plain")
+
+    def test_stream_threshold_and_json_lines(self):
+        import io
+        buf = telemetry.LogBuffer()
+        stream = io.StringIO()
+        log = telemetry.StructuredLogger("t", buffer=buf, stream=stream,
+                                         level="warning")
+        log.info("quiet")
+        log.warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+        assert len(buf.records()) == 2  # buffer always gets everything
+
+        jstream = io.StringIO()
+        jlog = telemetry.StructuredLogger("t", buffer=buf, stream=jstream,
+                                          json_lines=True)
+        jlog.info("structured", key="deadbeef")
+        parsed = json.loads(jstream.getvalue())
+        assert parsed["message"] == "structured"
+        assert parsed["key"] == "deadbeef"
+
+    def test_format_human_inlines_correlation(self):
+        line = telemetry.format_human(
+            {"time_unix": 0.0, "level": "warning", "logger": "x",
+             "message": "m", "worker_id": "w", "attempt": 2})
+        assert "WARNING" in line
+        assert "worker_id=w" in line
+        assert "attempt=2" in line
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown log level"):
+            telemetry.level_rank("loud")
+        with pytest.raises(ConfigurationError):
+            telemetry.LogBuffer(maxlen=0)
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition edge cases
+# ----------------------------------------------------------------------
+
+class TestPrometheusExposition:
+    def test_escape_label_round_trip(self):
+        from repro.telemetry.metrics import _escape_label, _unescape_label
+        for raw in ('plain', 'a"b', 'back\\slash', 'new\nline',
+                    'all\\"of\nit', 'trailing\\'):
+            assert _unescape_label(_escape_label(raw)) == raw
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render() == ""
+        # a registered family with no series still renders HELP/TYPE
+        reg = MetricsRegistry()
+        reg.counter("lonely_total", "no series yet", labels=("k",))
+        assert "# TYPE lonely_total counter" in reg.render()
+
+    def test_histogram_inf_bucket_closes_distribution(self):
+        telemetry.enable()
+        reg = MetricsRegistry()
+        h = reg.histogram("t_seconds", "", buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(99.0)  # lands only in +Inf
+        text = reg.render()
+        assert 't_seconds_bucket{le="1"} 1' in text
+        assert 't_seconds_bucket{le="+Inf"} 2' in text
+        parsed = telemetry.parse_prometheus(text)
+        buckets = {lab["le"]: v for lab, v in parsed["t_seconds_bucket"]}
+        assert buckets["+Inf"] == 2.0
+        assert parsed["t_seconds_count"][0][1] == 2.0
+
+    def test_parse_round_trips_render(self):
+        telemetry.enable()
+        reg = MetricsRegistry()
+        c = reg.counter("odd_total", "", labels=("path",))
+        c.inc(path='a"b\\c\nd')
+        g = reg.gauge("plain", "")
+        g.set(2.5)
+        parsed = telemetry.parse_prometheus(reg.render())
+        assert parsed["odd_total"] == [({"path": 'a"b\\c\nd'}, 1.0)]
+        assert parsed["plain"] == [({}, 2.5)]
+
+
+# ----------------------------------------------------------------------
+# Federation
+# ----------------------------------------------------------------------
+
+def _worker_snapshot():
+    """A tiny cumulative registry snapshot, as a heartbeat would ship."""
+    telemetry.enable()
+    reg = MetricsRegistry()
+    jobs = reg.counter("repro_worker_jobs_total", "", labels=("outcome",))
+    jobs.inc(outcome="ok")
+    jobs.inc(outcome="ok")
+    lat = reg.histogram("repro_worker_job_seconds", "", buckets=(1.0,))
+    lat.observe(0.5)
+    return reg.snapshot()
+
+
+class TestFederation:
+    def test_render_appends_worker_label(self):
+        fed = telemetry.FederatedTelemetry()
+        fed.ingest("w1", metrics=_worker_snapshot())
+        text = fed.render_prometheus()
+        assert ('repro_worker_jobs_total{outcome="ok",worker="w1"} 2'
+                in text)
+        assert ('repro_worker_job_seconds_bucket'
+                '{worker="w1",le="1"} 1') in text
+        assert 'repro_worker_job_seconds_count{worker="w1"} 1' in text
+        # one TYPE line per family even with several workers
+        fed.ingest("w2", metrics=_worker_snapshot())
+        text = fed.render_prometheus()
+        assert text.count("# TYPE repro_worker_jobs_total counter") == 1
+        assert 'repro_worker_jobs_total{outcome="ok",worker="w2"} 2' \
+            in text
+
+    def test_merge_is_idempotent_on_redelivery(self):
+        fed = telemetry.FederatedTelemetry()
+        snapshot = _worker_snapshot()
+        logs = [{"seq": 1, "level": "info", "message": "a"},
+                {"seq": 2, "level": "warning", "message": "b"}]
+        assert fed.ingest("w1", metrics=snapshot, logs=logs) == 2
+        before = fed.render_prometheus()
+        # the retried heartbeat re-delivers the same snapshot + records
+        assert fed.ingest("w1", metrics=snapshot, logs=logs) == 0
+        assert fed.render_prometheus() == before
+        assert len(fed.logs()) == 2
+        # new records past the seq watermark still land
+        assert fed.ingest(
+            "w1", logs=[{"seq": 3, "message": "c"}]) == 1
+        assert [r["message"] for r in fed.logs()] == ["a", "b", "c"]
+
+    def test_logs_tagged_and_filtered_per_worker(self):
+        fed = telemetry.FederatedTelemetry()
+        fed.ingest("w1", logs=[{"seq": 1, "level": "warning",
+                                "message": "w1 says"}])
+        fed.ingest("w2", logs=[{"seq": 1, "level": "info",
+                                "message": "w2 says"}])
+        assert [r["worker_id"] for r in fed.logs()] == ["w1", "w2"]
+        assert [r["message"] for r in fed.logs(worker="w2")] == \
+            ["w2 says"]
+        assert [r["message"] for r in fed.logs(level="warning")] == \
+            ["w1 says"]
+
+    def test_snapshot_forget_and_empty_render(self):
+        fed = telemetry.FederatedTelemetry()
+        assert fed.render_prometheus() == ""
+        fed.ingest("w1", metrics=_worker_snapshot(),
+                   stats={"concurrency": 2}, time_unix=123.0)
+        snap = fed.worker_snapshot("w1")
+        assert snap["stats"] == {"concurrency": 2}
+        assert snap["time_unix"] == 123.0
+        assert "repro_worker_jobs_total" in snap["metrics"]
+        assert fed.workers() == ["w1"]
+        fed.forget("w1")
+        assert fed.worker_snapshot("w1") is None
+        assert fed.render_prometheus() == ""
