@@ -1,0 +1,91 @@
+"""Command-line entry point: ``python -m repro.analysis [paths]``.
+
+Also reachable as ``repro-experiments lint``. Exit status: 0 when the
+tree is clean (suppressed findings do not count), 1 when unsuppressed
+findings remain, 2 on usage/configuration errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from .config import load_config
+from .core import all_rules, analyze_paths
+from .report import render_json_text, render_text
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Invariant linter for the repro codebase "
+                    "(lock discipline, hash purity, wire compat, "
+                    "kernel numerics).",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to scan (default: the paths from "
+             "[tool.repro.analysis], falling back to 'src')")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)")
+    parser.add_argument(
+        "--select", metavar="IDS",
+        help="comma-separated rule IDs to run exclusively "
+             "(e.g. RPR001,RPR006)")
+    parser.add_argument(
+        "--disable", metavar="IDS",
+        help="comma-separated rule IDs to skip, in addition to the "
+             "config's disable list")
+    parser.add_argument(
+        "--pyproject", metavar="PATH",
+        help="pyproject.toml to read [tool.repro.analysis] from "
+             "(default: nearest one at or above the cwd)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit")
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also print suppressed findings in text mode")
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id}  {rule.name}")
+        lines.append(f"       {rule.description}")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        sys.stdout.write(_list_rules())
+        return 0
+    try:
+        config = load_config(pyproject=args.pyproject)
+        if args.disable:
+            extra = tuple(s.strip() for s in args.disable.split(",")
+                          if s.strip())
+            config = replace(config,
+                             disable=tuple(config.disable) + extra)
+        select = None
+        if args.select:
+            select = [s.strip() for s in args.select.split(",")
+                      if s.strip()]
+        paths: list[str | Path] = list(args.paths) or list(config.paths)
+        findings, files_scanned = analyze_paths(paths, config,
+                                                select=select)
+    except ConfigurationError as exc:
+        sys.stderr.write(f"error: {exc}\n")
+        return 2
+    if args.format == "json":
+        sys.stdout.write(render_json_text(findings, files_scanned))
+    else:
+        sys.stdout.write(render_text(findings, files_scanned,
+                                     verbose=args.verbose))
+    return 1 if any(not f.suppressed for f in findings) else 0

@@ -1,0 +1,289 @@
+"""Rule framework of the invariant linter.
+
+A :class:`Rule` inspects one parsed module (:class:`ModuleContext`) and
+yields :class:`Finding`\\ s. Rules register under stable IDs
+(``RPR001``, ``RPR002``, ...) so suppression comments, configuration
+and reports stay valid as the rule set grows.
+
+Per-line suppression::
+
+    risky_call()  # repro: ignore[RPR001] commit path holds the lock
+
+The comment must name the rule ID and carry a non-empty reason; a
+bare ``# repro: ignore[RPR001]`` does **not** suppress (the finding is
+reported with a note instead). A suppression on its own line applies
+to the following statement line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, replace
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from ..errors import ConfigurationError
+from .config import AnalysisConfig
+
+RULE_ID_RE = re.compile(r"^RPR\d{3}$")
+
+#: ``# repro: ignore[RPR001]`` / ``# repro: ignore[RPR001, RPR002] why``
+SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\s]+)\]\s*(.*)$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    suppression_reason: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "suppression_reason": self.suppression_reason,
+        }
+
+    def __str__(self) -> str:
+        mark = " (suppressed)" if self.suppressed else ""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.message}{mark}")
+
+
+class ModuleContext:
+    """One parsed module plus the helpers rules share.
+
+    ``path`` is the display path (posix, repo-relative when scanned
+    from the repo root); glob-scoped rules match it with
+    :meth:`matches`.
+    """
+
+    def __init__(self, path: str, source: str,
+                 config: AnalysisConfig) -> None:
+        self.path = path
+        self.source = source
+        self.config = config
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    # -- tree helpers ---------------------------------------------------
+
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        if self._parents is None:
+            parents: dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module root."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def enclosing_function(self, node: ast.AST
+                           ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """Innermost function definition containing ``node``."""
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    # -- scoping --------------------------------------------------------
+
+    def matches(self, globs: Iterable[str]) -> bool:
+        """True when the module path matches any of the globs."""
+        posix = self.path.replace("\\", "/")
+        return any(fnmatch(posix, g) for g in globs)
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set ``id`` (stable ``RPRnnn``), ``name`` (short
+    kebab-case), ``description`` (one line, shown by ``--list-rules``)
+    and implement :meth:`check`.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: ModuleContext, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(rule=self.id, path=ctx.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       message=message)
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not RULE_ID_RE.match(cls.id or ""):
+        raise ConfigurationError(
+            f"rule {cls.__name__} has invalid id {cls.id!r} "
+            "(expected RPRnnn)"
+        )
+    if cls.id in _REGISTRY and type(_REGISTRY[cls.id]) is not cls:
+        raise ConfigurationError(
+            f"rule id {cls.id} already registered "
+            f"by {type(_REGISTRY[cls.id]).__name__}"
+        )
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules, ordered by ID."""
+    return [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown rule {rule_id!r} (registered: {sorted(_REGISTRY)})"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Suppression:
+    rules: frozenset[str]
+    reason: str
+
+
+def _parse_suppressions(lines: list[str]) -> dict[int, _Suppression]:
+    """Map line number -> suppression in effect on that line.
+
+    A suppression comment on a statement line covers that line; a
+    comment-only line covers the next line (so long call chains can
+    carry the comment above them).
+    """
+    out: dict[int, _Suppression] = {}
+    for i, line in enumerate(lines, start=1):
+        m = SUPPRESS_RE.search(line)
+        if m is None:
+            continue
+        rules = frozenset(
+            part.strip() for part in m.group(1).split(",") if part.strip())
+        sup = _Suppression(rules=rules, reason=m.group(2).strip())
+        target = i + 1 if line.lstrip().startswith("#") else i
+        out[target] = sup
+    return out
+
+
+def _apply_suppressions(findings: list[Finding],
+                        lines: list[str]) -> list[Finding]:
+    table = _parse_suppressions(lines)
+    out = []
+    for f in findings:
+        sup = table.get(f.line)
+        if sup is None or f.rule not in sup.rules:
+            out.append(f)
+        elif not sup.reason:
+            out.append(replace(
+                f, message=f.message + " [suppression comment present "
+                "but carries no reason; add one to silence]"))
+        else:
+            out.append(replace(f, suppressed=True,
+                               suppression_reason=sup.reason))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Orchestration
+# ----------------------------------------------------------------------
+
+def _selected_rules(config: AnalysisConfig,
+                    select: Iterable[str] | None = None) -> list[Rule]:
+    if select is not None:
+        return [get_rule(rid) for rid in select]
+    return [r for r in all_rules() if r.id not in config.disable]
+
+
+def analyze_source(source: str, path: str = "<string>",
+                   config: AnalysisConfig | None = None,
+                   select: Iterable[str] | None = None) -> list[Finding]:
+    """Analyze one module given as a string (the test fixture path)."""
+    config = config if config is not None else AnalysisConfig()
+    try:
+        ctx = ModuleContext(path, source, config)
+    except SyntaxError as exc:
+        return [Finding(rule="RPR000", path=path,
+                        line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+                        message=f"syntax error: {exc.msg}")]
+    findings: list[Finding] = []
+    for rule in _selected_rules(config, select):
+        findings.extend(rule.check(ctx))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return _apply_suppressions(findings, ctx.lines)
+
+
+def _iter_files(paths: Iterable[str | Path],
+                config: AnalysisConfig) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.is_file():
+            files.append(p)
+        else:
+            raise ConfigurationError(f"no such file or directory: {p}")
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for f in files:
+        posix = f.as_posix()
+        if f in seen or any(fnmatch(posix, g) for g in config.exclude):
+            continue
+        seen.add(f)
+        out.append(f)
+    return out
+
+
+def analyze_paths(paths: Iterable[str | Path],
+                  config: AnalysisConfig | None = None,
+                  select: Iterable[str] | None = None,
+                  on_file: Callable[[Path], None] | None = None
+                  ) -> tuple[list[Finding], int]:
+    """Analyze files/directories; returns ``(findings, files_scanned)``."""
+    config = config if config is not None else AnalysisConfig()
+    findings: list[Finding] = []
+    files = _iter_files(paths, config)
+    for f in files:
+        if on_file is not None:
+            on_file(f)
+        source = f.read_text(encoding="utf-8")
+        findings.extend(analyze_source(source, path=f.as_posix(),
+                                       config=config, select=select))
+    findings.sort(key=lambda x: (x.path, x.line, x.col, x.rule))
+    return findings, len(files)

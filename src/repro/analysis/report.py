@@ -1,0 +1,74 @@
+"""Text and JSON reporters for analyzer findings.
+
+The JSON document is the CI artifact contract::
+
+    {"format": "repro-analysis", "version": 1,
+     "files_scanned": 42,
+     "summary": {"findings": 2, "suppressed": 5,
+                 "by_rule": {"RPR001": 2}},
+     "findings": [{"rule": ..., "path": ..., "line": ..., "col": ...,
+                   "message": ..., "suppressed": ...,
+                   "suppression_reason": ...}, ...]}
+
+``findings`` includes suppressed entries (flagged as such) so the
+artifact doubles as a suppression inventory; ``summary.findings`` and
+the process exit code count only the unsuppressed ones.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .core import Finding
+
+#: Top-level marker of the JSON report.
+REPORT_FORMAT = "repro-analysis"
+
+#: Bump when the JSON report schema changes.
+REPORT_VERSION = 1
+
+
+def render_json(findings: list[Finding], files_scanned: int) -> dict:
+    """Build the JSON-ready report document."""
+    active = [f for f in findings if not f.suppressed]
+    by_rule = Counter(f.rule for f in active)
+    return {
+        "format": REPORT_FORMAT,
+        "version": REPORT_VERSION,
+        "files_scanned": files_scanned,
+        "summary": {
+            "findings": len(active),
+            "suppressed": len(findings) - len(active),
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+        "findings": [f.to_dict() for f in findings],
+    }
+
+
+def render_json_text(findings: list[Finding], files_scanned: int) -> str:
+    return json.dumps(render_json(findings, files_scanned), indent=2,
+                      sort_keys=False) + "\n"
+
+
+def render_text(findings: list[Finding], files_scanned: int,
+                verbose: bool = False) -> str:
+    """Human-readable report; suppressed findings only with ``verbose``."""
+    lines: list[str] = []
+    active = [f for f in findings if not f.suppressed]
+    shown = findings if verbose else active
+    lines.extend(str(f) for f in shown)
+    n_sup = len(findings) - len(active)
+    if active:
+        by_rule = Counter(f.rule for f in active)
+        breakdown = ", ".join(f"{rid}: {n}" for rid, n
+                              in sorted(by_rule.items()))
+        lines.append(
+            f"{len(active)} finding{'s' if len(active) != 1 else ''} "
+            f"({breakdown}) in {files_scanned} files"
+            + (f"; {n_sup} suppressed" if n_sup else ""))
+    else:
+        lines.append(
+            f"clean: {files_scanned} files, 0 findings"
+            + (f", {n_sup} suppressed" if n_sup else ""))
+    return "\n".join(lines) + "\n"

@@ -140,7 +140,7 @@ class ParallelExecutor(Executor):
                         results[i] = future.result()
                     except CancelledError:
                         continue
-                    except Exception as exc:
+                    except Exception as exc:  # noqa: BLE001 — first failure wins, re-raised after drain
                         # First failure wins; cancel what hasn't started
                         # but keep draining running chunks so their
                         # results still reach on_result (the engine

@@ -132,6 +132,11 @@ class EstimatorSpec:
     per-sample runs share cache entries, and warmed caches stay valid.
     """
 
+    #: Fields deliberately outside the content hash (perf-only knobs
+    #: that cannot change payloads); the hash-purity check (RPR003)
+    #: keeps this set honest against :meth:`to_spec`.
+    HASH_EXCLUDED = frozenset({"batch_size"})
+
     kind: str = "sscm"
     order: int = 1
     n_samples: int = 0

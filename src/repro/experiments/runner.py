@@ -211,6 +211,11 @@ def main(argv: list[str] | None = None) -> int:
         return _worker_main(argv[1:])
     if argv and argv[0] == "top":
         return _top_main(argv[1:])
+    if argv and argv[0] == "lint":
+        # The invariant linter (lock discipline, hash purity, wire
+        # compat, kernel numerics); see `repro-experiments lint --help`.
+        from ..analysis.cli import main as _lint_main
+        return _lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.experiments.runner",
         description="Regenerate the paper's tables and figures "
@@ -294,12 +299,12 @@ def main(argv: list[str] | None = None) -> int:
     # engine dedups the jobs) but run_many rejects duplicates, so fold
     # them here, first occurrence wins.
     names = list(dict.fromkeys(args.experiments)) or registry.names()
-    start = time.time()
+    start = time.perf_counter()
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", RuntimeWarning)
         results = api.run_many(names, scale=args.scale, jobs=args.jobs,
                                cache=cache)
-    elapsed = time.time() - start
+    elapsed = time.perf_counter() - start
 
     if args.format_ == "json":
         print(json.dumps({name: result.to_dict()

@@ -25,7 +25,11 @@ def green3d(r: np.ndarray, k: complex) -> np.ndarray:
 def green3d_radial_derivative(r: np.ndarray, k: complex) -> np.ndarray:
     """dG/dr for the 3D Green's function: ``(jk - 1/r) * G``."""
     r = np.asarray(r, dtype=np.float64)
-    return (1j * k - 1.0 / r) * green3d(r, k)
+    # Materialized like the Hankel terms below: multiplying the call's
+    # freshly returned buffer lets numpy elide the temporary and round
+    # the final ulp by alignment (RPR002).
+    g = green3d(r, k)
+    return (1j * k - 1.0 / r) * g
 
 
 def green3d_gradient(dx: np.ndarray, dy: np.ndarray, dz: np.ndarray,

@@ -157,7 +157,8 @@ def periodic_green2d_gradient(dx: np.ndarray, dz: np.ndarray, k: complex,
     g0 = _gamma_m(k, 0.0)
     gx = np.zeros(shape, dtype=np.complex128)
     gz = np.zeros(shape, dtype=np.complex128)
-    gz += sgn * 1j * np.exp(1j * g0 * adz)
+    e0 = np.exp(1j * g0 * adz)
+    gz += sgn * 1j * e0
     c, s = c1, s1
     for m in range(1, m_max + 1):
         km = 2.0 * math.pi * m / lat

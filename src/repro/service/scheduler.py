@@ -194,6 +194,10 @@ class _Ticket:
     hits: list[bool]
     meta: dict[str, Any]
     created_unix: float
+    #: Monotonic twin of ``created_unix``: ticket wall times are
+    #: *durations*, so they clock on the monotonic pair (the unix
+    #: fields stay for display and cross-machine merging only).
+    created_monotonic: float = field(default_factory=time.monotonic)
     #: Per-job relative costs / scenario kinds, precomputed at admit so
     #: ``status()`` can price the remaining work without touching specs.
     costs: list[float] = field(default_factory=list)
@@ -203,6 +207,7 @@ class _Ticket:
     error: str | None = None
     events: list[dict] = field(default_factory=list)
     finished_unix: float | None = None
+    finished_monotonic: float | None = None
     #: Flight-recorder entries, one per committed slot this ticket
     #: waited on: wall-clock queue/claim/commit timestamps, the worker
     #: (or None for the local dispatcher) and the worker's job spans —
@@ -442,7 +447,7 @@ class SweepScheduler:
             for i in hits:
                 self._m_jobs.inc(kind=kinds[i], outcome="cached")
             self._tickets[ticket.id] = ticket
-            self._prune_finished()
+            self._prune_finished_locked()
             n_new = 0
             for i, job in enumerate(jobs):
                 if ticket.payloads[i] is not None:
@@ -460,7 +465,7 @@ class SweepScheduler:
                 if job.cacheable:
                     self._slot_by_key[job.key] = slot_id
                 n_new += 1
-            self._update_gauges()
+            self._update_gauges_locked()
             self._event(ticket, {
                 "event": "submitted",
                 "total": ticket.total,
@@ -469,7 +474,7 @@ class SweepScheduler:
                 "deduplicated": ticket.total - ticket.done - n_new,
             })
             if ticket.done == ticket.total:
-                self._finish(ticket)
+                self._finish_locked(ticket)
             else:
                 ticket.state = RUNNING
                 self._wakeup.notify_all()
@@ -480,7 +485,7 @@ class SweepScheduler:
     # Dispatch
     # ------------------------------------------------------------------
 
-    def _update_gauges(self) -> None:
+    def _update_gauges_locked(self) -> None:
         """Refresh queue-depth / in-flight / fleet gauges (lock held)."""
         queued = sum(1 for s in self._slots.values() if s.queued)
         self._m_queue_depth.set(queued)
@@ -512,7 +517,7 @@ class SweepScheduler:
                     slot.queued = False
                     slot.claimed_unix = now_unix
                     self._m_queue_wait.observe(now - slot.queued_monotonic)
-                self._update_gauges()
+                self._update_gauges_locked()
                 round_jobs = [self._slots[sid].job for sid in round_ids]
 
             def _commit(pos: int, payload: dict) -> None:
@@ -555,14 +560,14 @@ class SweepScheduler:
             if job.cacheable:
                 self._slot_by_key.pop(job.key, None)
             self._m_jobs.inc(kind=kind, outcome="failed")
-            self._update_gauges()
+            self._update_gauges_locked()
             self._log.warning("job failed", key=job.key,
                               worker_id=slot.leased_to, error=error)
-            self._fail_waiters(slot.waiters, error)
+            self._fail_waiters_locked(slot.waiters, error)
             self._changed.notify_all()
             return
         self._m_jobs.inc(kind=kind, outcome="computed")
-        self._update_gauges()
+        self._update_gauges_locked()
         wall = payload.get("wall_time_s")
         # Committed payloads always come straight from the executor
         # (cache hits never enter a slot), but guard on the
@@ -613,7 +618,7 @@ class SweepScheduler:
                     "spans": list(payload["spans"]),
                 })
             if ticket.done == ticket.total:
-                self._finish(ticket)
+                self._finish_locked(ticket)
         self._changed.notify_all()
 
     def _record_flight_locked(self, slot: _Slot, payload: dict,
@@ -644,7 +649,7 @@ class SweepScheduler:
             if ticket is not None:
                 ticket.flight.append(record)
 
-    def _fail_waiters(self, waiters: list[tuple[str, int]],
+    def _fail_waiters_locked(self, waiters: list[tuple[str, int]],
                       message: str) -> None:
         """Fail every live ticket waiting on one slot (lock held)."""
         for ticket_id, _ in waiters:
@@ -654,6 +659,7 @@ class SweepScheduler:
             ticket.state = FAILED
             ticket.error = message
             ticket.finished_unix = time.time()
+            ticket.finished_monotonic = time.monotonic()
             self._event(ticket, {"event": "failed", "error": message})
 
     def _fail_round(self, round_ids: list[str], exc: Exception) -> None:
@@ -665,20 +671,22 @@ class SweepScheduler:
                     continue
                 if slot.job.cacheable:
                     self._slot_by_key.pop(slot.job.key, None)
-                self._fail_waiters(slot.waiters, message)
+                self._fail_waiters_locked(slot.waiters, message)
             self._changed.notify_all()
 
-    def _finish(self, ticket: _Ticket) -> None:
+    def _finish_locked(self, ticket: _Ticket) -> None:
         ticket.state = COMPLETE
         ticket.finished_unix = time.time()
+        ticket.finished_monotonic = time.monotonic()
         self._event(ticket, {
             "event": "complete",
             "total": ticket.total,
             "cache_hits": sum(ticket.hits),
-            "wall_time_s": ticket.finished_unix - ticket.created_unix,
+            "wall_time_s": (ticket.finished_monotonic
+                            - ticket.created_monotonic),
         })
 
-    def _prune_finished(self) -> None:
+    def _prune_finished_locked(self) -> None:
         """Bound ticket history: drop the oldest finished tickets once
         more than ``max_finished_tickets`` have completed/failed (their
         results stay replayable through the cache)."""
@@ -760,7 +768,7 @@ class SweepScheduler:
                 if slot.job.cacheable:
                     self._slot_by_key.pop(slot.job.key, None)
                 self._m_jobs.inc(kind=job_kind(slot.job), outcome="failed")
-                self._fail_waiters(slot.waiters, (
+                self._fail_waiters_locked(slot.waiters, (
                     f"lease expired {slot.lease_attempts} times "
                     f"(max_lease_attempts={self.max_lease_attempts})"
                 ))
@@ -768,7 +776,7 @@ class SweepScheduler:
                 slot.queued = True
                 slot.queued_monotonic = now
         if reclaimed:
-            self._update_gauges()
+            self._update_gauges_locked()
             self._wakeup.notify_all()  # local dispatcher may pick them up
             self._changed.notify_all()
         return reclaimed
@@ -813,7 +821,7 @@ class SweepScheduler:
                     slot=slot_id, token=slot.lease_token,
                     key=slot.job.key, lease_s=lease_s, job=slot.job))
             if claims:
-                self._update_gauges()
+                self._update_gauges_locked()
             return claims
 
     def heartbeat(self, worker_id: str, slots: Mapping[str, str],
@@ -1006,13 +1014,13 @@ class SweepScheduler:
     # Introspection
     # ------------------------------------------------------------------
 
-    def _ticket(self, ticket_id: str) -> _Ticket:
+    def _ticket_locked(self, ticket_id: str) -> _Ticket:
         ticket = self._tickets.get(ticket_id)
         if ticket is None:
             raise KeyError(ticket_id)
         return ticket
 
-    def _eta_s(self, t: _Ticket) -> float | None:
+    def _eta_s_locked(self, t: _Ticket) -> float | None:
         """Predicted seconds until ``t`` completes (lock held).
 
         Sums the calibrator's per-kind wall-clock predictions over the
@@ -1038,7 +1046,7 @@ class SweepScheduler:
     def status(self, ticket_id: str) -> dict:
         """JSON-ready snapshot of one ticket's progress."""
         with self._lock:
-            t = self._ticket(ticket_id)
+            t = self._ticket_locked(ticket_id)
             points = [
                 {
                     "scenario": job.scenario.name,
@@ -1059,7 +1067,7 @@ class SweepScheduler:
                 "total": t.total,
                 "cache_hits": sum(t.hits),
                 "error": t.error,
-                "eta_s": self._eta_s(t),
+                "eta_s": self._eta_s_locked(t),
                 "meta": dict(t.meta),
                 "created_unix": t.created_unix,
                 "finished_unix": t.finished_unix,
@@ -1080,7 +1088,7 @@ class SweepScheduler:
         Viewable in ``chrome://tracing`` / Perfetto as-is.
         """
         with self._lock:
-            t = self._ticket(ticket_id)
+            t = self._ticket_locked(ticket_id)
             flights = list(t.flight)
             state = t.state
         lanes: dict[str, int] = {"server": 1}
@@ -1146,7 +1154,7 @@ class SweepScheduler:
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
-            t = self._ticket(ticket_id)
+            t = self._ticket_locked(ticket_id)
             while True:
                 fresh = t.events[since:]
                 finished = t.state in (COMPLETE, FAILED)
@@ -1161,7 +1169,7 @@ class SweepScheduler:
         """Block until the ticket completes or fails; True if it did."""
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._lock:
-            t = self._ticket(ticket_id)
+            t = self._ticket_locked(ticket_id)
             while t.state not in (COMPLETE, FAILED):
                 remaining = (None if deadline is None
                              else deadline - time.monotonic())
@@ -1178,7 +1186,7 @@ class SweepScheduler:
         bit-for-bit (modulo wall time and executor provenance).
         """
         with self._lock:
-            t = self._ticket(ticket_id)
+            t = self._ticket_locked(ticket_id)
             if t.state == FAILED:
                 raise ConfigurationError(
                     f"sweep {ticket_id} failed: {t.error}"
@@ -1216,14 +1224,14 @@ class SweepScheduler:
                 points=points,
                 tags=dict(t.spec.tags),
                 executor=f"service:{self.executor.name}",
-                wall_time_s=(t.finished_unix or t.created_unix)
-                - t.created_unix,
+                wall_time_s=((t.finished_monotonic or t.created_monotonic)
+                             - t.created_monotonic),
             )
 
     def payloads(self, ticket_id: str) -> list[dict]:
         """The completed ticket's payload dicts, in job order."""
         with self._lock:
-            t = self._ticket(ticket_id)
+            t = self._ticket_locked(ticket_id)
             if t.state == FAILED:
                 raise ConfigurationError(
                     f"batch {ticket_id} failed: {t.error}"

@@ -155,8 +155,11 @@ class SweepService:
         # pure repeated work.
         self._completed: "OrderedDict[str, dict]" = OrderedDict()
         self._exp_lock = threading.Lock()
-        #: Service creation time — healthz reports uptime against it.
+        #: Service creation time — healthz reports uptime against the
+        #: monotonic twin (uptime is a duration; the unix timestamp is
+        #: display/provenance only).
         self.started_unix = time.time()
+        self.started_monotonic = time.monotonic()
         self._log = telemetry.get_logger("service.server")
 
     @property
@@ -425,7 +428,7 @@ class SweepService:
         fleet = self.scheduler.fleet_snapshot()
         return {
             "ok": True,
-            "uptime_s": time.time() - self.started_unix,
+            "uptime_s": time.monotonic() - self.started_monotonic,
             "telemetry": telemetry.enabled(),
             "workers": {
                 "active": fleet["workers_active"],

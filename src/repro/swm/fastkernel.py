@@ -144,13 +144,14 @@ class KernelTables:
                 ky = 2.0 * math.pi * n / lat
                 g = complex(_gamma_mn(k, np.array(kx), np.array(ky)))
                 coef = 1j / (4.0 * area * g)
+                minus_coef = (1j * g) * coef
+                minus = np.asarray(
+                    ewald_spectral_bracket_minus(z_grid, g, e))
                 tables[s] = _SpectralTable(
                     gamma=g,
                     bracket=np.asarray(
                         ewald_spectral_bracket(z_grid, g, e)) * coef,
-                    minus=np.asarray(
-                        ewald_spectral_bracket_minus(z_grid, g, e))
-                    * ((1j * g) * coef),
+                    minus=minus * minus_coef,
                 )
         self._spectral = tables
         self._modes = [(m, n) for m in range(-nmod, nmod + 1)

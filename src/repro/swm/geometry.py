@@ -47,7 +47,8 @@ def spectral_gradient_1d(profile: np.ndarray, period: float) -> np.ndarray:
     k = 2.0 * math.pi * np.fft.fftfreq(n, d=period / n)
     if n % 2 == 0:
         k[n // 2] = 0.0
-    return np.real(np.fft.ifft(1j * k * np.fft.fft(h)))
+    spec = np.fft.fft(h)
+    return np.real(np.fft.ifft(1j * k * spec))
 
 
 @dataclass(frozen=True)

@@ -79,6 +79,10 @@ class SWMOptions:
     is **excluded** from the content hash.
     """
 
+    #: Fields deliberately outside the content hash; the hash-purity
+    #: check (RPR003) keeps this set honest against :meth:`to_spec`.
+    HASH_EXCLUDED = frozenset({"batch_size", "check_finite"})
+
     assembly: AssemblyOptions = field(default_factory=AssemblyOptions)
     check_finite: bool = True
     batch_size: int | None = None
@@ -93,7 +97,8 @@ class SWMOptions:
         """Content-hashable dict (keys the engine's result cache).
         ``asdict`` recurses into :class:`AssemblyOptions` and picks up
         any future field automatically. Knobs that cannot change
-        payloads are dropped so they never split cache entries:
+        payloads (:data:`HASH_EXCLUDED`) are dropped so they never
+        split cache entries:
         ``batch_size`` (batched solves are bit-identical) and
         ``check_finite`` (it only turns a non-finite assembly into a
         clear error — every payload that *returns* is identical either
@@ -400,7 +405,11 @@ class SWMSolver3D:
             a[:, n:, n:] = -s2 * scale_v
 
             rhs = np.zeros((nb, 2 * n), dtype=np.complex128)
-            rhs[:, :n] = np.exp(-1j * k1 * np.stack([m.z for m in meshes]))
+            # z is materialized so the -1j*k1 multiply cannot elide into
+            # the stack temporary; the per-sample path multiplies a held
+            # mesh.z reference, and parity with it is asserted bit-exact.
+            z = np.stack([m.z for m in meshes])
+            rhs[:, :n] = np.exp(-1j * k1 * z)
 
         if self.options.check_finite and not np.all(np.isfinite(a)):
             raise SolverError("assembled SWM matrix contains non-finite "

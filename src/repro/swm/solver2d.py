@@ -64,6 +64,10 @@ class SWM2DOptions:
     excluded from content hashes.
     """
 
+    #: Fields deliberately outside the content hash; the hash-purity
+    #: check (RPR003) keeps this set honest against :meth:`to_spec`.
+    HASH_EXCLUDED = frozenset({"batch_size", "check_finite"})
+
     assembly: Assembly2DOptions = field(default_factory=Assembly2DOptions)
     check_finite: bool = True
     batch_size: int | None = None
@@ -278,7 +282,11 @@ class SWMSolver2D:
             a[:, n:, n:] = -s2 * scale_v
 
             rhs = np.zeros((nb, 2 * n), dtype=np.complex128)
-            rhs[:, :n] = np.exp(-1j * k1 * np.stack([m.z for m in meshes]))
+            # Materialized for the same reason as the 3D solver: the
+            # -1j*k1 multiply must not elide into the stack temporary
+            # (bit-exact parity with the per-sample path).
+            z = np.stack([m.z for m in meshes])
+            rhs[:, :n] = np.exp(-1j * k1 * z)
 
         if self.options.check_finite and not np.all(np.isfinite(a)):
             raise SolverError("assembled 2D SWM matrix contains non-finite "
