@@ -8,6 +8,7 @@ Read from the ``[tool.repro.analysis]`` table of ``pyproject.toml``::
     disable = []
     kernel-globs = ["*/greens/*.py", "*/swm/*.py"]
     wire-globs = ["*/service/wire.py", "*/engine/results.py"]
+    telemetry-globs = ["*/engine/*.py", "*/swm/*.py", "*/service/*.py"]
     lock-attr = "_lock"
 
 Every key is optional; table keys may use dashes or underscores. On
@@ -40,9 +41,13 @@ class AnalysisConfig:
     disable: tuple[str, ...] = ()
     #: Modules subject to the kernel-numerics rules (RPR002).
     kernel_globs: tuple[str, ...] = ("*/greens/*.py", "*/swm/*.py")
-    #: Modules carrying the wire format (RPR004).
+    #: Modules carrying the wire format (RPR004, RPR009).
     wire_globs: tuple[str, ...] = ("*/service/wire.py",
                                    "*/engine/results.py")
+    #: Modules whose instrumentation must be a no-op when telemetry is
+    #: disabled (RPR008).
+    telemetry_globs: tuple[str, ...] = ("*/engine/*.py", "*/swm/*.py",
+                                        "*/service/*.py")
     #: Attribute name of the lock guarding ``*_locked`` methods.
     lock_attr: str = "_lock"
 

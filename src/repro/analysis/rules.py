@@ -1,4 +1,4 @@
-"""The shipped rules (RPR001–RPR007).
+"""The shipped rules (RPR001–RPR009).
 
 Each rule encodes an invariant this repo has broken and fixed by hand
 at least once; the rule docstrings cite the incident. All checks are
@@ -706,3 +706,236 @@ class BroadExcept(Rule):
             names = [e.id for e in type_node.elts
                      if isinstance(e, ast.Name)]
         return any(n in ("Exception", "BaseException") for n in names)
+
+
+# ----------------------------------------------------------------------
+# RPR008 — telemetry no-op discipline
+# ----------------------------------------------------------------------
+
+@register_rule
+class TelemetryNoopDiscipline(Rule):
+    """Instrumentation must cost one flag check when telemetry is off.
+
+    ``span(...)`` and the metric methods (``.inc``/``.observe``/
+    ``.set`` on ``_M_*`` / ``self._m_*`` registries) no-op internally
+    when ``REPRO_TELEMETRY`` is disabled — but *argument* expressions
+    are evaluated at the call site regardless. An f-string, a
+    ``.format()``, a comprehension, or a non-trivial call in the
+    argument list silently taxes every disabled run (the overhead the
+    hot-path benchmarks exist to catch, previously guarded only by
+    convention). In modules matching ``telemetry-globs``, each
+    instrumentation call must either take cheap arguments (names,
+    attributes, arithmetic, whitelisted builtins like ``len``/``float``
+    and monotonic-clock reads) or sit behind an explicit
+    ``telemetry.enabled()`` guard — an enclosing ``if`` or a leading
+    ``if not ...enabled(): return`` in the enclosing function.
+    """
+
+    id = "RPR008"
+    name = "telemetry-noop"
+    description = ("instrumentation arguments must stay cheap (or sit "
+                   "behind an enabled() guard) when telemetry is off")
+
+    _CHEAP_BUILTINS = frozenset({"len", "int", "float", "str", "bool",
+                                 "abs", "min", "max", "round"})
+    _CHEAP_DOTTED = frozenset({"time.perf_counter", "time.monotonic",
+                               "time.time", "os.getpid"})
+    _COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp,
+                       ast.GeneratorExp)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.matches(ctx.config.telemetry_globs):
+            return
+        imports = _imports(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = self._instrumentation_kind(node)
+            if kind is None or self._guarded(ctx, node):
+                continue
+            offense = self._eager_offense(node, imports)
+            if offense is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"{kind} {offense} even when telemetry is "
+                    "disabled; bind the value outside the call, pass "
+                    "raw operands, or put the site behind "
+                    "`telemetry.enabled()`")
+
+    @staticmethod
+    def _instrumentation_kind(call: ast.Call) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "span":
+            return "span() argument"
+        if not isinstance(func, ast.Attribute):
+            return None
+        if func.attr == "span":
+            return "span() argument"
+        if func.attr in ("inc", "observe", "set"):
+            recv = func.value
+            # Metric objects follow the repo convention: module-level
+            # _M_UPPER names or self._m_lower attributes. Anything else
+            # (`self._stop.set()`, `calibrator.observe(...)`) is real
+            # work, not instrumentation.
+            if ((isinstance(recv, ast.Name) and recv.id.startswith("_M_"))
+                    or (isinstance(recv, ast.Attribute)
+                        and recv.attr.startswith("_m_"))):
+                return f"metric .{func.attr}() argument"
+        return None
+
+    @staticmethod
+    def _is_enabled_call(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Call)
+                and ((isinstance(node.func, ast.Name)
+                      and node.func.id == "enabled")
+                     or (isinstance(node.func, ast.Attribute)
+                         and node.func.attr == "enabled")))
+
+    def _guarded(self, ctx: ModuleContext, call: ast.Call) -> bool:
+        for anc in ctx.ancestors(call):
+            if (isinstance(anc, ast.If)
+                    and _subtree_has(anc.test, self._is_enabled_call)):
+                return True
+            if isinstance(anc, _SCOPES):
+                # A guard outside a closure does not cover the closure
+                # body; but a function opening with
+                # `if not ...enabled(): return` covers everything in it.
+                body = getattr(anc, "body", None) or []
+                if not isinstance(body, list):
+                    body = []
+                stmts = [s for s in body
+                         if not (isinstance(s, ast.Expr)
+                                 and isinstance(s.value, ast.Constant)
+                                 and isinstance(s.value.value, str))]
+                first = stmts[0] if stmts else None
+                return (isinstance(first, ast.If)
+                        and isinstance(first.test, ast.UnaryOp)
+                        and isinstance(first.test.op, ast.Not)
+                        and _subtree_has(first.test.operand,
+                                         self._is_enabled_call)
+                        and any(isinstance(s, ast.Return)
+                                for s in first.body))
+        return False
+
+    def _eager_offense(self, call: ast.Call,
+                       imports: _Imports) -> str | None:
+        exprs = list(call.args) + [kw.value for kw in call.keywords]
+        for expr in exprs:
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Call):
+                    func = node.func
+                    if (isinstance(func, ast.Name)
+                            and func.id in self._CHEAP_BUILTINS):
+                        continue
+                    if imports.dotted(func) in self._CHEAP_DOTTED:
+                        continue
+                    name = (func.attr if isinstance(func, ast.Attribute)
+                            else getattr(func, "id", "<expr>"))
+                    return f"calls {name}() eagerly"
+                if isinstance(node, ast.JoinedStr) and any(
+                        isinstance(v, ast.FormattedValue)
+                        for v in node.values):
+                    return "builds an f-string eagerly"
+                if (isinstance(node, ast.BinOp)
+                        and isinstance(node.op, ast.Mod)
+                        and isinstance(node.left, ast.Constant)
+                        and isinstance(node.left.value, str)):
+                    return "%-formats a string eagerly"
+                if isinstance(node, self._COMPREHENSIONS):
+                    return "evaluates a comprehension eagerly"
+        return None
+
+
+# ----------------------------------------------------------------------
+# RPR009 — wire-baseline freshness
+# ----------------------------------------------------------------------
+
+@register_rule
+class WireBaselineFreshness(Rule):
+    """``wire_baseline`` must mirror what the decoders actually read.
+
+    RPR004 checks the *compat* direction (no hard read outside
+    ``required``); this rule checks the *freshness* direction — the
+    documented contract cannot silently trail the code. Per decoder
+    (resolved through ``_DECODERS``): every ``doc.get("f", ...)`` read
+    must be recorded in the baseline (new optional fields land with a
+    ``.get``-side decode, and recording them is step two of the growth
+    contract), and every baseline ``optional`` field must still be read
+    somewhere in its decoder (a field nobody decodes is a stale table
+    entry). Decoders with no by-name reads at all — the
+    ``_strip`` → constructor style, where constructor defaults absorb
+    old documents — are exempt from the staleness direction.
+    """
+
+    id = "RPR009"
+    name = "wire-baseline-freshness"
+    description = ("wire_baseline optional/required sets must match the "
+                   "decoders' actual .get and hard reads")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.matches(ctx.config.wire_globs):
+            return
+        decoder_map, _ = WireCompat._decoder_map(ctx)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, _FUNCS) and node.name in decoder_map:
+                yield from self._check_decoder(ctx, node,
+                                               decoder_map[node.name])
+
+    def _check_decoder(self, ctx: ModuleContext,
+                       fn: ast.FunctionDef | ast.AsyncFunctionDef,
+                       tag: str) -> Iterator[Finding]:
+        entry = WIRE_BASELINE.get(tag)
+        if entry is None:
+            return  # RPR004 already reports the missing baseline entry
+        doc = fn.args.args[0].arg if fn.args.args else None
+        if doc is None:
+            return
+        hard, soft = self._reads(fn, doc)
+        known = set(entry["required"]) | set(entry["optional"])
+        for field in sorted(soft - known):
+            yield self.finding(
+                ctx, fn,
+                f"decoder for {tag!r} reads {doc}.get({field!r}) but "
+                "the baseline does not record that field; add it under "
+                "optional in repro.analysis.wire_baseline (recording "
+                "the field is step two of growing the format)")
+        if hard or soft:
+            for field in sorted(set(entry["optional"]) - soft - hard):
+                yield self.finding(
+                    ctx, fn,
+                    f"baseline lists optional wire field {field!r} for "
+                    f"{tag!r} but the decoder never reads it; the table "
+                    "is stale — drop the entry or .get the field in "
+                    f"{fn.name}()")
+
+    @staticmethod
+    def _reads(fn: ast.AST, doc: str) -> tuple[set[str], set[str]]:
+        """Fields ``fn`` hard-reads (``doc["f"]`` / ``_expect``) and
+        ``.get``-reads off the ``doc`` parameter, by string literal."""
+        hard: set[str] = set()
+        soft: set[str] = set()
+        for node in ast.walk(fn):
+            if (isinstance(node, ast.Subscript)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == doc
+                    and isinstance(node.slice, ast.Constant)
+                    and isinstance(node.slice.value, str)):
+                hard.add(node.slice.value)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Name) and func.id == "_expect"
+                        and node.args
+                        and isinstance(node.args[0], ast.Name)
+                        and node.args[0].id == doc):
+                    hard.update(a.value for a in node.args[1:]
+                                if isinstance(a, ast.Constant)
+                                and isinstance(a.value, str))
+                elif (isinstance(func, ast.Attribute)
+                        and func.attr == "get"
+                        and isinstance(func.value, ast.Name)
+                        and func.value.id == doc
+                        and node.args
+                        and isinstance(node.args[0], ast.Constant)
+                        and isinstance(node.args[0].value, str)):
+                    soft.add(node.args[0].value)
+        return hard, soft

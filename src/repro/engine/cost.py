@@ -1,0 +1,92 @@
+"""Plan-level job cost model (resolved from the spec alone).
+
+:func:`estimate_job_cost` is the relative dense-LU work figure the
+whole stack shares: the scheduler orders dispatch rounds and worker
+claims by it, grouped frequency-stack execution attributes measured
+wall time back to individual jobs by it, and the
+:class:`~repro.telemetry.CostCalibrator` regresses per-kind wall clock
+against it. The per-kind cost *forms* live in one ``job_kind``-keyed
+table — :data:`repro.telemetry.calibration.COST_MODELS` — so a new
+scenario kind cannot get a cost model in the scheduler but not the
+calibrator (or vice versa); an unregistered kind raises instead of
+silently sorting as free.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..telemetry.calibration import COST_MODELS
+from .spec import (
+    DeterministicScenario,
+    EstimatorSpec,
+    Job,
+    ProfileScenario,
+    StochasticScenario,
+)
+
+
+def job_kind(job: Job) -> str:
+    """Coarse scenario kind: the key into :data:`COST_MODELS` and the
+    bucket the :class:`~repro.telemetry.CostCalibrator` fits per."""
+    scenario = job.scenario
+    if isinstance(scenario, DeterministicScenario):
+        return "deterministic"
+    if isinstance(scenario, ProfileScenario):
+        return "profile"
+    return "stochastic"
+
+
+def _unknowns(job: Job) -> int:
+    """Dense-system size N of one SWM solve for this job's scenario."""
+    scenario = job.scenario
+    if isinstance(scenario, DeterministicScenario):
+        return int(scenario.heights_m.size)
+    if isinstance(scenario, ProfileScenario):
+        return int(scenario.n)
+    if isinstance(scenario, StochasticScenario):
+        _, n = scenario._resolved_config().resolve(scenario.correlation)
+        return int(n) * int(n)
+    return 1
+
+
+def _evals(job: Job) -> int:
+    """Estimated solver evaluations the job's estimator performs.
+
+    Monte-Carlo is exact (``n_samples``); SSCM uses the level-``order``
+    sparse-grid growth ``1 + 2 d order`` in the stochastic dimension
+    ``d`` (bounded by ``max_modes`` for 3D processes, ``n`` for 2D
+    profiles) — a deliberate over-estimate at higher orders, which only
+    sharpens the longest-first ordering.
+    """
+    est: EstimatorSpec | None = job.estimator
+    if est is None:
+        return 1
+    if est.kind == "montecarlo":
+        return max(int(est.n_samples), 1)
+    scenario = job.scenario
+    if isinstance(scenario, ProfileScenario):
+        dim = int(scenario.n)
+    elif isinstance(scenario, StochasticScenario):
+        dim = int(scenario._resolved_config().max_modes)
+    else:
+        dim = 1
+    return 1 + 2 * dim * int(est.order)
+
+
+def estimate_job_cost(job: Job) -> float:
+    """Relative cost of a job in dense-LU work units.
+
+    Resolved from the spec alone — no model is built. The absolute
+    scale per kind is meaningless; the scheduler sorts within a round
+    by it, grouped execution splits measured wall time by it, and the
+    calibrator learns each kind's seconds-per-unit slope.
+    """
+    kind = job_kind(job)
+    try:
+        model = COST_MODELS[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"no cost model registered for job kind {kind!r}; add it to "
+            "repro.telemetry.calibration.COST_MODELS"
+        ) from None
+    return model(_evals(job), _unknowns(job))

@@ -83,16 +83,11 @@ def _model_for(scenario: StochasticScenario):
         scenario.options))
 
 
-def _profile_models_for(scenario: ProfileScenario, frequency_hz: float):
-    """Scalar and batched ``xi -> enhancement`` maps for a 2D profile
-    scenario.
+def _profile_components(scenario: ProfileScenario):
+    """Memoized ``(generator, solver)`` pair for a 2D profile scenario.
 
     The generator's FFT amplitudes and the (stateless) 2D solver are
-    memoized per scenario; the scalar closure is the same map Fig. 6
-    historically built by hand: white noise -> profile -> 2D solve. The
-    batched closure stacks the sample profiles into one
-    :meth:`~repro.swm.solver2d.SWMSolver2D.solve_many_um` call
-    (bit-identical values).
+    shared by every job of the scenario on this thread.
     """
     from ..surfaces.generation import ProfileGenerator
     from ..swm.solver2d import SWMSolver2D
@@ -104,7 +99,21 @@ def _profile_models_for(scenario: ProfileScenario, frequency_hz: float):
         solver = SWMSolver2D(scenario.system, scenario.options)
         return gen, solver
 
-    gen, solver = _memoized(scenario.key, build)
+    return _memoized(scenario.key, build)
+
+
+def _profile_models_for(scenario: ProfileScenario, frequency_hz: float):
+    """Scalar and batched ``xi -> enhancement`` maps for a 2D profile
+    scenario.
+
+    The components come from :func:`_profile_components`; the scalar
+    closure is the same map Fig. 6 historically built by hand: white
+    noise -> profile -> 2D solve. The batched closure stacks the sample
+    profiles into one
+    :meth:`~repro.swm.solver2d.SWMSolver2D.solve_many_um` call
+    (bit-identical values).
+    """
+    gen, solver = _profile_components(scenario)
 
     def model(xi: np.ndarray) -> float:
         profile = gen.from_white_noise(xi)
@@ -243,6 +252,245 @@ def _run_job(job: Job) -> tuple:
             mean, std = res.mean, res.std
             n_evals, seed = res.n_samples, est.seed
     return mean, std, values, n_evals, seed
+
+
+def group_by_scenario(items: list, job_of=lambda item: item) -> list[list]:
+    """Bucket ``items`` by ``(scenario hash, estimator)``, preserving
+    first-seen order.
+
+    ``job_of`` maps an item to its :class:`Job` (identity for plain job
+    lists; claim batches pass an accessor). The grouping key is exactly
+    :func:`execute_job_group`'s groupability condition, so every bucket
+    is guaranteed to take the fused path — members differ only in
+    ``frequency_hz``.
+    """
+    buckets: dict = {}
+    ordered: list[list] = []
+    for item in items:
+        job = job_of(item)
+        gkey = (job.scenario.key, job.estimator)
+        bucket = buckets.get(gkey)
+        if bucket is None:
+            bucket = buckets[gkey] = []
+            ordered.append(bucket)
+        bucket.append(item)
+    return ordered
+
+
+def execute_job_group(jobs: list[Job]) -> list[dict]:
+    """Run jobs sharing one scenario at different frequencies as a group.
+
+    The fused counterpart of :func:`execute_job`: every job must carry
+    the same scenario (equal content hash) and the same estimator spec,
+    differing only in ``frequency_hz``. The group realizes each sample
+    surface **once** and solves it as a frequency stack through
+    ``solve_mesh_many_multi_k``, so the k-independent assembly plan is
+    built once per mesh batch instead of once per frequency. Payloads
+    are bit-identical to ``[execute_job(j) for j in jobs]`` — the xi
+    streams, estimator chunk boundaries, and solver kernel-table
+    histories are replicated exactly (tests/test_multifreq_stack.py
+    asserts this) — and per-job content hashes, cache entries, and wire
+    encoding are untouched.
+
+    The measured group wall time is split over the jobs in proportion to
+    their :func:`repro.engine.cost.estimate_job_cost` weight, so the
+    scheduler's :class:`~repro.telemetry.CostCalibrator` still receives
+    one plausible ``(cost, wall)`` observation per job. Telemetry spans
+    (when enabled) describe the shared solve and ride on the first
+    payload only.
+
+    Grouping is an optimization, never a liability: jobs that cannot be
+    grouped — and any grouped-path failure — fall back to per-job
+    :func:`execute_job` calls, where a genuinely failing job raises its
+    own error as before.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    if len(jobs) == 1:
+        return [execute_job(jobs[0])]
+    first = jobs[0]
+    groupable = all(job.scenario.key == first.scenario.key
+                    and job.estimator == first.estimator
+                    for job in jobs[1:])
+    if not groupable:
+        return [execute_job(job) for job in jobs]
+    start = time.perf_counter()
+    try:
+        with record_spans() as spans, span(
+                "job_group", scenario=first.scenario.name,
+                estimator=first.estimator_label, jobs=len(jobs)):
+            per_job = _run_job_group(jobs)
+    except Exception:  # noqa: BLE001 — grouped path is an optimization
+        # Fall back to per-job execution: a genuinely failing job
+        # raises its own error there, exactly as before grouping.
+        return [execute_job(job) for job in jobs]
+    wall = time.perf_counter() - start
+
+    from .cost import estimate_job_cost
+    weights = [estimate_job_cost(job) for job in jobs]
+    total = float(sum(weights))
+    pid = os.getpid()
+    payloads = []
+    for i, (mean, std, values, n_evals, seed) in enumerate(per_job):
+        share = weights[i] / total if total > 0.0 else 1.0 / len(jobs)
+        payload = {
+            "mean": float(mean),
+            "std": float(std),
+            "values": values,
+            "n_evals": int(n_evals),
+            "seed": seed,
+            "wall_time_s": wall * share,
+            "pid": pid,
+        }
+        if spans and i == 0:
+            payload["spans"] = spans
+        payloads.append(payload)
+    return payloads
+
+
+def _run_job_group(jobs: list[Job]) -> list[tuple]:
+    """Grouped analogue of :func:`_run_job`: one result tuple per job."""
+    scenario = jobs[0].scenario
+    freqs = [float(job.frequency_hz) for job in jobs]
+    est = jobs[0].estimator
+    if isinstance(scenario, DeterministicScenario):
+        from ..constants import METER_TO_UM
+        from ..swm.geometry import build_mesh_3d
+
+        solver = _solver_for(scenario)
+        solver.reset_tables()  # same purity contract as _run_job
+        # Mesh construction matches SWMSolver3D.solve exactly.
+        heights_um = np.asarray(scenario.heights_m,
+                                dtype=np.float64) * METER_TO_UM
+        mesh = build_mesh_3d(heights_um,
+                             float(scenario.period_m) * METER_TO_UM)
+        stacks = solver.solve_mesh_many_multi_k([mesh], freqs)
+        out = []
+        for results in stacks:
+            e = results[0].enhancement
+            out.append((float(e), 0.0, np.array([e], dtype=np.float64),
+                        1, None))
+        return out
+    if isinstance(scenario, ProfileScenario):
+        from ..swm.geometry import build_mesh_2d
+
+        gen, solver = _profile_components(scenario)
+        period_um = float(scenario.period_um)
+
+        def realize(xi: np.ndarray):
+            # Matches solve_um / solve_many_um mesh construction.
+            return build_mesh_2d(
+                np.asarray(gen.from_white_noise(xi), dtype=np.float64),
+                period_um)
+
+        return _estimate_group(est, scenario.options, int(scenario.n),
+                               realize, solver.solve_mesh_many_multi_k,
+                               freqs)
+
+    from ..swm.geometry import build_mesh_3d
+
+    model = _model_for(scenario)
+    # One reset covers every frequency: kernel-table keys include the
+    # frequency, so each job's tables start cold exactly as they do on
+    # the per-job path, and accumulate over the estimator's blocks in
+    # the same order.
+    model.solver.reset_tables()
+    period_um = float(model.period_um)
+
+    def realize(xi: np.ndarray):
+        return build_mesh_3d(
+            np.asarray(model.surface_from_xi(xi), dtype=np.float64),
+            period_um)
+
+    return _estimate_group(est, scenario.options, int(model.dimension),
+                           realize, model.solver.solve_mesh_many_multi_k,
+                           freqs)
+
+
+def _estimate_group(est, options, dim: int, realize, solve_multi_k,
+                    freqs: list[float]) -> list[tuple]:
+    """Run one estimator over the frequency stack; one tuple per freq.
+
+    Replicates the per-job estimators' evaluation-point streams and
+    chunk boundaries exactly so grouped values are bit-identical:
+    Monte-Carlo draws each xi block once from a fresh seeded generator
+    (each per-job run draws the identical stream itself), SSCM walks
+    the deterministic Smolyak nodes in the same blocks.
+    """
+    batch_size = _batch_size_for(est, options)
+    if est.kind == "sscm":
+        from ..stochastic.sparsegrid import smolyak_grid
+        from ..stochastic.sscm import reproject_node_values
+
+        nodes = smolyak_grid(dim, est.order).nodes
+        values = _stacked_values(nodes, realize, solve_multi_k, freqs,
+                                 batch_size)
+        out = []
+        for row in values:
+            res = reproject_node_values(row, dim, est.order)
+            out.append((res.mean, res.std,
+                        np.asarray(res.node_values, dtype=np.float64),
+                        res.n_samples, None))
+        return out
+
+    from ..stochastic.montecarlo import MonteCarloResult
+
+    points = _mc_points(dim, int(est.n_samples), est.seed, batch_size)
+    values = _stacked_values(points, realize, solve_multi_k, freqs,
+                             batch_size)
+    out = []
+    for row in values:
+        res = MonteCarloResult(samples=row, seed=est.seed)
+        out.append((res.mean, res.std,
+                    np.asarray(res.samples, dtype=np.float64),
+                    res.n_samples, est.seed))
+    return out
+
+
+def _mc_points(dim: int, n_samples: int, seed, batch_size) -> np.ndarray:
+    """Draw the exact xi stream the per-job Monte-Carlo runs consume.
+
+    Blocks are drawn in the estimator's order and shapes from one fresh
+    seeded generator — ``(take, dim)`` blocks when batching, single
+    ``(dim,)`` draws otherwise — so row ``s`` equals the s-th draw of
+    every per-job :meth:`MonteCarloEstimator.run` with the same seed.
+    """
+    rng = np.random.default_rng(seed)
+    out = np.empty((max(n_samples, 0), dim), dtype=np.float64)
+    done = 0
+    while done < n_samples:
+        if batch_size is not None:
+            take = min(batch_size, n_samples - done)
+            out[done:done + take] = rng.standard_normal((take, dim))
+        else:
+            take = 1
+            out[done] = rng.standard_normal(dim)
+        done += take
+    return out
+
+
+def _stacked_values(points: np.ndarray, realize, solve_multi_k,
+                    freqs: list[float], batch_size) -> np.ndarray:
+    """(F, S) enhancement matrix walking ``points`` in estimator blocks.
+
+    Each block's meshes are realized once and solved for every
+    frequency in one stacked call; block boundaries follow the per-job
+    estimators (``batch_size`` chunks, or one point at a time) so the
+    solvers' adaptive table state evolves identically.
+    """
+    n_points = points.shape[0]
+    out = np.empty((len(freqs), n_points), dtype=np.float64)
+    done = 0
+    while done < n_points:
+        take = (min(batch_size, n_points - done)
+                if batch_size is not None else 1)
+        meshes = [realize(xi) for xi in points[done:done + take]]
+        stacks = solve_multi_k(meshes, freqs)
+        for fi, results in enumerate(stacks):
+            out[fi, done:done + take] = [r.enhancement for r in results]
+        done += take
+    return out
 
 
 def clear_memo() -> None:

@@ -43,7 +43,11 @@ from concurrent.futures import wait as futures_wait
 
 from .. import telemetry
 from ..errors import ConfigurationError
-from ..engine.runtime import execute_job
+from ..engine.runtime import (
+    execute_job,
+    execute_job_group,
+    group_by_scenario,
+)
 from ..service.client import ServiceClient, ServiceUnavailable
 from ..service.wire import WorkerClaim, WorkerResult, WorkerTelemetry
 
@@ -184,6 +188,31 @@ class FleetWorker:
         _M_JOB_SECONDS.observe(time.perf_counter() - start)
         return payload, None
 
+    def _execute_many(self, claims: list[WorkerClaim]
+                      ) -> list[tuple[dict | None, str | None]]:
+        """Run one claimed scenario group; one result tuple per claim.
+
+        Groups take the fused frequency-stack path of
+        :func:`repro.engine.runtime.execute_job_group` (bit-identical
+        payloads, shared assembly plan); any grouped-path failure falls
+        back to per-claim :meth:`_execute` so a bad job fails only its
+        own lease.
+        """
+        if len(claims) == 1:
+            return [self._execute(claims[0])]
+        try:
+            payloads = execute_job_group([c.job for c in claims])
+        except Exception:  # noqa: BLE001 — isolate failures per claim
+            return [self._execute(claim) for claim in claims]
+        if len(payloads) != len(claims):  # defensive: keep slots aligned
+            return [self._execute(claim) for claim in claims]
+        for payload in payloads:
+            _M_JOBS.inc(outcome="ok")
+            # The group's wall time arrives pre-attributed per job (by
+            # cost weight), so the per-job histogram stays meaningful.
+            _M_JOB_SECONDS.observe(float(payload.get("wall_time_s", 0.0)))
+        return [(payload, None) for payload in payloads]
+
     def _push(self, claim: WorkerClaim, payload: dict | None,
               error: str | None) -> str:
         """Upload one result; 'committed', 'stale', or 'abandoned'.
@@ -281,7 +310,7 @@ class FleetWorker:
                   concurrency=self.concurrency, lease_s=self.lease_s)
         with ThreadPoolExecutor(max_workers=self.concurrency,
                                 thread_name_prefix="fleet-job") as pool:
-            inflight: dict[Future, WorkerClaim] = {}
+            inflight: dict[Future, list[WorkerClaim]] = {}
             abandoned: set[str] = set()  # leases lost to reclaim
             while True:
                 draining = self._stop.is_set()
@@ -300,14 +329,20 @@ class FleetWorker:
                         self._log("claim retry", level="warning",
                                   attempt=claim_failures, error=str(exc))
                         self._sleep_backoff(claim_failures)
-                    for claim in claims:
-                        inflight[pool.submit(self._execute, claim)] = claim
-                        self.stats["claimed"] += 1
+                    # Same-scenario claims execute as one fused
+                    # frequency stack (the server hands them out
+                    # adjacently); singletons run as before.
+                    for bunch in group_by_scenario(
+                            claims, lambda c: c.job):
+                        inflight[pool.submit(self._execute_many,
+                                             bunch)] = bunch
+                        self.stats["claimed"] += len(bunch)
                     if claims:
                         self._log(f"claimed {len(claims)} job(s)",
                                   inflight=len(inflight))
-                self._inflight_count = len(inflight)
-                _M_INFLIGHT.set(len(inflight))
+                n_inflight = sum(len(b) for b in inflight.values())
+                self._inflight_count = n_inflight
+                _M_INFLIGHT.set(n_inflight)
                 if not inflight:
                     if draining:
                         break
@@ -325,18 +360,21 @@ class FleetWorker:
                 done, _ = futures_wait(list(inflight), timeout=budget,
                                        return_when=FIRST_COMPLETED)
                 for future in done:
-                    claim = inflight.pop(future)
-                    payload, error = future.result()
-                    if claim.slot in abandoned:
-                        abandoned.discard(claim.slot)
-                        self.stats["abandoned"] += 1
-                        continue
-                    status = self._push(claim, payload, error)
-                    self._count_push(status, error)
-                self._inflight_count = len(inflight)
-                _M_INFLIGHT.set(len(inflight))
+                    bunch = inflight.pop(future)
+                    for claim, (payload, error) in zip(bunch,
+                                                       future.result()):
+                        if claim.slot in abandoned:
+                            abandoned.discard(claim.slot)
+                            self.stats["abandoned"] += 1
+                            continue
+                        status = self._push(claim, payload, error)
+                        self._count_push(status, error)
+                n_inflight = sum(len(b) for b in inflight.values())
+                self._inflight_count = n_inflight
+                _M_INFLIGHT.set(n_inflight)
                 if inflight and time.monotonic() >= next_heartbeat:
-                    slots = {c.slot: c.token for c in inflight.values()
+                    slots = {c.slot: c.token
+                             for b in inflight.values() for c in b
                              if c.slot not in abandoned}
                     alive = self._heartbeat(slots)
                     for slot_id, ok in alive.items():

@@ -52,97 +52,12 @@ from .. import telemetry
 from ..errors import ConfigurationError
 from ..engine.api import cache_split
 from ..engine.cache import ResultCache
+from ..engine.cost import estimate_job_cost, job_kind
 from ..engine.executors import Executor, SerialExecutor
 from ..engine.results import PointResult, SweepResult
-from ..engine.runtime import execute_job
-from ..engine.spec import (
-    DeterministicScenario,
-    EstimatorSpec,
-    Job,
-    ProfileScenario,
-    StochasticScenario,
-    SweepSpec,
-)
+from ..engine.runtime import execute_job, execute_job_group, group_by_scenario
+from ..engine.spec import Job, SweepSpec
 from .wire import WorkerClaim, WorkerTelemetry
-
-
-# ----------------------------------------------------------------------
-# Cost model
-# ----------------------------------------------------------------------
-
-def _unknowns(job: Job) -> int:
-    """Dense-system size N of one SWM solve for this job's scenario."""
-    scenario = job.scenario
-    if isinstance(scenario, DeterministicScenario):
-        return int(scenario.heights_m.size)
-    if isinstance(scenario, ProfileScenario):
-        return int(scenario.n)
-    if isinstance(scenario, StochasticScenario):
-        _, n = scenario._resolved_config().resolve(scenario.correlation)
-        return int(n) * int(n)
-    return 1
-
-
-def _evals(job: Job) -> int:
-    """Estimated solver evaluations the job's estimator performs.
-
-    Monte-Carlo is exact (``n_samples``); SSCM uses the level-``order``
-    sparse-grid growth ``1 + 2 d order`` in the stochastic dimension
-    ``d`` (bounded by ``max_modes`` for 3D processes, ``n`` for 2D
-    profiles) — a deliberate over-estimate at higher orders, which only
-    sharpens the longest-first ordering.
-    """
-    est: EstimatorSpec | None = job.estimator
-    if est is None:
-        return 1
-    if est.kind == "montecarlo":
-        return max(int(est.n_samples), 1)
-    scenario = job.scenario
-    if isinstance(scenario, ProfileScenario):
-        dim = int(scenario.n)
-    elif isinstance(scenario, StochasticScenario):
-        dim = int(scenario._resolved_config().max_modes)
-    else:
-        dim = 1
-    return 1 + 2 * dim * int(est.order)
-
-
-#: Relative weight of one 2D assembly (O(n^2) kernel-table work) in
-#: units of n^3 LU flops — assembly dominates small 2D solves, so a
-#: pure-LU cost form would undersell them badly at the profile sizes
-#: the experiments use (n ~ 30..100).
-_PROFILE_ASSEMBLY_WEIGHT = 200.0
-
-
-def job_kind(job: Job) -> str:
-    """Coarse scenario kind used to bucket cost calibration."""
-    scenario = job.scenario
-    if isinstance(scenario, DeterministicScenario):
-        return "deterministic"
-    if isinstance(scenario, ProfileScenario):
-        return "profile"
-    return "stochastic"
-
-
-def estimate_job_cost(job: Job) -> float:
-    """Relative cost of a job in dense-LU work units.
-
-    3D scenarios solve N x N systems (N = grid points of the surface
-    patch): ``evals * N^3``. 2D profile scenarios solve ``2n x 2n``
-    systems (incident + scattered blocks), so their LU term is
-    ``(2n)^3 = 8 n^3``, plus an assembly term ``W n^2`` that dominates
-    at small n — without it, profile jobs sort (and calibrate) as if
-    they were nearly free. Everything is resolved from the spec alone —
-    no model is built. The absolute scale per kind is meaningless; the
-    scheduler sorts within a round by it and the
-    :class:`~repro.telemetry.CostCalibrator` regresses per-kind
-    wall-clock against it.
-    """
-    n = float(_unknowns(job))
-    if isinstance(job.scenario, ProfileScenario):
-        return float(_evals(job)) * (8.0 * n ** 3
-                                     + _PROFILE_ASSEMBLY_WEIGHT * n ** 2)
-    return float(_evals(job)) * n ** 3
 
 
 # ----------------------------------------------------------------------
@@ -181,6 +96,25 @@ def _execute_safely(job: Job) -> dict:
         return execute_job(job)
     except Exception as exc:  # noqa: BLE001 — reported per waiter
         return {_JOB_ERROR: f"{type(exc).__name__}: {exc}"}
+
+
+def _execute_group_safely(jobs: list[Job]) -> list[dict]:
+    """Run one scenario group, folding failures into per-job payloads.
+
+    The grouped analogue of :func:`_execute_safely` (same pickling and
+    isolation story): a healthy group runs the fused frequency-stack
+    path, and any grouped-path failure re-runs the jobs individually so
+    one bad job fails only its own waiters, never its stackmates.
+    """
+    if len(jobs) == 1:
+        return [_execute_safely(jobs[0])]
+    try:
+        payloads = execute_job_group(jobs)
+    except Exception:  # noqa: BLE001 — isolate failures per job
+        return [_execute_safely(job) for job in jobs]
+    if len(payloads) != len(jobs):  # defensive: never strand a slot
+        return [_execute_safely(job) for job in jobs]
+    return payloads
 
 
 @dataclass
@@ -487,6 +421,8 @@ class SweepScheduler:
 
     def _update_gauges_locked(self) -> None:
         """Refresh queue-depth / in-flight / fleet gauges (lock held)."""
+        if not telemetry.enabled():
+            return
         queued = sum(1 for s in self._slots.values() if s.queued)
         self._m_queue_depth.set(queued)
         self._m_in_flight.set(len(self._slots) - queued)
@@ -518,15 +454,26 @@ class SweepScheduler:
                     slot.claimed_unix = now_unix
                     self._m_queue_wait.observe(now - slot.queued_monotonic)
                 self._update_gauges_locked()
-                round_jobs = [self._slots[sid].job for sid in round_ids]
+                # Fuse jobs sharing a scenario (equal content hash) and
+                # estimator into one frequency-stacked execution item.
+                # Group order follows the cost order above (grouped jobs
+                # share a cost — it is a function of the spec alone), so
+                # longest-first dispatch is preserved group-wise.
+                id_groups = group_by_scenario(
+                    round_ids, lambda sid: self._slots[sid].job)
+                round_groups = [[self._slots[sid].job for sid in bucket]
+                                for bucket in id_groups]
 
-            def _commit(pos: int, payload: dict) -> None:
-                self._commit_slot(round_ids[pos], payload)
+            def _commit(pos: int, payloads: list[dict]) -> None:
+                for sid, payload in zip(id_groups[pos], payloads):
+                    self._commit_slot(sid, payload)
 
             round_start = time.perf_counter()
             try:
-                with telemetry.span("dispatch_round", jobs=len(round_jobs)):
-                    computed = self.executor.run(_execute_safely, round_jobs,
+                with telemetry.span("dispatch_round", jobs=len(round_ids),
+                                    groups=len(round_groups)):
+                    computed = self.executor.run(_execute_group_safely,
+                                                 round_groups,
                                                  on_result=_commit)
             except Exception as exc:  # noqa: BLE001 — executor-level error
                 self._m_round.observe(time.perf_counter() - round_start)
@@ -534,8 +481,9 @@ class SweepScheduler:
             else:
                 self._m_round.observe(time.perf_counter() - round_start)
                 # Custom executors that ignore on_result still commit.
-                for pos, payload in enumerate(computed):
-                    self._commit_slot(round_ids[pos], payload)
+                for pos, payloads in enumerate(computed):
+                    for sid, payload in zip(id_groups[pos], payloads):
+                        self._commit_slot(sid, payload)
 
     def _commit_slot(self, slot_id: str, payload: dict) -> None:
         with self._lock:
@@ -767,7 +715,9 @@ class SweepScheduler:
                 self._slots.pop(slot_id, None)
                 if slot.job.cacheable:
                     self._slot_by_key.pop(slot.job.key, None)
-                self._m_jobs.inc(kind=job_kind(slot.job), outcome="failed")
+                if telemetry.enabled():
+                    self._m_jobs.inc(kind=job_kind(slot.job),
+                                     outcome="failed")
                 self._fail_waiters_locked(slot.waiters, (
                     f"lease expired {slot.lease_attempts} times "
                     f"(max_lease_attempts={self.max_lease_attempts})"
@@ -785,8 +735,10 @@ class SweepScheduler:
                    lease_s: float = 30.0) -> list[WorkerClaim]:
         """Lease up to ``max_jobs`` queued computations to a worker.
 
-        Claims come out longest-first (the dispatcher's cost order) and
-        each carries a fresh opaque token the worker must echo back on
+        Claims come out longest-first (the dispatcher's cost order),
+        with same-scenario jobs adjacent so one claim batch tends to
+        hold whole frequency stacks the worker can execute fused. Each
+        claim carries a fresh opaque token the worker must echo back on
         heartbeat/commit. An empty list means the queue is drained.
         """
         if not worker_id:
@@ -803,7 +755,12 @@ class SweepScheduler:
             self._reclaim_expired_locked()
             worker = self._touch_worker_locked(worker_id)
             queued = [(sid, s) for sid, s in self._slots.items() if s.queued]
-            queued.sort(key=lambda pair: pair[1].cost, reverse=True)
+            # Longest-first, with the scenario hash as tie-break: jobs of
+            # one scenario share a cost, so the secondary key keeps a
+            # frequency stack adjacent and a claim batch tends to carry
+            # whole groups the worker can fuse.
+            queued.sort(key=lambda pair: (-pair[1].cost,
+                                          pair[1].job.scenario.key))
             now = time.monotonic()
             claims: list[WorkerClaim] = []
             now_unix = time.time()

@@ -38,6 +38,7 @@ from ..errors import MeshError
 from ..greens.ewald import EwaldConfig, periodic_green, periodic_green_gradient
 from ..greens.freespace import green3d, green3d_radial_derivative
 from .geometry import SurfaceMesh3D
+from .plan import AssemblyPlan3D, _near_pairs, _subcell_offsets, _wrap
 
 
 @dataclass(frozen=True)
@@ -70,11 +71,6 @@ class AssemblyOptions:
         return dataclasses.asdict(self)
 
 
-def _wrap(d: np.ndarray, period: float) -> np.ndarray:
-    """Wrap separations to the minimum image in (-L/2, L/2]."""
-    return d - period * np.round(d / period)
-
-
 def rectangle_inverse_distance_integral(a: float, b: float) -> float:
     """``integral of 1/r`` over a centered ``a x b`` rectangle (closed form).
 
@@ -104,23 +100,20 @@ def _self_single_layer(mesh: SurfaceMesh3D, k: complex,
             + g_reg0 * ds_true)
 
 
-def _near_pairs(mesh: SurfaceMesh3D, radius_cells: float
-                ) -> tuple[np.ndarray, np.ndarray]:
-    """Index pairs (i, j), i != j, with wrapped parameter distance <= radius."""
-    d = mesh.spacing
-    dx = _wrap(mesh.x[:, None] - mesh.x[None, :], mesh.period)
-    dy = _wrap(mesh.y[:, None] - mesh.y[None, :], mesh.period)
-    rho = np.sqrt(dx * dx + dy * dy)
-    mask = rho <= radius_cells * d + 1e-12
-    np.fill_diagonal(mask, False)
-    return np.nonzero(mask)
+def assemble_media_multi_k(plan: AssemblyPlan3D, media) -> list[tuple]:
+    """Assemble ``(D, S)`` stacks for every ``(k, tables)`` in ``media``.
 
-
-def _subcell_offsets(q: int, spacing: float) -> tuple[np.ndarray, np.ndarray]:
-    """Midpoints of a q x q subdivision of a centered cell."""
-    t = (np.arange(q) + 0.5) / q - 0.5
-    u, v = np.meshgrid(t * spacing, t * spacing, indexing="ij")
-    return u.ravel(), v.ravel()
+    The multi-frequency hot path: one fused kernel pass over all
+    tables (two media x F stacked frequencies share the plan's gather
+    weights, distances and mode phases), then one per-k consumption of
+    the plan per entry. Returns ``[(d, s), ...]`` as ``(B, N, N)``
+    stacks in ``media`` order, **bit-identical** to assembling each
+    ``(k, tables)`` independently against the same tables.
+    """
+    media = list(media)
+    regs = plan.eval_tables([tab for _, tab in media])
+    return [plan.assemble_k(k, reg, tab.regular_at_zero())
+            for (k, tab), reg in zip(media, regs)]
 
 
 def assemble_medium_many(meshes: "Sequence[SurfaceMesh3D]", k: complex,
@@ -143,92 +136,24 @@ def assemble_medium_many(meshes: "Sequence[SurfaceMesh3D]", k: complex,
     """
     options = options or AssemblyOptions()
     meshes = list(meshes)
-    if not meshes:
-        raise MeshError("assemble_medium_many needs at least one mesh")
-    base = meshes[0]
-    for mesh in meshes[1:]:
-        if mesh.n != base.n or mesh.period != base.period:
-            raise MeshError(
-                "batched assembly requires meshes sharing grid and period; "
-                f"got n={mesh.n} L={mesh.period} vs n={base.n} L={base.period}"
-            )
     if tables is None:
+        if not meshes:
+            raise MeshError("assemble_medium_many needs at least one mesh")
+        base = meshes[0]
+        for mesh in meshes[1:]:
+            if mesh.n != base.n or mesh.period != base.period:
+                raise MeshError(
+                    "batched assembly requires meshes sharing grid and "
+                    f"period; got n={mesh.n} L={mesh.period} vs n={base.n} "
+                    f"L={base.period}"
+                )
         pairs = [assemble_medium(mesh, k, options, tables=None)
                  for mesh in meshes]
         return (np.stack([d for d, _ in pairs]),
                 np.stack([s for _, s in pairs]))
 
-    n = base.size
-    d = base.spacing
-    area = base.cell_area
-    diag = np.arange(n)
-
-    # Shared in-plane separations (heights never enter x/y).
-    dx = _wrap(base.x[:, None] - base.x[None, :], base.period)
-    dy = _wrap(base.y[:, None] - base.y[None, :], base.period)
-    z = np.stack([mesh.z for mesh in meshes])        # (B, N)
-    fx = np.stack([mesh.fx for mesh in meshes])
-    fy = np.stack([mesh.fy for mesh in meshes])
-    jac = np.stack([mesh.jac for mesh in meshes])
-    dz = z[:, :, None] - z[:, None, :]               # (B, N, N)
-    np.fill_diagonal(dx, 0.25 * base.period)
-
-    g_reg, gx_reg, gy_reg, gz_reg = tables.green_and_gradient(dx, dy, dz)
-    g_reg0 = tables.regular_at_zero()
-
-    r = np.sqrt(dx * dx + dy * dy + dz * dz)
-    r[:, diag, diag] = 1.0
-    g0 = green3d(r, k)
-    dgdr = green3d_radial_derivative(r, k)
-    inv_r = 1.0 / r
-    g0x = dgdr * dx * inv_r
-    g0y = dgdr * dy * inv_r
-    g0z = dgdr * dz * inv_r
-    for arr in (g0, g0x, g0y, g0z):
-        arr[:, diag, diag] = 0.0
-
-    g_total = g_reg + g0
-    gx_total = gx_reg + g0x
-    gy_total = gy_reg + g0y
-    gz_total = gz_reg + g0z
-
-    # Near pairs depend only on the shared parameter grid.
-    rows, cols = _near_pairs(base, options.near_radius_cells)
-    if rows.size:
-        q = options.near_quadrature
-        du, dv = _subcell_offsets(q, d)
-        sx = dx[rows, cols][:, None] - du[None, :]   # (P, Q) shared
-        sy = dy[rows, cols][:, None] - dv[None, :]
-        sz = (dz[:, rows, cols][:, :, None]
-              - (fx[:, cols][:, :, None] * du[None, None, :]
-                 + fy[:, cols][:, :, None] * dv[None, None, :]))
-        rr = np.sqrt(sx * sx + sy * sy + sz * sz)    # (B, P, Q)
-        g0_sub = green3d(rr, k).mean(axis=-1)
-        dg_sub = green3d_radial_derivative(rr, k) / rr
-        g0x_sub = (dg_sub * sx).mean(axis=-1)
-        g0y_sub = (dg_sub * sy).mean(axis=-1)
-        g0z_sub = (dg_sub * sz).mean(axis=-1)
-        g_total[:, rows, cols] = g_reg[:, rows, cols] + g0_sub
-        gx_total[:, rows, cols] = gx_reg[:, rows, cols] + g0x_sub
-        gy_total[:, rows, cols] = gy_reg[:, rows, cols] + g0y_sub
-        gz_total[:, rows, cols] = gz_reg[:, rows, cols] + g0z_sub
-
-    s_mat = g_total * (jac[:, None, :] * area)
-    ds_true = jac * area
-    side_a = d * np.sqrt(1.0 + fx ** 2)
-    side_b = ds_true / side_a
-    i_rect = (2.0 * side_a * np.arcsinh(side_b / side_a)
-              + 2.0 * side_b * np.arcsinh(side_a / side_b))
-    s_mat[:, diag, diag] = (i_rect / (4.0 * math.pi)
-                            + (1j * k / (4.0 * math.pi)) * ds_true
-                            + g_reg0 * ds_true)
-
-    d_mat = (gx_total * fx[:, None, :]
-             + gy_total * fy[:, None, :]
-             - gz_total) * area
-    d_mat[:, diag, diag] = 0.0
-
-    return d_mat, s_mat
+    plan = AssemblyPlan3D.build(meshes, options)
+    return assemble_media_multi_k(plan, ((k, tables),))[0]
 
 
 def assemble_media_pair_many(meshes: "Sequence[SurfaceMesh3D]",
@@ -251,102 +176,8 @@ def assemble_media_pair_many(meshes: "Sequence[SurfaceMesh3D]",
     what the per-medium path evaluates, and every per-medium expression
     mirrors the reference entry for entry.
     """
-    options = options or AssemblyOptions()
-    meshes = list(meshes)
-    if not meshes:
-        raise MeshError("assemble_media_pair_many needs at least one mesh")
-    base = meshes[0]
-    for mesh in meshes[1:]:
-        if mesh.n != base.n or mesh.period != base.period:
-            raise MeshError(
-                "batched assembly requires meshes sharing grid and period; "
-                f"got n={mesh.n} L={mesh.period} vs n={base.n} L={base.period}"
-            )
-
-    n = base.size
-    d = base.spacing
-    area = base.cell_area
-    diag = np.arange(n)
-
-    dx = _wrap(base.x[:, None] - base.x[None, :], base.period)
-    dy = _wrap(base.y[:, None] - base.y[None, :], base.period)
-    z = np.stack([mesh.z for mesh in meshes])
-    fx = np.stack([mesh.fx for mesh in meshes])
-    fy = np.stack([mesh.fy for mesh in meshes])
-    jac = np.stack([mesh.jac for mesh in meshes])
-    dz = z[:, :, None] - z[:, None, :]
-    np.fill_diagonal(dx, 0.25 * base.period)
-
-    regs = tables1.green_and_gradient_pair(tables2, dx, dy, dz)
-    reg0s = (tables1.regular_at_zero(), tables2.regular_at_zero())
-
-    # Free-space primary: shared distances/directions, per-medium phase.
-    # ``dgdr`` reproduces green3d_radial_derivative(r, k) bit for bit
-    # ((1j k - 1/r) * G with the same 1/r), reusing the one exp() pass.
-    r = np.sqrt(dx * dx + dy * dy + dz * dz)
-    r[:, diag, diag] = 1.0
-    inv_r = 1.0 / r
-
-    # Near-pair sub-cell geometry (k-independent, shared).
-    rows, cols = _near_pairs(base, options.near_radius_cells)
-    if rows.size:
-        q = options.near_quadrature
-        du, dv = _subcell_offsets(q, d)
-        sx = dx[rows, cols][:, None] - du[None, :]
-        sy = dy[rows, cols][:, None] - dv[None, :]
-        sz = (dz[:, rows, cols][:, :, None]
-              - (fx[:, cols][:, :, None] * du[None, None, :]
-                 + fy[:, cols][:, :, None] * dv[None, None, :]))
-        rr = np.sqrt(sx * sx + sy * sy + sz * sz)
-        inv_rr = 1.0 / rr
-
-    # Self-term geometry (k-independent, shared).
-    ds_true = jac * area
-    side_a = d * np.sqrt(1.0 + fx ** 2)
-    side_b = ds_true / side_a
-    i_rect = (2.0 * side_a * np.arcsinh(side_b / side_a)
-              + 2.0 * side_b * np.arcsinh(side_a / side_b))
-    jac_area = jac[:, None, :] * area
-
-    out = []
-    for k, (g_reg, gx_reg, gy_reg, gz_reg), g_reg0 in zip(
-            (k1, k2), regs, reg0s):
-        g0 = green3d(r, k)
-        dgdr = (1j * k - inv_r) * g0
-        g0x = dgdr * dx * inv_r
-        g0y = dgdr * dy * inv_r
-        g0z = dgdr * dz * inv_r
-        for arr in (g0, g0x, g0y, g0z):
-            arr[:, diag, diag] = 0.0
-
-        g_total = g_reg + g0
-        gx_total = gx_reg + g0x
-        gy_total = gy_reg + g0y
-        gz_total = gz_reg + g0z
-
-        if rows.size:
-            grr = green3d(rr, k)
-            g0_sub = grr.mean(axis=-1)
-            dg_sub = ((1j * k - inv_rr) * grr) / rr
-            g0x_sub = (dg_sub * sx).mean(axis=-1)
-            g0y_sub = (dg_sub * sy).mean(axis=-1)
-            g0z_sub = (dg_sub * sz).mean(axis=-1)
-            g_total[:, rows, cols] = g_reg[:, rows, cols] + g0_sub
-            gx_total[:, rows, cols] = gx_reg[:, rows, cols] + g0x_sub
-            gy_total[:, rows, cols] = gy_reg[:, rows, cols] + g0y_sub
-            gz_total[:, rows, cols] = gz_reg[:, rows, cols] + g0z_sub
-
-        s_mat = g_total * jac_area
-        s_mat[:, diag, diag] = (i_rect / (4.0 * math.pi)
-                                + (1j * k / (4.0 * math.pi)) * ds_true
-                                + g_reg0 * ds_true)
-
-        d_mat = (gx_total * fx[:, None, :]
-                 + gy_total * fy[:, None, :]
-                 - gz_total) * area
-        d_mat[:, diag, diag] = 0.0
-        out.append((d_mat, s_mat))
-    return tuple(out)
+    plan = AssemblyPlan3D.build(meshes, options or AssemblyOptions())
+    return tuple(assemble_media_multi_k(plan, ((k1, tables1), (k2, tables2))))
 
 
 def assemble_medium(mesh: SurfaceMesh3D, k: complex,
@@ -359,11 +190,24 @@ def assemble_medium(mesh: SurfaceMesh3D, k: complex,
     single/double layer operators are ``S @ v`` and ``D @ psi``.
     A prebuilt :class:`repro.swm.fastkernel.KernelTables` may be passed to
     amortize table construction across samples (same k and period).
+
+    The tabulated-kernel path (``tables`` given or ``use_tables``) runs
+    through a single-mesh :class:`AssemblyPlan3D`, so scalar calls share
+    the batched hot path instead of paying a naive per-call price; the
+    exact-Ewald validation path keeps its direct scalar implementation.
     """
     from .fastkernel import KernelTables, tables_for_mesh
 
     options = options or AssemblyOptions()
     cfg = options.ewald_config(mesh.period)
+
+    if tables is not None or options.use_tables:
+        if tables is None:
+            tables = tables_for_mesh(k, mesh, cfg)
+        plan = AssemblyPlan3D.build([mesh], options)
+        d_mat, s_mat = assemble_media_multi_k(plan, ((k, tables),))[0]
+        return d_mat[0], s_mat[0]
+
     n = mesh.size
     d = mesh.spacing
     area = mesh.cell_area
@@ -377,18 +221,12 @@ def assemble_medium(mesh: SurfaceMesh3D, k: complex,
 
     # Regular (smooth) part everywhere; exact for all off-diagonal terms
     # once the free-space primary is added back.
-    if tables is not None or options.use_tables:
-        if tables is None:
-            tables = tables_for_mesh(k, mesh, cfg)
-        g_reg, gx_reg, gy_reg, gz_reg = tables.green_and_gradient(dx, dy, dz)
-        g_reg0 = tables.regular_at_zero()
-    else:
-        g_reg = periodic_green(dx, dy, dz, k, cfg, exclude_primary=True)
-        gx_reg, gy_reg, gz_reg = periodic_green_gradient(dx, dy, dz, k, cfg,
-                                                         exclude_primary=True)
-        g_reg0 = complex(periodic_green(np.array(0.0), np.array(0.0),
-                                        np.array(0.0), k, cfg,
-                                        exclude_primary=True))
+    g_reg = periodic_green(dx, dy, dz, k, cfg, exclude_primary=True)
+    gx_reg, gy_reg, gz_reg = periodic_green_gradient(dx, dy, dz, k, cfg,
+                                                     exclude_primary=True)
+    g_reg0 = complex(periodic_green(np.array(0.0), np.array(0.0),
+                                    np.array(0.0), k, cfg,
+                                    exclude_primary=True))
 
     # Free-space primary at midpoints (diagonal patched later).
     r = np.sqrt(dx * dx + dy * dy + dz * dz)

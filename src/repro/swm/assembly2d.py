@@ -15,20 +15,14 @@ regularized periodic remainder ``g_reg(0) * h``.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from functools import lru_cache
 
 import numpy as np
 
-from ..greens.freespace import green2d, green2d_radial_derivative
-from ..greens.periodic2d import (
-    EULER_GAMMA,
-    periodic_green2d,
-    periodic_green2d_gradient,
-    periodic_green2d_pair,
-)
+from ..greens.periodic2d import periodic_green2d
 from .geometry import SurfaceMesh2D
+from .plan import AssemblyPlan2D
 
 
 @dataclass(frozen=True)
@@ -63,12 +57,22 @@ def _g_reg0_cached(k: complex, period: float, m_max: int) -> complex:
                                     exclude_primary=True))
 
 
-def _self_single_layer_2d(mesh: SurfaceMesh2D, k: complex,
-                          g_reg0: complex) -> np.ndarray:
-    h = mesh.true_lengths()
-    log_part = np.log(k * h / 4.0) + EULER_GAMMA - 1.0
-    free = 0.25j * h * (1.0 + (2j / math.pi) * log_part)
-    return free + g_reg0 * h
+def assemble_media_multi_k_2d(plan: AssemblyPlan2D, ks) -> list[tuple]:
+    """Assemble ``(D, S)`` stacks for every wavenumber in ``ks``.
+
+    The 2D multi-frequency hot path: one fused Kummer mode-sum pass
+    over all wavenumbers (two media x F stacked frequencies share the
+    plan's recurrence factors, asymptotes and distances), then one
+    per-k consumption of the plan per entry. Returns ``[(d, s), ...]``
+    as ``(B, N, N)`` stacks in ``ks`` order, **bit-identical** to
+    assembling each wavenumber independently.
+    """
+    ks = list(ks)
+    regs = plan.eval_ks(ks)
+    return [plan.assemble_k(kk, reg,
+                            _regularized_zero_limit(kk, plan.period,
+                                                    plan.options.m_max))
+            for kk, reg in zip(ks, regs)]
 
 
 def assemble_medium_2d_many(meshes: "Sequence[SurfaceMesh2D]", k: complex,
@@ -78,89 +82,14 @@ def assemble_medium_2d_many(meshes: "Sequence[SurfaceMesh2D]", k: complex,
 
     All meshes must share the same grid (``n``, ``period``); only the
     heights differ (the MC sample structure of the Fig. 6 profiles).
-    The x-separations, near-pair sets and the regularized zero-limit are
-    shared across the stack, and each Kummer-accelerated kernel series
-    runs once on ``(B, N, N)`` arrays. Returns ``(B, N, N)`` stacks
-    bit-identical to per-mesh :func:`assemble_medium_2d`.
+    Builds a single-k :class:`AssemblyPlan2D`, so the x-separations,
+    near-pair sets and the regularized zero-limit are shared across the
+    stack and each Kummer-accelerated kernel series runs once on
+    ``(B, N, N)`` arrays. Returns ``(B, N, N)`` stacks bit-identical to
+    per-mesh :func:`assemble_medium_2d`.
     """
-    from ..errors import MeshError
-
-    options = options or Assembly2DOptions()
-    meshes = list(meshes)
-    if not meshes:
-        raise MeshError("assemble_medium_2d_many needs at least one mesh")
-    base = meshes[0]
-    for mesh in meshes[1:]:
-        if mesh.n != base.n or mesh.period != base.period:
-            raise MeshError(
-                "batched 2D assembly requires meshes sharing grid and "
-                f"period; got n={mesh.n} L={mesh.period} vs n={base.n} "
-                f"L={base.period}"
-            )
-
-    n = base.size
-    d = base.spacing
-    diag = np.arange(n)
-
-    dx = _wrap(base.x[:, None] - base.x[None, :], base.period)
-    z = np.stack([mesh.z for mesh in meshes])        # (B, N)
-    fx = np.stack([mesh.fx for mesh in meshes])
-    jac = np.stack([mesh.jac for mesh in meshes])
-    dz = z[:, :, None] - z[:, None, :]               # (B, N, N)
-    np.fill_diagonal(dx, 0.25 * base.period)
-
-    g_reg = periodic_green2d(dx, dz, k, base.period, m_max=options.m_max,
-                             exclude_primary=True)
-    gx_reg, gz_reg = periodic_green2d_gradient(dx, dz, k, base.period,
-                                               m_max=options.m_max,
-                                               exclude_primary=True)
-
-    rho = np.sqrt(dx * dx + dz * dz)
-    rho[:, diag, diag] = 1.0
-    g0 = green2d(rho, k)
-    dgdr = green2d_radial_derivative(rho, k)
-    inv = 1.0 / rho
-    g0x = dgdr * dx * inv
-    g0z = dgdr * dz * inv
-    for arr in (g0, g0x, g0z):
-        arr[:, diag, diag] = 0.0
-
-    g_total = g_reg + g0
-    gx_total = gx_reg + g0x
-    gz_total = gz_reg + g0z
-
-    # Near pairs depend only on the shared parameter distance.
-    rho_param = np.abs(dx)
-    near = (rho_param <= options.near_radius_cells * d + 1e-12)
-    np.fill_diagonal(near, False)
-    rows, cols = np.nonzero(near)
-    if rows.size:
-        q = options.near_quadrature
-        du = ((np.arange(q) + 0.5) / q - 0.5) * d
-        sx = dx[rows, cols][:, None] - du[None, :]   # (P, Q) shared
-        sz = (dz[:, rows, cols][:, :, None]
-              - fx[:, cols][:, :, None] * du[None, None, :])
-        rr = np.sqrt(sx * sx + sz * sz)              # (B, P, Q)
-        g_total[:, rows, cols] = (g_reg[:, rows, cols]
-                                  + green2d(rr, k).mean(axis=-1))
-        dg = green2d_radial_derivative(rr, k) / rr
-        gx_total[:, rows, cols] = (gx_reg[:, rows, cols]
-                                   + (dg * sx).mean(axis=-1))
-        gz_total[:, rows, cols] = (gz_reg[:, rows, cols]
-                                   + (dg * sz).mean(axis=-1))
-
-    g_reg0 = _regularized_zero_limit(k, base.period, options.m_max)
-
-    s_mat = g_total * (jac[:, None, :] * d)
-    h = jac * d
-    log_part = np.log(k * h / 4.0) + EULER_GAMMA - 1.0
-    free = 0.25j * h * (1.0 + (2j / math.pi) * log_part)
-    s_mat[:, diag, diag] = free + g_reg0 * h
-
-    d_mat = (gx_total * fx[:, None, :] - gz_total) * d
-    d_mat[:, diag, diag] = 0.0
-
-    return d_mat, s_mat
+    plan = AssemblyPlan2D.build(meshes, options or Assembly2DOptions())
+    return assemble_media_multi_k_2d(plan, (k,))[0]
 
 
 def assemble_media_pair_2d_many(meshes: "Sequence[SurfaceMesh2D]",
@@ -185,148 +114,19 @@ def assemble_media_pair_2d_many(meshes: "Sequence[SurfaceMesh2D]",
     path evaluates, and every per-medium expression mirrors the
     reference entry for entry.
     """
-    from ..errors import MeshError
-
-    options = options or Assembly2DOptions()
-    meshes = list(meshes)
-    if not meshes:
-        raise MeshError("assemble_media_pair_2d_many needs at least one mesh")
-    base = meshes[0]
-    for mesh in meshes[1:]:
-        if mesh.n != base.n or mesh.period != base.period:
-            raise MeshError(
-                "batched 2D assembly requires meshes sharing grid and "
-                f"period; got n={mesh.n} L={mesh.period} vs n={base.n} "
-                f"L={base.period}"
-            )
-
-    n = base.size
-    d = base.spacing
-    diag = np.arange(n)
-
-    dx = _wrap(base.x[:, None] - base.x[None, :], base.period)
-    z = np.stack([mesh.z for mesh in meshes])        # (B, N)
-    fx = np.stack([mesh.fx for mesh in meshes])
-    jac = np.stack([mesh.jac for mesh in meshes])
-    dz = z[:, :, None] - z[:, None, :]               # (B, N, N)
-    np.fill_diagonal(dx, 0.25 * base.period)
-
-    regs = periodic_green2d_pair(dx, dz, (k1, k2), base.period,
-                                 m_max=options.m_max, exclude_primary=True)
-    g_reg0s = tuple(_regularized_zero_limit(kk, base.period, options.m_max)
-                    for kk in (k1, k2))
-
-    # Free-space primary: shared distances, per-medium Hankel kernels.
-    rho = np.sqrt(dx * dx + dz * dz)
-    rho[:, diag, diag] = 1.0
-    inv = 1.0 / rho
-
-    # Near-pair sub-segment geometry (k-independent, shared).
-    rho_param = np.abs(dx)
-    near = (rho_param <= options.near_radius_cells * d + 1e-12)
-    np.fill_diagonal(near, False)
-    rows, cols = np.nonzero(near)
-    if rows.size:
-        q = options.near_quadrature
-        du = ((np.arange(q) + 0.5) / q - 0.5) * d
-        sx = dx[rows, cols][:, None] - du[None, :]   # (P, Q) shared
-        sz = (dz[:, rows, cols][:, :, None]
-              - fx[:, cols][:, :, None] * du[None, None, :])
-        rr = np.sqrt(sx * sx + sz * sz)              # (B, P, Q)
-
-    # Self-term geometry (k-independent, shared).
-    h = jac * d
-    jac_d = jac[:, None, :] * d
-
-    out = []
-    for kk, (g_reg, gx_reg, gz_reg), g_reg0 in zip((k1, k2), regs, g_reg0s):
-        g0 = green2d(rho, kk)
-        dgdr = green2d_radial_derivative(rho, kk)
-        g0x = dgdr * dx * inv
-        g0z = dgdr * dz * inv
-        for arr in (g0, g0x, g0z):
-            arr[:, diag, diag] = 0.0
-
-        g_total = g_reg + g0
-        gx_total = gx_reg + g0x
-        gz_total = gz_reg + g0z
-
-        if rows.size:
-            g_total[:, rows, cols] = (g_reg[:, rows, cols]
-                                      + green2d(rr, kk).mean(axis=-1))
-            dg = green2d_radial_derivative(rr, kk) / rr
-            gx_total[:, rows, cols] = (gx_reg[:, rows, cols]
-                                       + (dg * sx).mean(axis=-1))
-            gz_total[:, rows, cols] = (gz_reg[:, rows, cols]
-                                       + (dg * sz).mean(axis=-1))
-
-        s_mat = g_total * jac_d
-        log_part = np.log(kk * h / 4.0) + EULER_GAMMA - 1.0
-        free = 0.25j * h * (1.0 + (2j / math.pi) * log_part)
-        s_mat[:, diag, diag] = free + g_reg0 * h
-
-        d_mat = (gx_total * fx[:, None, :] - gz_total) * d
-        d_mat[:, diag, diag] = 0.0
-        out.append((d_mat, s_mat))
-    return tuple(out)
+    plan = AssemblyPlan2D.build(meshes, options or Assembly2DOptions())
+    return tuple(assemble_media_multi_k_2d(plan, (k1, k2)))
 
 
 def assemble_medium_2d(mesh: SurfaceMesh2D, k: complex,
                        options: Assembly2DOptions | None = None
                        ) -> tuple[np.ndarray, np.ndarray]:
-    """Assemble (D, S) for one medium of the 2D problem."""
-    options = options or Assembly2DOptions()
-    n = mesh.size
-    d = mesh.spacing
+    """Assemble (D, S) for one medium of the 2D problem.
 
-    dx = _wrap(mesh.x[:, None] - mesh.x[None, :], mesh.period)
-    dz = mesh.z[:, None] - mesh.z[None, :]
-    np.fill_diagonal(dx, 0.25 * mesh.period)
-
-    g_reg = periodic_green2d(dx, dz, k, mesh.period, m_max=options.m_max,
-                             exclude_primary=True)
-    gx_reg, gz_reg = periodic_green2d_gradient(dx, dz, k, mesh.period,
-                                               m_max=options.m_max,
-                                               exclude_primary=True)
-
-    rho = np.sqrt(dx * dx + dz * dz)
-    np.fill_diagonal(rho, 1.0)
-    g0 = green2d(rho, k)
-    dgdr = green2d_radial_derivative(rho, k)
-    inv = 1.0 / rho
-    g0x = dgdr * dx * inv
-    g0z = dgdr * dz * inv
-    np.fill_diagonal(g0, 0.0)
-    np.fill_diagonal(g0x, 0.0)
-    np.fill_diagonal(g0z, 0.0)
-
-    g_total = g_reg + g0
-    gx_total = gx_reg + g0x
-    gz_total = gz_reg + g0z
-
-    # Near-pair sub-segment quadrature of the free-space primary.
-    rho_param = np.abs(dx)
-    near = (rho_param <= options.near_radius_cells * d + 1e-12)
-    np.fill_diagonal(near, False)
-    rows, cols = np.nonzero(near)
-    if rows.size:
-        q = options.near_quadrature
-        du = ((np.arange(q) + 0.5) / q - 0.5) * d
-        sx = dx[rows, cols][:, None] - du[None, :]
-        sz = dz[rows, cols][:, None] - mesh.fx[cols][:, None] * du[None, :]
-        rr = np.sqrt(sx * sx + sz * sz)
-        g_total[rows, cols] = g_reg[rows, cols] + green2d(rr, k).mean(axis=1)
-        dg = green2d_radial_derivative(rr, k) / rr
-        gx_total[rows, cols] = gx_reg[rows, cols] + (dg * sx).mean(axis=1)
-        gz_total[rows, cols] = gz_reg[rows, cols] + (dg * sz).mean(axis=1)
-
-    g_reg0 = _regularized_zero_limit(k, mesh.period, options.m_max)
-
-    s_mat = g_total * (mesh.jac[None, :] * d)
-    np.fill_diagonal(s_mat, _self_single_layer_2d(mesh, k, g_reg0))
-
-    # D_ij = n'_j . grad' g * J_j dl = (gx * fx_j - gz) * dl
-    d_mat = (gx_total * mesh.fx[None, :] - gz_total) * d
-    np.fill_diagonal(d_mat, 0.0)
-
-    return d_mat, s_mat
+    Runs through a single-profile :class:`AssemblyPlan2D`, so scalar
+    calls share the batched hot path instead of paying a naive
+    per-call price.
+    """
+    plan = AssemblyPlan2D.build([mesh], options or Assembly2DOptions())
+    d_mat, s_mat = assemble_media_multi_k_2d(plan, (k,))[0]
+    return d_mat[0], s_mat[0]

@@ -320,24 +320,15 @@ class KernelTables:
                 g += binterp[s]
                 gz += minterp[s]
 
-    def green_and_gradient_pair(self, other: "KernelTables",
-                                dx: np.ndarray, dy: np.ndarray,
-                                dz: np.ndarray):
-        """Two-media evaluation sharing all k-independent intermediates.
+    def _shares_grids(self, other: "KernelTables") -> bool:
+        """Whether two tables can share interpolation intermediates.
 
-        The wrapped distances, gather weights, reciprocal distances and
-        mode phases depend only on the geometry, not on the medium
-        wavenumber, yet per-medium evaluation recomputes them on
-        full-size arrays. For the batched assembly (``(B, N, N)``
-        separations) this fused variant computes them once and runs both
-        media's table lookups against them — **bit-identical** to
-        calling :meth:`green_and_gradient` on each table separately.
-
-        Returns ``((g, gx, gy, gz), (g2, gx2, gy2, gz2))`` for ``self``
-        and ``other``. Falls back to two independent evaluations when
-        the tables do not share grid geometry.
+        True when they were built on the same spatial/spectral grids
+        (same period, abscissa origin/step/size, image and mode sets) —
+        the condition for one set of gather weights and mode phases to
+        serve both.
         """
-        compatible = (
+        return (
             self.period == other.period
             and self._r0 == other._r0
             and self._r_inv_h == other._r_inv_h
@@ -347,52 +338,86 @@ class KernelTables:
             and self._images == other._images
             and self._modes == other._modes
         )
-        if not compatible:
-            return (self.green_and_gradient(dx, dy, dz),
-                    other.green_and_gradient(dx, dy, dz))
 
-        dx = np.asarray(dx, dtype=np.float64)
-        dy = np.asarray(dy, dtype=np.float64)
-        dz = np.asarray(dz, dtype=np.float64)
-        if np.max(np.abs(dz)) > min(self._z_max, other._z_max):
-            raise ConfigurationError(
-                "dz exceeds the tabulated z range; rebuild KernelTables "
-                "with a larger z_extent"
-            )
-        lat = self.period
-        shape = np.broadcast_shapes(dx.shape, dy.shape, dz.shape)
-        outs = tuple(tuple(np.zeros(shape, dtype=np.complex128)
-                           for _ in range(4)) for _ in range(2))
-        tables = (self, other)
+    def green_and_gradient_pair(self, other: "KernelTables",
+                                dx: np.ndarray, dy: np.ndarray,
+                                dz: np.ndarray):
+        """Two-media evaluation sharing all k-independent intermediates.
 
-        dz2 = dz * dz
-        nr = self._bracket.size
-        for (p, q) in self._images:
-            rx = dx - p * lat
-            ry = dy - q * lat
-            r2 = rx * rx + ry * ry + dz2
-            r = np.sqrt(r2)
-            primary = (p == 0 and q == 0)
-            safe = np.maximum(r, 1e-300) if primary else r
-            idx, idx1, frac, omf = _interp_weights(self._r0, self._r_inv_h,
-                                                   r, nr)
-            inv_r = 1.0 / safe
-            safe2 = safe * safe
-            rxi = rx * inv_r
-            ryi = ry * inv_r
-            dzi = dz * inv_r
-            for tab, (g, gx, gy, gz) in zip(tables, outs):
-                tab._accumulate_image(primary, idx, idx1, frac, omf, safe,
-                                      safe2, rxi, ryi, dzi, g, gx, gy, gz)
+        The two-table case of :func:`green_and_gradient_multi` (kept as
+        a method for the established call sites). Returns
+        ``((g, gx, gy, gz), (g2, gx2, gy2, gz2))`` for ``self`` and
+        ``other``.
+        """
+        return tuple(green_and_gradient_multi((self, other), dx, dy, dz))
 
-        zw = _interp_weights(self._z0, self._z_inv_h, dz,
-                             self._spectral[0].bracket.size)
-        phases: dict = {}
+
+def green_and_gradient_multi(tables, dx: np.ndarray, dy: np.ndarray,
+                             dz: np.ndarray) -> list[tuple]:
+    """Evaluate N tables' kernels sharing all k-independent intermediates.
+
+    The wrapped distances, gather weights, reciprocal distances and
+    mode phases depend only on the geometry, not on the medium
+    wavenumber, yet per-table evaluation recomputes them on full-size
+    arrays. This fused variant computes them once and runs every
+    table's lookups against them — **bit-identical** to calling
+    :meth:`KernelTables.green_and_gradient` on each table separately.
+    One call serves two media x F stacked frequencies (the
+    :class:`~repro.swm.plan.AssemblyPlan3D` consumer).
+
+    Returns ``[(g, gx, gy, gz), ...]`` in table order. Falls back to
+    independent evaluations when the tables do not all share grid
+    geometry.
+    """
+    tables = list(tables)
+    if not tables:
+        raise ConfigurationError(
+            "green_and_gradient_multi needs at least one KernelTables")
+    first = tables[0]
+    if not all(first._shares_grids(tab) for tab in tables[1:]):
+        return [tab.green_and_gradient(dx, dy, dz) for tab in tables]
+
+    dx = np.asarray(dx, dtype=np.float64)
+    dy = np.asarray(dy, dtype=np.float64)
+    dz = np.asarray(dz, dtype=np.float64)
+    if np.max(np.abs(dz)) > min(tab._z_max for tab in tables):
+        raise ConfigurationError(
+            "dz exceeds the tabulated z range; rebuild KernelTables "
+            "with a larger z_extent"
+        )
+    lat = first.period
+    shape = np.broadcast_shapes(dx.shape, dy.shape, dz.shape)
+    outs = [tuple(np.zeros(shape, dtype=np.complex128)
+                  for _ in range(4)) for _ in tables]
+
+    dz2 = dz * dz
+    nr = first._bracket.size
+    for (p, q) in first._images:
+        rx = dx - p * lat
+        ry = dy - q * lat
+        r2 = rx * rx + ry * ry + dz2
+        r = np.sqrt(r2)
+        primary = (p == 0 and q == 0)
+        safe = np.maximum(r, 1e-300) if primary else r
+        idx, idx1, frac, omf = _interp_weights(first._r0, first._r_inv_h,
+                                               r, nr)
+        inv_r = 1.0 / safe
+        safe2 = safe * safe
+        rxi = rx * inv_r
+        ryi = ry * inv_r
+        dzi = dz * inv_r
         for tab, (g, gx, gy, gz) in zip(tables, outs):
-            binterp, minterp = tab._spectral_interp(zw)
-            tab._accumulate_modes(dx, dy, binterp, minterp, g, gx, gy, gz,
-                                  phases=phases)
-        return outs
+            tab._accumulate_image(primary, idx, idx1, frac, omf, safe,
+                                  safe2, rxi, ryi, dzi, g, gx, gy, gz)
+
+    zw = _interp_weights(first._z0, first._z_inv_h, dz,
+                         first._spectral[0].bracket.size)
+    phases: dict = {}
+    for tab, (g, gx, gy, gz) in zip(tables, outs):
+        binterp, minterp = tab._spectral_interp(zw)
+        tab._accumulate_modes(dx, dy, binterp, minterp, g, gx, gy, gz,
+                              phases=phases)
+    return outs
 
 
 def tables_for_mesh(k: complex, mesh: SurfaceMesh3D,

@@ -38,11 +38,12 @@ from ..materials import PAPER_SYSTEM, TwoMediumSystem
 from ..telemetry import span
 from .assembly import (
     AssemblyOptions,
-    assemble_media_pair_many,
+    assemble_media_multi_k,
     assemble_medium,
     assemble_medium_many,
 )
 from .geometry import SurfaceMesh3D, build_mesh_3d
+from .plan import AssemblyPlan3D
 
 
 @dataclass(frozen=True)
@@ -288,13 +289,27 @@ class SWMSolver3D:
         beta = self.system.beta(frequency_hz)
         n = mesh.size
 
+        t1 = self._get_tables(1, k1, frequency_hz, mesh)
+        t2 = self._get_tables(2, k2, frequency_hz, mesh)
+        if t1 is not None and t2 is not None:
+            # Single-sample calls share the batched hot path: one
+            # k-independent plan serves both media.
+            with span("plan", n=n):
+                plan = AssemblyPlan3D.build([mesh], self.options.assembly)
+        else:
+            plan = None
+
         with span("assemble", n=n):
-            t1 = self._get_tables(1, k1, frequency_hz, mesh)
-            t2 = self._get_tables(2, k2, frequency_hz, mesh)
-            d1, s1 = assemble_medium(mesh, k1, self.options.assembly,
-                                     tables=t1)
-            d2, s2 = assemble_medium(mesh, k2, self.options.assembly,
-                                     tables=t2)
+            if plan is not None:
+                (d1b, s1b), (d2b, s2b) = assemble_media_multi_k(
+                    plan, ((k1, t1), (k2, t2)))
+                d1, s1 = d1b[0], s1b[0]
+                d2, s2 = d2b[0], s2b[0]
+            else:
+                d1, s1 = assemble_medium(mesh, k1, self.options.assembly,
+                                         tables=t1)
+                d2, s2 = assemble_medium(mesh, k2, self.options.assembly,
+                                         tables=t2)
 
             half = 0.5 * np.eye(n)
             # Column scaling: solve for v_hat = v / |k2| so both unknown
@@ -324,9 +339,7 @@ class SWMSolver3D:
         v = sol[n:] * scale_v
         return psi, v
 
-    def _solve_mesh_many(self, meshes: list[SurfaceMesh3D],
-                         frequency_hz: float, stacklevel: int
-                         ) -> list[SWMResult]:
+    def _validate_same_grid(self, meshes: list[SurfaceMesh3D]) -> None:
         if not meshes:
             raise ConfigurationError("batched solve needs at least one mesh")
         base = meshes[0]
@@ -337,15 +350,17 @@ class SWMSolver3D:
                     f"got n={mesh.n} L={mesh.period} vs n={base.n} "
                     f"L={base.period}"
                 )
-        self._check_resolution(base.spacing, frequency_hz,
-                               stacklevel=stacklevel)
 
-        k1, k2 = self._wavenumbers_um(frequency_hz)
-        # Replay the per-sample kernel-table policy *in sample order* so
-        # the tables each sample is assembled against are the exact
-        # objects the sequential path would have used (tables rebuild
-        # when a sample's height range outgrows them, so the grouping
-        # below is what makes batched results bit-identical).
+    def _replay_table_groups(self, meshes: list[SurfaceMesh3D],
+                             frequency_hz: float, k1: complex, k2: complex
+                             ) -> list[tuple[object, object, list[int]]]:
+        """Replay the per-sample kernel-table policy *in sample order*.
+
+        The tables each sample is assembled against are then the exact
+        objects the sequential path would have used (tables rebuild when
+        a sample's height range outgrows them, so this grouping is what
+        makes batched results bit-identical).
+        """
         groups: list[tuple[object, object, list[int]]] = []
         for i, mesh in enumerate(meshes):
             t1 = self._get_tables(1, k1, frequency_hz, mesh)
@@ -354,8 +369,21 @@ class SWMSolver3D:
                 groups[-1][2].append(i)
             else:
                 groups.append((t1, t2, [i]))
+        return groups
 
-        max_stack = self.options.batch_size or _auto_stack(base.size)
+    def _solve_mesh_many(self, meshes: list[SurfaceMesh3D],
+                         frequency_hz: float, stacklevel: int
+                         ) -> list[SWMResult]:
+        self._validate_same_grid(meshes)
+        self._check_resolution(meshes[0].spacing, frequency_hz,
+                               stacklevel=stacklevel)
+        k1, k2 = self._wavenumbers_um(frequency_hz)
+        groups = self._replay_table_groups(meshes, frequency_hz, k1, k2)
+        return self._solve_groups(meshes, frequency_hz, k1, k2, groups)
+
+    def _solve_groups(self, meshes: list[SurfaceMesh3D], frequency_hz: float,
+                      k1: complex, k2: complex, groups) -> list[SWMResult]:
+        max_stack = self.options.batch_size or _auto_stack(meshes[0].size)
         results: list[SWMResult] = []
         for t1, t2, indices in groups:
             for lo in range(0, len(indices), max_stack):
@@ -366,51 +394,119 @@ class SWMSolver3D:
                 results.extend(self._finish_many(sub, frequency_hz, psi, v))
         return results
 
-    def _solve_fields_many(self, meshes: list[SurfaceMesh3D],
-                           frequency_hz: float, k1: complex, k2: complex,
-                           t1, t2) -> tuple[np.ndarray, np.ndarray]:
-        """Assemble and factor a stack of sample systems at once.
+    def solve_mesh_many_multi_k(self, meshes: list[SurfaceMesh3D],
+                                frequencies_hz) -> list[list[SWMResult]]:
+        """Solve a same-grid mesh batch at several frequencies at once.
 
-        Returns ``(psi, v)`` as ``(B, n)`` arrays. The block structure,
-        scaling and right-hand side mirror :meth:`_solve_fields` entry
-        for entry; the LAPACK ``gesv`` behind ``np.linalg.solve`` runs
-        the same ``getrf``/``getrs`` pair as the sequential scipy path,
-        so solutions are bit-identical.
+        The multi-frequency hot path: each sample chunk's k-independent
+        :class:`AssemblyPlan3D` is built once and consumed by every
+        frequency's media (2 x F per-k assemblies share one plan and one
+        fused kernel-table pass), instead of being recomputed per
+        frequency. Returns one ``list[SWMResult]`` per frequency (outer
+        index follows ``frequencies_hz``), **bit-identical** to calling
+        :meth:`solve_mesh_many` once per frequency in order on this
+        solver (same kernel-table replay policy per frequency — table
+        cache keys include the frequency, so the replays are
+        independent — same chunking, same LAPACK path).
+
+        Falls back to per-frequency solves when the exact-Ewald path is
+        selected (no tables to stack) or when warm table caches give the
+        frequencies diverging rebuild boundaries.
+        """
+        meshes = list(meshes)
+        freqs = [float(f) for f in frequencies_hz]
+        if not freqs:
+            raise ConfigurationError(
+                "multi-frequency solve needs at least one frequency"
+            )
+        self._validate_same_grid(meshes)
+        base = meshes[0]
+        for f in freqs:
+            self._check_resolution(base.spacing, f, stacklevel=3)
+
+        per: list[tuple[float, complex, complex, list]] = []
+        for f in freqs:
+            k1, k2 = self._wavenumbers_um(f)
+            per.append((f, k1, k2,
+                        self._replay_table_groups(meshes, f, k1, k2)))
+
+        # Stacking requires tables and identical rebuild boundaries at
+        # every frequency (guaranteed from a cold cache: rebuilds depend
+        # only on the shared z-extents; a warm cache can diverge).
+        index_groups = [indices for _, _, indices in per[0][3]]
+        stackable = (self.options.assembly.use_tables
+                     and all([indices for _, _, indices in groups]
+                             == index_groups for _, _, _, groups in per))
+        if not stackable:
+            return [self._solve_groups(meshes, f, k1, k2, groups)
+                    for f, k1, k2, groups in per]
+
+        n = base.size
+        max_stack = self.options.batch_size or _auto_stack(n)
+        results: list[list[SWMResult]] = [[] for _ in freqs]
+        for gi, indices in enumerate(index_groups):
+            for lo in range(0, len(indices), max_stack):
+                chunk = indices[lo:lo + max_stack]
+                sub = [meshes[i] for i in chunk]
+                nb = len(sub)
+                with span("plan", n=n, batch=nb, freqs=len(freqs)):
+                    plan = AssemblyPlan3D.build(sub, self.options.assembly)
+                media = []
+                for _, k1, k2, groups in per:
+                    t1, t2, _ = groups[gi]
+                    media.append((k1, t1))
+                    media.append((k2, t2))
+                with span("assemble", n=n, batch=nb, freqs=len(freqs)):
+                    mats = assemble_media_multi_k(plan, media)
+                for fi, (f, k1, k2, _) in enumerate(per):
+                    d1, s1 = mats[2 * fi]
+                    d2, s2 = mats[2 * fi + 1]
+                    a, rhs, scale_v = self._block_system(
+                        sub, f, k1, k2, d1, s1, d2, s2)
+                    sol = self._factor_stack(a, rhs, n, nb)
+                    results[fi].extend(self._finish_many(
+                        sub, f, sol[:, :n], sol[:, n:] * scale_v))
+        return results
+
+    def _block_system(self, meshes: list[SurfaceMesh3D], frequency_hz: float,
+                      k1: complex, k2: complex,
+                      d1: np.ndarray, s1: np.ndarray,
+                      d2: np.ndarray, s2: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Stack the coupled ``(B, 2n, 2n)`` block systems and RHS.
+
+        The block structure, scaling and right-hand side mirror
+        :meth:`_solve_fields` entry for entry.
         """
         beta = self.system.beta(frequency_hz)
         nb = len(meshes)
         n = meshes[0].size
+        half = 0.5 * np.eye(n)
+        # Column scaling: solve for v_hat = v / |k2| so both unknown
+        # blocks are O(1) (v ~ k2 * psi for a good conductor).
+        scale_v = abs(k2)
+        a = np.empty((nb, 2 * n, 2 * n), dtype=np.complex128)
+        a[:, :n, :n] = half - d1
+        a[:, :n, n:] = beta * s1 * scale_v
+        a[:, n:, :n] = half + d2
+        a[:, n:, n:] = -s2 * scale_v
 
-        with span("assemble", n=n, batch=nb):
-            if t1 is not None and t2 is not None:
-                # Fused hot path: both media assembled in one pass sharing
-                # every k-independent intermediate (bit-identical to the
-                # per-medium reference).
-                (d1, s1), (d2, s2) = assemble_media_pair_many(
-                    meshes, k1, t1, k2, t2, self.options.assembly)
-            else:
-                d1, s1 = assemble_medium_many(meshes, k1,
-                                              self.options.assembly,
-                                              tables=t1)
-                d2, s2 = assemble_medium_many(meshes, k2,
-                                              self.options.assembly,
-                                              tables=t2)
+        rhs = np.zeros((nb, 2 * n), dtype=np.complex128)
+        # z is materialized so the -1j*k1 multiply cannot elide into
+        # the stack temporary; the per-sample path multiplies a held
+        # mesh.z reference, and parity with it is asserted bit-exact.
+        z = np.stack([m.z for m in meshes])
+        rhs[:, :n] = np.exp(-1j * k1 * z)
+        return a, rhs, scale_v
 
-            half = 0.5 * np.eye(n)
-            scale_v = abs(k2)
-            a = np.empty((nb, 2 * n, 2 * n), dtype=np.complex128)
-            a[:, :n, :n] = half - d1
-            a[:, :n, n:] = beta * s1 * scale_v
-            a[:, n:, :n] = half + d2
-            a[:, n:, n:] = -s2 * scale_v
+    def _factor_stack(self, a: np.ndarray, rhs: np.ndarray,
+                      n: int, nb: int) -> np.ndarray:
+        """Finite-check and factor one stacked batch.
 
-            rhs = np.zeros((nb, 2 * n), dtype=np.complex128)
-            # z is materialized so the -1j*k1 multiply cannot elide into
-            # the stack temporary; the per-sample path multiplies a held
-            # mesh.z reference, and parity with it is asserted bit-exact.
-            z = np.stack([m.z for m in meshes])
-            rhs[:, :n] = np.exp(-1j * k1 * z)
-
+        The LAPACK ``gesv`` behind ``np.linalg.solve`` runs the same
+        ``getrf``/``getrs`` pair as the sequential scipy path, so
+        solutions are bit-identical to per-sample solves.
+        """
         if self.options.check_finite and not np.all(np.isfinite(a)):
             raise SolverError("assembled SWM matrix contains non-finite "
                               "entries")
@@ -422,6 +518,42 @@ class SWMSolver3D:
         if not np.all(np.isfinite(sol)):
             raise SolverError("SWM solution contains non-finite entries "
                               "(singular system?)")
+        return sol
+
+    def _solve_fields_many(self, meshes: list[SurfaceMesh3D],
+                           frequency_hz: float, k1: complex, k2: complex,
+                           t1, t2) -> tuple[np.ndarray, np.ndarray]:
+        """Assemble and factor a stack of sample systems at once.
+
+        Returns ``(psi, v)`` as ``(B, n)`` arrays, bit-identical to the
+        per-sample path (see :meth:`_block_system` /
+        :meth:`_factor_stack`).
+        """
+        nb = len(meshes)
+        n = meshes[0].size
+
+        if t1 is not None and t2 is not None:
+            # Fused hot path: one k-independent plan serves both media
+            # (bit-identical to the per-medium reference).
+            with span("plan", n=n, batch=nb):
+                plan = AssemblyPlan3D.build(meshes, self.options.assembly)
+            with span("assemble", n=n, batch=nb):
+                (d1, s1), (d2, s2) = assemble_media_multi_k(
+                    plan, ((k1, t1), (k2, t2)))
+                a, rhs, scale_v = self._block_system(
+                    meshes, frequency_hz, k1, k2, d1, s1, d2, s2)
+        else:
+            with span("assemble", n=n, batch=nb):
+                d1, s1 = assemble_medium_many(meshes, k1,
+                                              self.options.assembly,
+                                              tables=t1)
+                d2, s2 = assemble_medium_many(meshes, k2,
+                                              self.options.assembly,
+                                              tables=t2)
+                a, rhs, scale_v = self._block_system(
+                    meshes, frequency_hz, k1, k2, d1, s1, d2, s2)
+
+        sol = self._factor_stack(a, rhs, n, nb)
         psi = sol[:, :n]
         v = sol[:, n:] * scale_v
         return psi, v

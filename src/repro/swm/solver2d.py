@@ -28,12 +28,9 @@ from ..constants import METER_TO_UM
 from ..errors import ConfigurationError, SolverError
 from ..materials import PAPER_SYSTEM, TwoMediumSystem
 from ..telemetry import span
-from .assembly2d import (
-    Assembly2DOptions,
-    assemble_media_pair_2d_many,
-    assemble_medium_2d,
-)
+from .assembly2d import Assembly2DOptions, assemble_media_multi_k_2d
 from .geometry import SurfaceMesh2D, build_mesh_2d
+from .plan import AssemblyPlan2D
 
 
 @dataclass(frozen=True)
@@ -153,9 +150,16 @@ class SWMSolver2D:
         beta = self.system.beta(frequency_hz)
         n = mesh.size
 
+        # Single-profile calls share the batched hot path: one
+        # k-independent plan serves both media.
+        with span("plan", n=n):
+            plan = AssemblyPlan2D.build([mesh], self.options.assembly)
+
         with span("assemble", n=n):
-            d1, s1 = assemble_medium_2d(mesh, k1, self.options.assembly)
-            d2, s2 = assemble_medium_2d(mesh, k2, self.options.assembly)
+            (d1b, s1b), (d2b, s2b) = assemble_media_multi_k_2d(
+                plan, (k1, k2))
+            d1, s1 = d1b[0], s1b[0]
+            d2, s2 = d2b[0], s2b[0]
 
             half = 0.5 * np.eye(n)
             scale_v = abs(k2)
@@ -235,9 +239,7 @@ class SWMSolver2D:
         meshes = [build_mesh_2d(p, period_um) for p in profiles_um]
         return self._solve_mesh_many(meshes, frequency_hz, stacklevel)
 
-    def _solve_mesh_many(self, meshes: list[SurfaceMesh2D],
-                         frequency_hz: float, stacklevel: int
-                         ) -> list[SWM2DResult]:
+    def _validate_same_grid(self, meshes: list[SurfaceMesh2D]) -> None:
         if not meshes:
             raise ConfigurationError("batched solve needs at least one mesh")
         base = meshes[0]
@@ -248,46 +250,103 @@ class SWMSolver2D:
                     f"got n={mesh.n} L={mesh.period} vs n={base.n} "
                     f"L={base.period}"
                 )
-        self._check_resolution(base.spacing, frequency_hz,
+
+    def _solve_mesh_many(self, meshes: list[SurfaceMesh2D],
+                         frequency_hz: float, stacklevel: int
+                         ) -> list[SWM2DResult]:
+        self._validate_same_grid(meshes)
+        self._check_resolution(meshes[0].spacing, frequency_hz,
                                stacklevel=stacklevel)
         from .solver import _auto_stack
 
-        max_stack = self.options.batch_size or _auto_stack(base.size)
+        max_stack = self.options.batch_size or _auto_stack(meshes[0].size)
         results: list[SWM2DResult] = []
         for lo in range(0, len(meshes), max_stack):
             results.extend(self._solve_mesh_stack(meshes[lo:lo + max_stack],
                                                   frequency_hz))
         return results
 
-    def _solve_mesh_stack(self, meshes: list[SurfaceMesh2D],
-                          frequency_hz: float) -> list[SWM2DResult]:
-        k1 = self.system.k1(frequency_hz) / METER_TO_UM
-        k2 = self.system.k2(frequency_hz) / METER_TO_UM
+    def solve_mesh_many_multi_k(self, meshes: list[SurfaceMesh2D],
+                                frequencies_hz) -> list[list[SWM2DResult]]:
+        """Solve a same-grid profile batch at several frequencies at once.
+
+        The 2D multi-frequency hot path: each sample chunk's
+        k-independent :class:`AssemblyPlan2D` is built once and consumed
+        by every frequency's media (2 x F per-k assemblies share one
+        plan and one fused Kummer mode-sum pass). Returns one
+        ``list[SWM2DResult]`` per frequency (outer index follows
+        ``frequencies_hz``), **bit-identical** to calling
+        :meth:`solve_mesh_many` once per frequency (same chunking, same
+        LAPACK path).
+        """
+        meshes = list(meshes)
+        freqs = [float(f) for f in frequencies_hz]
+        if not freqs:
+            raise ConfigurationError(
+                "multi-frequency solve needs at least one frequency"
+            )
+        self._validate_same_grid(meshes)
+        base = meshes[0]
+        for f in freqs:
+            self._check_resolution(base.spacing, f, stacklevel=3)
+        from .solver import _auto_stack
+
+        ks = []
+        for f in freqs:
+            ks.append((f, self.system.k1(f) / METER_TO_UM,
+                       self.system.k2(f) / METER_TO_UM))
+
+        n = base.size
+        max_stack = self.options.batch_size or _auto_stack(n)
+        results: list[list[SWM2DResult]] = [[] for _ in freqs]
+        for lo in range(0, len(meshes), max_stack):
+            sub = meshes[lo:lo + max_stack]
+            nb = len(sub)
+            with span("plan", n=n, batch=nb, freqs=len(freqs)):
+                plan = AssemblyPlan2D.build(sub, self.options.assembly)
+            flat_ks = []
+            for _, k1, k2 in ks:
+                flat_ks.append(k1)
+                flat_ks.append(k2)
+            with span("assemble", n=n, batch=nb, freqs=len(freqs)):
+                mats = assemble_media_multi_k_2d(plan, flat_ks)
+            for fi, (f, k1, k2) in enumerate(ks):
+                d1, s1 = mats[2 * fi]
+                d2, s2 = mats[2 * fi + 1]
+                a, rhs, scale_v = self._block_system_2d(
+                    sub, f, k1, k2, d1, s1, d2, s2)
+                sol = self._factor_stack_2d(a, rhs, n, nb)
+                results[fi].extend(self._finish_many_2d(
+                    sub, f, sol[:, :n], sol[:, n:] * scale_v))
+        return results
+
+    def _block_system_2d(self, meshes: list[SurfaceMesh2D],
+                         frequency_hz: float, k1: complex, k2: complex,
+                         d1: np.ndarray, s1: np.ndarray,
+                         d2: np.ndarray, s2: np.ndarray
+                         ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Stack the coupled ``(B, 2n, 2n)`` block systems and RHS."""
         beta = self.system.beta(frequency_hz)
         nb = len(meshes)
         n = meshes[0].size
+        half = 0.5 * np.eye(n)
+        scale_v = abs(k2)
+        a = np.empty((nb, 2 * n, 2 * n), dtype=np.complex128)
+        a[:, :n, :n] = half - d1
+        a[:, :n, n:] = beta * s1 * scale_v
+        a[:, n:, :n] = half + d2
+        a[:, n:, n:] = -s2 * scale_v
 
-        with span("assemble", n=n, batch=nb):
-            # Fused hot path: both media, green and gradient, one Kummer
-            # mode-sum pass (bit-identical to per-medium assembly).
-            (d1, s1), (d2, s2) = assemble_media_pair_2d_many(
-                meshes, k1, k2, self.options.assembly)
+        rhs = np.zeros((nb, 2 * n), dtype=np.complex128)
+        # Materialized for the same reason as the 3D solver: the
+        # -1j*k1 multiply must not elide into the stack temporary
+        # (bit-exact parity with the per-sample path).
+        z = np.stack([m.z for m in meshes])
+        rhs[:, :n] = np.exp(-1j * k1 * z)
+        return a, rhs, scale_v
 
-            half = 0.5 * np.eye(n)
-            scale_v = abs(k2)
-            a = np.empty((nb, 2 * n, 2 * n), dtype=np.complex128)
-            a[:, :n, :n] = half - d1
-            a[:, :n, n:] = beta * s1 * scale_v
-            a[:, n:, :n] = half + d2
-            a[:, n:, n:] = -s2 * scale_v
-
-            rhs = np.zeros((nb, 2 * n), dtype=np.complex128)
-            # Materialized for the same reason as the 3D solver: the
-            # -1j*k1 multiply must not elide into the stack temporary
-            # (bit-exact parity with the per-sample path).
-            z = np.stack([m.z for m in meshes])
-            rhs[:, :n] = np.exp(-1j * k1 * z)
-
+    def _factor_stack_2d(self, a: np.ndarray, rhs: np.ndarray,
+                         n: int, nb: int) -> np.ndarray:
         if self.options.check_finite and not np.all(np.isfinite(a)):
             raise SolverError("assembled 2D SWM matrix contains non-finite "
                               "entries")
@@ -297,10 +356,13 @@ class SWMSolver2D:
         except np.linalg.LinAlgError as exc:
             raise SolverError(f"batched dense 2D solve failed: {exc}"
                               ) from exc
-        psi = sol[:, :n]
-        v = sol[:, n:] * scale_v
+        return sol
 
-        with span("power", batch=nb):
+    def _finish_many_2d(self, meshes: list[SurfaceMesh2D],
+                        frequency_hz: float, psi: np.ndarray, v: np.ndarray
+                        ) -> list[SWM2DResult]:
+        """Vectorized power evaluation over the profile stack."""
+        with span("power", batch=len(meshes)):
             lengths = np.stack([m.true_lengths() for m in meshes])
             pr = 0.5 * np.sum(np.real(np.conj(psi) * v) * lengths, axis=1)
             ps = self.smooth_power(meshes[0].period, frequency_hz)
@@ -316,6 +378,28 @@ class SWMSolver2D:
             )
             for i, mesh in enumerate(meshes)
         ]
+
+    def _solve_mesh_stack(self, meshes: list[SurfaceMesh2D],
+                          frequency_hz: float) -> list[SWM2DResult]:
+        k1 = self.system.k1(frequency_hz) / METER_TO_UM
+        k2 = self.system.k2(frequency_hz) / METER_TO_UM
+        nb = len(meshes)
+        n = meshes[0].size
+
+        # Fused hot path: both media, green and gradient, one Kummer
+        # mode-sum pass off one k-independent plan (bit-identical to
+        # per-medium assembly).
+        with span("plan", n=n, batch=nb):
+            plan = AssemblyPlan2D.build(meshes, self.options.assembly)
+        with span("assemble", n=n, batch=nb):
+            (d1, s1), (d2, s2) = assemble_media_multi_k_2d(plan, (k1, k2))
+            a, rhs, scale_v = self._block_system_2d(
+                meshes, frequency_hz, k1, k2, d1, s1, d2, s2)
+
+        sol = self._factor_stack_2d(a, rhs, n, nb)
+        psi = sol[:, :n]
+        v = sol[:, n:] * scale_v
+        return self._finish_many_2d(meshes, frequency_hz, psi, v)
 
     def smooth_power(self, period_um: float, frequency_hz: float) -> float:
         """Smooth-surface absorbed power per unit y-length."""

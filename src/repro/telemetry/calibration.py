@@ -28,6 +28,33 @@ from __future__ import annotations
 
 import threading
 
+#: Relative weight of one 2D assembly (O(n^2) kernel-table work) in
+#: units of n^3 LU flops — assembly dominates small 2D solves, so a
+#: pure-LU cost form would undersell them badly at the profile sizes
+#: the experiments use (n ~ 30..100).
+_PROFILE_ASSEMBLY_WEIGHT = 200.0
+
+#: The single ``job_kind``-keyed table of plan-level cost forms,
+#: ``kind -> (evals, n_unknowns) -> relative cost``. Both layers that
+#: reason about cost resolve through it — the scheduler's
+#: :func:`repro.engine.cost.estimate_job_cost` (queue ordering, grouped
+#: wall-time attribution) and this module's per-kind calibration fits —
+#: so a new scenario kind cannot get a cost model in one layer but not
+#: the other: adding its entry here is the one registration point, and
+#: an unregistered kind fails loudly at estimate time instead of
+#: silently sorting (and calibrating) as free.
+#:
+#: 3D kinds solve N x N systems: ``evals * N^3``. 2D profiles solve
+#: ``2n x 2n`` systems (incident + scattered blocks), so their LU term
+#: is ``(2n)^3 = 8 n^3``, plus the assembly term that dominates at
+#: small n.
+COST_MODELS: dict = {
+    "deterministic": lambda evals, n: float(evals) * float(n) ** 3,
+    "stochastic": lambda evals, n: float(evals) * float(n) ** 3,
+    "profile": lambda evals, n: float(evals) * (
+        8.0 * float(n) ** 3 + _PROFILE_ASSEMBLY_WEIGHT * float(n) ** 2),
+}
+
 
 class _Fit:
     """Running least squares of ``wall_s`` on ``cost`` (Welford-style)."""

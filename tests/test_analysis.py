@@ -52,7 +52,7 @@ class TestFramework:
         ids = [r.id for r in all_rules()]
         assert ids == sorted(ids)
         assert {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
-                "RPR006", "RPR007"} <= set(ids)
+                "RPR006", "RPR007", "RPR008", "RPR009"} <= set(ids)
 
     def test_get_rule_unknown_id(self):
         with pytest.raises(ConfigurationError, match="unknown rule"):
@@ -518,6 +518,162 @@ class TestBroadExcept:
                "    except (ValueError, KeyError):\n"
                "        pass\n")
         assert run(src, "RPR007") == []
+
+
+# ----------------------------------------------------------------------
+# RPR008 — telemetry no-op discipline
+# ----------------------------------------------------------------------
+
+TELEMETRY_PATH = "src/repro/engine/runtime.py"
+
+RPR008_POSITIVE = """
+from repro.telemetry import span
+
+def execute(job):
+    with span("job", key=compute_key(job)):
+        return run(job)
+"""
+
+RPR008_NEGATIVE = """
+from repro.telemetry import span
+
+def execute(job):
+    with span("job", key=job.key, n=len(job.items),
+              freq=float(job.frequency_hz)):
+        return run(job)
+"""
+
+RPR008_GUARDED = """
+from repro import telemetry
+
+def publish(slots):
+    if telemetry.enabled():
+        _M_QUEUE_DEPTH.set(sum(1 for s in slots if s.queued))
+"""
+
+RPR008_EARLY_RETURN = """
+from repro import telemetry
+
+def publish(slots):
+    \"\"\"Docstrings must not defeat the leading-guard detection.\"\"\"
+    if not telemetry.enabled():
+        return
+    _M_QUEUE_DEPTH.set(sum(1 for s in slots if s.queued))
+"""
+
+
+class TestTelemetryNoopDiscipline:
+    def test_eager_call_in_span_argument_flags(self):
+        findings = run(RPR008_POSITIVE, "RPR008", path=TELEMETRY_PATH)
+        assert len(findings) == 1
+        assert "compute_key" in findings[0].message
+
+    def test_cheap_arguments_pass(self):
+        assert run(RPR008_NEGATIVE, "RPR008", path=TELEMETRY_PATH) == []
+
+    def test_metric_call_with_fstring_flags(self):
+        src = ("def f(route):\n"
+               "    _M_REQUESTS.inc(route=f'/api/{route}')\n")
+        findings = run(src, "RPR008", path=TELEMETRY_PATH)
+        assert len(findings) == 1
+        assert "f-string" in findings[0].message
+
+    def test_metric_call_with_comprehension_flags(self):
+        src = ("def f(slots):\n"
+               "    _M_QUEUE_DEPTH.set(sum(1 for s in slots))\n")
+        findings = run(src, "RPR008", path=TELEMETRY_PATH)
+        assert len(findings) == 1
+
+    def test_enabled_guard_passes(self):
+        assert run(RPR008_GUARDED, "RPR008", path=TELEMETRY_PATH) == []
+
+    def test_leading_early_return_guard_passes(self):
+        assert run(RPR008_EARLY_RETURN, "RPR008",
+                   path=TELEMETRY_PATH) == []
+
+    def test_monotonic_clock_reads_pass(self):
+        src = ("import time\n"
+               "def f(start):\n"
+               "    _M_ROUND.observe(time.perf_counter() - start)\n")
+        assert run(src, "RPR008", path=TELEMETRY_PATH) == []
+
+    def test_non_metric_receivers_pass(self):
+        src = ("def f(self, kind, cost, wall):\n"
+               "    self.calibrator.observe(kind, cost, float(wall))\n"
+               "    self._stop.set()\n"
+               "    _SESSION.set(make_defaults())\n")
+        assert run(src, "RPR008", path=TELEMETRY_PATH) == []
+
+    def test_rule_is_scoped_to_telemetry_modules(self):
+        assert run(RPR008_POSITIVE, "RPR008",
+                   path="src/repro/stochastic/montecarlo.py") == []
+
+
+# ----------------------------------------------------------------------
+# RPR009 — wire-baseline freshness
+# ----------------------------------------------------------------------
+
+RPR009_UNRECORDED_GET = """
+def _decode_worker_result(doc):
+    slot, token, worker, key = _expect(doc, "slot", "token",
+                                       "worker", "key")
+    return (slot, token, worker, key, doc.get("payload"),
+            doc.get("error"), doc.get("meta"), doc.get("retries"))
+
+_DECODERS = {"WorkerResult": _decode_worker_result}
+"""
+
+RPR009_FRESH = """
+def _decode_worker_result(doc):
+    slot, token, worker, key = _expect(doc, "slot", "token",
+                                       "worker", "key")
+    return (slot, token, worker, key, doc.get("payload"),
+            doc.get("error"), doc.get("meta"))
+
+_DECODERS = {"WorkerResult": _decode_worker_result}
+"""
+
+RPR009_STALE_OPTIONAL = """
+def _decode_worker_result(doc):
+    slot, token, worker, key = _expect(doc, "slot", "token",
+                                       "worker", "key")
+    return (slot, token, worker, key, doc.get("payload"),
+            doc.get("error"))
+
+_DECODERS = {"WorkerResult": _decode_worker_result}
+"""
+
+RPR009_STRIP_STYLE = """
+def _decode_point(doc):
+    return PointResult(**_strip(doc))
+
+_DECODERS = {"PointResult": _decode_point}
+"""
+
+
+class TestWireBaselineFreshness:
+    def test_unrecorded_get_read_flags(self):
+        findings = run(RPR009_UNRECORDED_GET, "RPR009", path=WIRE_PATH)
+        assert any("'retries'" in f.message
+                   and "does not record" in f.message for f in findings)
+
+    def test_reads_matching_the_baseline_pass(self):
+        assert run(RPR009_FRESH, "RPR009", path=WIRE_PATH) == []
+
+    def test_stale_optional_entry_flags(self):
+        findings = run(RPR009_STALE_OPTIONAL, "RPR009", path=WIRE_PATH)
+        assert any("'meta'" in f.message and "stale" in f.message
+                   for f in findings)
+
+    def test_strip_style_decoders_are_exempt_from_staleness(self):
+        # PointResult lists optional fields (pid, spans) but decodes via
+        # _strip -> constructor with no by-name reads; that is the
+        # documented pattern, not a stale table entry.
+        assert run(RPR009_STRIP_STYLE, "RPR009", path=WIRE_PATH) == []
+
+    def test_rule_is_scoped_to_wire_modules(self):
+        assert run(RPR009_UNRECORDED_GET, "RPR009",
+                   path="src/repro/engine/spec.py") == []
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,173 @@
+"""Parity suite for frequency-stacked (multi-k) execution.
+
+The tentpole contract: executing one mesh batch at many frequencies
+through the k-independent :class:`AssemblyPlan`
+(``solve_mesh_many_multi_k``) — and, one layer up, executing a
+frequency stack of engine jobs through ``execute_job_group`` — is a
+*pure performance* move. Every value must be bit-identical to the
+per-frequency / per-job paths.
+
+Grid sizes mirror ``TestLargeGridParity`` (test_fused_kernel2d.py):
+the elided in-place complex multiply that motivated it only disagreed
+at fig6 scale (n = 96), not at the n = 16 grids the original parity
+tests used. The same buffer-alignment hazard applies to the plan's
+reused geometry blocks, so the stacked-vs-serial comparisons here run
+at elision scale too: n = 96 profiles for the 2D path, and for the 3D
+path a 12 x 12 stochastic-size grid (N = 144 unknowns) and a 24 x 24
+deterministic grid (N = 576 unknowns).
+"""
+
+import numpy as np
+
+from repro.constants import GHZ, UM
+from repro.core import StochasticLossConfig
+from repro.engine import (
+    DeterministicScenario,
+    EstimatorSpec,
+    ProfileScenario,
+    StochasticScenario,
+    SweepSpec,
+)
+from repro.engine.runtime import execute_job, execute_job_group
+from repro.surfaces import GaussianCorrelation, ProfileGenerator
+from repro.swm.geometry import build_mesh_2d, build_mesh_3d
+from repro.swm.solver import SWMSolver3D
+from repro.swm.solver2d import SWMSolver2D
+
+L = 5.0
+FREQS = [2 * GHZ, 5 * GHZ, 8 * GHZ]
+
+
+def _assert_results_equal(a, b):
+    assert a.enhancement == b.enhancement
+    np.testing.assert_array_equal(a.psi, b.psi)
+    np.testing.assert_array_equal(a.v, b.v)
+    assert a.absorbed_power == b.absorbed_power
+    assert a.smooth_power == b.smooth_power
+
+
+class TestLargeGridMultiKParity:
+    """solve_mesh_many_multi_k vs per-frequency solves, elision scale."""
+
+    def test_profile_fig6_grid_bit_identical(self):
+        """n = 96 profiles (the grid that exposed the elided multiply),
+        three frequencies stacked vs solved one k at a time."""
+        gen = ProfileGenerator(GaussianCorrelation(sigma=1.0, eta=1.0),
+                               period=L, n=96, normalize=True)
+        rng = np.random.default_rng(0)
+        meshes = [build_mesh_2d(gen.from_white_noise(
+            rng.standard_normal(96)), L) for _ in range(2)]
+
+        stacked = SWMSolver2D().solve_mesh_many_multi_k(meshes, FREQS)
+        assert len(stacked) == len(FREQS)
+        ref_solver = SWMSolver2D()
+        for freq, row in zip(FREQS, stacked):
+            assert len(row) == len(meshes)
+            for mesh, got in zip(meshes, row):
+                _assert_results_equal(got, ref_solver.solve_mesh(mesh,
+                                                                 freq))
+
+    def test_stochastic_size_grid_bit_identical(self):
+        """12 x 12 height maps (N = 144, the stochastic pipeline's
+        elision-scale mesh) through the 3D plan."""
+        rng = np.random.default_rng(1)
+        meshes = [build_mesh_3d(rng.normal(0.0, 0.2, (12, 12)), L)
+                  for _ in range(2)]
+
+        solver = SWMSolver3D()
+        stacked = solver.solve_mesh_many_multi_k(meshes, FREQS)
+        ref_solver = SWMSolver3D()
+        for freq, row in zip(FREQS, stacked):
+            for mesh, got in zip(meshes, row):
+                _assert_results_equal(got, ref_solver.solve_mesh(mesh,
+                                                                 freq))
+
+    def test_deterministic_grid_bit_identical(self):
+        """One 24 x 24 deterministic surface (N = 576 unknowns) — the
+        largest dense system in the tier-1 suite."""
+        x = np.linspace(0.0, 2 * np.pi, 24, endpoint=False)
+        heights = 0.3 * np.outer(np.sin(x), np.cos(x))
+        mesh = build_mesh_3d(heights, L)
+
+        stacked = SWMSolver3D().solve_mesh_many_multi_k([mesh], FREQS)
+        ref_solver = SWMSolver3D()
+        for freq, row in zip(FREQS, stacked):
+            _assert_results_equal(row[0], ref_solver.solve_mesh(mesh,
+                                                                freq))
+
+
+def _payload_fields(payload):
+    return {k: payload[k] for k in ("mean", "std", "n_evals", "seed")}
+
+
+def _assert_payloads_match(grouped, serial):
+    assert len(grouped) == len(serial)
+    for g, s in zip(grouped, serial):
+        assert _payload_fields(g) == _payload_fields(s)
+        np.testing.assert_array_equal(g["values"], s["values"])
+
+
+class TestGroupedExecutionParity:
+    """execute_job_group vs per-job execute_job, all scenario kinds."""
+
+    def _jobs(self, scenario, estimator=None):
+        if estimator is None:
+            return SweepSpec(scenario, FREQS).jobs()
+        return SweepSpec(scenario, FREQS, estimator).jobs()
+
+    def test_stochastic_sscm_stack_matches_per_job(self):
+        scenario = StochasticScenario(
+            "rough", GaussianCorrelation(1 * UM, 1 * UM),
+            StochasticLossConfig(points_per_side=8, max_modes=3))
+        jobs = self._jobs(scenario, EstimatorSpec(order=1))
+        _assert_payloads_match(execute_job_group(jobs),
+                               [execute_job(j) for j in jobs])
+
+    def test_stochastic_montecarlo_stack_matches_per_job(self):
+        scenario = StochasticScenario(
+            "rough-mc", GaussianCorrelation(1 * UM, 1 * UM),
+            StochasticLossConfig(points_per_side=8, max_modes=3))
+        # batch_size 2 does not divide n_samples 5: the stacked path
+        # must replicate the estimator's exact rng block shapes.
+        jobs = self._jobs(scenario, EstimatorSpec(
+            kind="montecarlo", n_samples=5, seed=3, batch_size=2))
+        _assert_payloads_match(execute_job_group(jobs),
+                               [execute_job(j) for j in jobs])
+
+    def test_profile_stack_matches_per_job(self):
+        scenario = ProfileScenario("prof", GaussianCorrelation(1.0, 1.0),
+                                   period_um=L, n=16, normalize=True)
+        jobs = self._jobs(scenario, EstimatorSpec(
+            kind="montecarlo", n_samples=4, seed=7))
+        _assert_payloads_match(execute_job_group(jobs),
+                               [execute_job(j) for j in jobs])
+
+    def test_deterministic_stack_matches_per_job(self):
+        scenario = DeterministicScenario(
+            "bump", np.full((8, 8), 0.2) * UM, 5 * UM)
+        jobs = self._jobs(scenario)
+        _assert_payloads_match(execute_job_group(jobs),
+                               [execute_job(j) for j in jobs])
+
+    def test_ungroupable_jobs_fall_back_per_job(self):
+        """Jobs with different scenarios share no plan; the group call
+        must still return one payload per job, in order."""
+        a = DeterministicScenario("flat", np.zeros((8, 8)), 5 * UM)
+        b = DeterministicScenario("bump", np.full((8, 8), 0.2 * 1e-6),
+                                  5 * UM)
+        jobs = (SweepSpec(a, [2 * GHZ]).jobs()
+                + SweepSpec(b, [2 * GHZ]).jobs())
+        _assert_payloads_match(execute_job_group(jobs),
+                               [execute_job(j) for j in jobs])
+
+    def test_grouped_wall_time_attribution_sums_to_total(self):
+        scenario = DeterministicScenario(
+            "walls", np.full((8, 8), 0.1) * UM, 5 * UM)
+        jobs = self._jobs(scenario)
+        payloads = execute_job_group(jobs)
+        walls = [p["wall_time_s"] for p in payloads]
+        assert all(w >= 0.0 for w in walls)
+        # Per-job shares are cost-weighted fractions of one measured
+        # group wall; they must reconstitute it (same-cost jobs here,
+        # so equal shares).
+        np.testing.assert_allclose(walls, walls[0])

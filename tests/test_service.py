@@ -252,7 +252,11 @@ class TestWireRoundTrip:
 # ----------------------------------------------------------------------
 
 class _CountingExecutor(SerialExecutor):
-    """Serial execution that records every job key it actually runs."""
+    """Serial execution that records every job key it actually runs.
+
+    Scheduler dispatch items are scenario groups (lists of jobs), so
+    the record flattens them in dispatch order.
+    """
 
     def __init__(self):
         self.executed = []
@@ -260,7 +264,8 @@ class _CountingExecutor(SerialExecutor):
 
     def run(self, fn, items, progress=None, on_result=None):
         with self.lock:
-            self.executed.extend(job.key for job in items)
+            for group in items:
+                self.executed.extend(job.key for job in group)
         with _quiet():
             return super().run(fn, items, progress=progress,
                                on_result=on_result)
@@ -437,9 +442,18 @@ class TestScheduler:
         monkeypatch.setattr(scheduler_module, "execute_job", flaky)
         # Different frequencies: scenario *names* are excluded from
         # content hashes, so same-physics specs would dedup into one
-        # slot and the "bad" job would never actually run.
+        # slot and the "bad" job would never actually run. The bad
+        # scenario also differs physically (eta), otherwise the two
+        # jobs would fuse into one frequency-stacked group and bypass
+        # the per-job execution path this test instruments.
         good = _tiny_spec(freqs=(1.0,), name="good")
-        bad = _tiny_spec(freqs=(2.0,), name="bad")
+        bad = SweepSpec(
+            scenarios=[StochasticScenario(
+                "bad", GaussianCorrelation(1 * UM, 2 * UM),
+                StochasticLossConfig(points_per_side=8, max_modes=2))],
+            frequencies_hz=[2.0 * GHZ],
+            estimators=EstimatorSpec(kind="sscm", order=1),
+            tags={"suite": "service"})
         scheduler = SweepScheduler(cache=ResultCache())
         try:
             with _quiet():
@@ -861,7 +875,9 @@ class TestServiceTelemetryHTTP:
         kinds = [e["event"] for e in events]
         assert kinds[0] == "submitted" and kinds[-1] == "complete"
         assert kinds.count("point") == 2
-        assert kinds.count("trace") == 2
+        # The two frequencies of one scenario execute as a fused group,
+        # whose shared trace rides the first committed payload only.
+        assert kinds.count("trace") == 1
         # each trace directly follows its point, carrying solver spans
         for i, event in enumerate(events):
             if event["event"] != "trace":
@@ -869,7 +885,7 @@ class TestServiceTelemetryHTTP:
             assert kinds[i - 1] == "point"
             assert events[i - 1]["key"] == event["key"]
             names = {s["name"] for s in event["spans"]}
-            assert {"job", "assemble", "factor"} <= names
+            assert {"job_group", "plan", "assemble", "factor"} <= names
 
     def test_no_event_loss_between_since_cursors(self, service_url):
         """Satellite 4: a slow consumer resuming from any ``since``
